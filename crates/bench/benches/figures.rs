@@ -1,0 +1,88 @@
+//! Criterion versions of the paper's figure workloads at micro scale:
+//! one long-genome row of Fig. 5a per library, and one short-read batch
+//! row of Fig. 5b per engine. The `fig5`/`fig6` binaries produce the
+//! full tables; these benches give statistically tracked spot checks.
+
+use anyseq_baselines::{ParasailLike, SeqAnLike};
+use anyseq_bench::workloads::{genome_pairs, read_batch};
+use anyseq_core::kind::Global;
+use anyseq_core::prelude::*;
+use anyseq_simd::score_batch_simd;
+use anyseq_wavefront::pass::{tiled_score_pass, ParallelCfg};
+use anyseq_wavefront::score_batch_parallel;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_fig5a_row(c: &mut Criterion) {
+    let pairs = genome_pairs(0.0006, 5);
+    let (_, q, s) = &pairs[0];
+    let cells = (q.len() * s.len()) as u64;
+    let lin = global(linear(simple(2, -1), -1));
+    let threads = 8;
+    let cfg = ParallelCfg {
+        threads,
+        tile: 256,
+        min_parallel_area: 0,
+        static_schedule: false,
+    };
+
+    let mut group = c.benchmark_group("fig5a_scores_linear");
+    group.throughput(Throughput::Elements(cells));
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("anyseq_cpu", |b| {
+        b.iter(|| {
+            tiled_score_pass::<Global, _, _>(
+                lin.gap(),
+                lin.subst(),
+                q.codes(),
+                s.codes(),
+                0,
+                &cfg,
+            )
+            .score
+        })
+    });
+    group.bench_function("anyseq_avx2", |b| {
+        b.iter(|| {
+            anyseq_simd::simd_tiled_score_pass::<_, _, 16>(
+                lin.gap(),
+                lin.subst(),
+                q.codes(),
+                s.codes(),
+                0,
+                &cfg,
+            )
+            .score
+        })
+    });
+    let seqan = SeqAnLike::new(threads).with_tile(256);
+    group.bench_function("seqan_like", |b| b.iter(|| seqan.score(&lin, q, s)));
+    let mut parasail = ParasailLike::new(threads);
+    parasail.tile = 256;
+    group.bench_function("parasail_like", |b| b.iter(|| parasail.score(&lin, q, s)));
+    group.finish();
+}
+
+fn bench_fig5b_row(c: &mut Criterion) {
+    let batch = read_batch(2000, 7);
+    let cells: u64 = batch.iter().map(|(q, s)| (q.len() * s.len()) as u64).sum();
+    let lin = global(linear(simple(2, -1), -1));
+    let threads = 8;
+
+    let mut group = c.benchmark_group("fig5b_scores_linear");
+    group.throughput(Throughput::Elements(cells));
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("anyseq_cpu_batch", |b| {
+        b.iter(|| score_batch_parallel(&lin, &batch, threads))
+    });
+    group.bench_function("anyseq_avx2_batch", |b| {
+        b.iter(|| score_batch_simd::<_, _, 16>(&lin, &batch, threads))
+    });
+    group.bench_function("anyseq_avx512_batch", |b| {
+        b.iter(|| score_batch_simd::<_, _, 32>(&lin, &batch, threads))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5a_row, bench_fig5b_row);
+criterion_main!(benches);

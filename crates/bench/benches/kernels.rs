@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks of the computational kernels: the scalar
+//! tile kernel (per gap model and kind), the SIMD block kernel per lane
+//! count, and the scheduling substrates.
+
+use anyseq_core::kind::{Global, Local};
+use anyseq_core::pass::score_pass;
+use anyseq_core::prelude::*;
+use anyseq_seq::genome::GenomeSim;
+use anyseq_simd::simd_tiled_score_pass;
+use anyseq_wavefront::pass::{tiled_score_pass, ParallelCfg};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_scalar_kernel(c: &mut Criterion) {
+    let mut sim = GenomeSim::new(1);
+    let q = sim.generate(2000);
+    let s = sim.mutate(&q, 0.05);
+    let cells = (q.len() * s.len()) as u64;
+    let subst = simple(2, -1);
+    let lin = LinearGap { gap: -1 };
+    let aff = AffineGap {
+        open: -2,
+        extend: -1,
+    };
+
+    let mut group = c.benchmark_group("scalar_pass");
+    group.throughput(Throughput::Elements(cells));
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("global_linear", |b| {
+        b.iter(|| score_pass::<Global, _, _>(&lin, &subst, q.codes(), s.codes(), 0).score)
+    });
+    group.bench_function("global_affine", |b| {
+        b.iter(|| score_pass::<Global, _, _>(&aff, &subst, q.codes(), s.codes(), -2).score)
+    });
+    group.bench_function("local_affine", |b| {
+        b.iter(|| score_pass::<Local, _, _>(&aff, &subst, q.codes(), s.codes(), -2).score)
+    });
+    group.finish();
+}
+
+fn bench_simd_lanes(c: &mut Criterion) {
+    let mut sim = GenomeSim::new(2);
+    let q = sim.generate(16_384);
+    let s = sim.mutate(&q, 0.05);
+    let cells = (q.len() * s.len()) as u64;
+    let subst = simple(2, -1);
+    let aff = AffineGap {
+        open: -2,
+        extend: -1,
+    };
+    let cfg = ParallelCfg {
+        threads: 4,
+        tile: 512,
+        min_parallel_area: 0,
+        static_schedule: false,
+    };
+
+    let mut group = c.benchmark_group("simd_tiled_pass");
+    group.throughput(Throughput::Elements(cells));
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("scalar_i32", |b| {
+        b.iter(|| {
+            tiled_score_pass::<Global, _, _>(&aff, &subst, q.codes(), s.codes(), -2, &cfg).score
+        })
+    });
+    group.bench_function("lanes8", |b| {
+        b.iter(|| {
+            simd_tiled_score_pass::<_, _, 8>(&aff, &subst, q.codes(), s.codes(), -2, &cfg).score
+        })
+    });
+    group.bench_function("lanes16_avx2", |b| {
+        b.iter(|| {
+            simd_tiled_score_pass::<_, _, 16>(&aff, &subst, q.codes(), s.codes(), -2, &cfg).score
+        })
+    });
+    group.bench_function("lanes32_avx512", |b| {
+        b.iter(|| {
+            simd_tiled_score_pass::<_, _, 32>(&aff, &subst, q.codes(), s.codes(), -2, &cfg).score
+        })
+    });
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut sim = GenomeSim::new(3);
+    let q = sim.generate(8192);
+    let s = sim.mutate(&q, 0.05);
+    let cells = (q.len() * s.len()) as u64;
+    let subst = simple(2, -1);
+    let lin = LinearGap { gap: -1 };
+
+    let mut group = c.benchmark_group("scheduler");
+    group.throughput(Throughput::Elements(cells));
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for threads in [4usize, 8] {
+        let dynamic = ParallelCfg {
+            threads,
+            tile: 256,
+            min_parallel_area: 0,
+            static_schedule: false,
+        };
+        let stat = ParallelCfg {
+            static_schedule: true,
+            ..dynamic
+        };
+        group.bench_function(format!("dynamic_t{threads}"), |b| {
+            b.iter(|| {
+                tiled_score_pass::<Global, _, _>(&lin, &subst, q.codes(), s.codes(), 0, &dynamic)
+                    .score
+            })
+        });
+        group.bench_function(format!("static_t{threads}"), |b| {
+            b.iter(|| {
+                tiled_score_pass::<Global, _, _>(&lin, &subst, q.codes(), s.codes(), 0, &stat)
+                    .score
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_traceback(c: &mut Criterion) {
+    let mut sim = GenomeSim::new(4);
+    let q = sim.generate(4000);
+    let s = sim.mutate(&q, 0.05);
+    let cells = (q.len() * s.len()) as u64;
+    let scheme = global(affine(simple(2, -1), -2, -1));
+
+    let mut group = c.benchmark_group("traceback");
+    group.throughput(Throughput::Elements(cells));
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("hirschberg_scalar", |b| {
+        b.iter(|| scheme.align(&q, &s).score)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scalar_kernel,
+    bench_simd_lanes,
+    bench_schedulers,
+    bench_traceback
+);
+criterion_main!(benches);

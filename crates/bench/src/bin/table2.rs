@@ -1,0 +1,171 @@
+//! Regenerates paper **Table II**: energy efficiency in GCUPS/watt for
+//! the fastest scores-only long-genome variant per device, using the
+//! paper's nameplate power accounting (CPU/GPU: specification; ZCU104:
+//! synthesis report).
+//!
+//! Usage: `table2 [--scale F] [--gpu-scale F] [--threads N]`
+
+use anyseq_bench::gcups::{measure_gcups, median};
+use anyseq_bench::report::{dump_json, Table};
+use anyseq_bench::workloads::genome_pairs;
+use anyseq_core::prelude::*;
+use anyseq_fpga_sim::{gcups_per_watt, table2_devices, SystolicArray};
+use anyseq_gpu_sim::{Device, GpuAligner};
+use anyseq_simd::simd_tiled_score_pass;
+use anyseq_wavefront::pass::ParallelCfg;
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut scale = 0.004;
+    let mut gpu_scale = 0.01;
+    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let args: Vec<String> = std::env::args().collect();
+    let mut k = 1;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--scale" => {
+                scale = args[k + 1].parse().unwrap();
+                k += 2;
+            }
+            "--gpu-scale" => {
+                gpu_scale = args[k + 1].parse().unwrap();
+                k += 2;
+            }
+            "--threads" => {
+                threads = args[k + 1].parse().unwrap();
+                k += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let pairs = genome_pairs(scale, 11);
+    let sim_pairs: Vec<_> = genome_pairs(gpu_scale, 11).into_iter().take(1).collect();
+    let lin = global(linear(simple(2, -1), -1));
+    let aff = global(affine(simple(2, -1), -2, -1));
+    let powers = table2_devices();
+    let pcfg = ParallelCfg::threads(threads).with_tile(512);
+
+    println!(
+        "Table II: energy efficiency in GCUPS/watt (scores only, long \
+         genomes; higher is better)\n(cpu scale {scale}, sim scale {gpu_scale}; \
+         CPU measured on this host, GPU/FPGA modeled)\n"
+    );
+    let mut table = Table::new(vec!["Device", "Watt", "Gap", "GCUPS", "GCUPS/watt"]);
+    let mut json = BTreeMap::new();
+
+    // CPU: fastest AnySeq variant (AVX512-width SIMD tiled pass).
+    for (gap_name, is_affine) in [("linear", false), ("affine", true)] {
+        let gcups = median(
+            pairs
+                .iter()
+                .map(|(_, q, s)| {
+                    let cells = (q.len() * s.len()) as u64;
+                    measure_gcups(cells, 3, || {
+                        if is_affine {
+                            std::hint::black_box(
+                                simd_tiled_score_pass::<_, _, 32>(
+                                    aff.gap(),
+                                    aff.subst(),
+                                    q.codes(),
+                                    s.codes(),
+                                    aff.gap().open(),
+                                    &pcfg,
+                                )
+                                .score,
+                            );
+                        } else {
+                            std::hint::black_box(
+                                simd_tiled_score_pass::<_, _, 32>(
+                                    lin.gap(),
+                                    lin.subst(),
+                                    q.codes(),
+                                    s.codes(),
+                                    lin.gap().open(),
+                                    &pcfg,
+                                )
+                                .score,
+                            );
+                        }
+                    })
+                    .gcups
+                })
+                .collect(),
+        );
+        let w = powers[0].watts;
+        table.row(vec![
+            powers[0].device.to_string(),
+            format!("{w}"),
+            gap_name.to_string(),
+            format!("{gcups:.2}"),
+            format!("{:.3}", gcups_per_watt(gcups, w)),
+        ]);
+        json.insert(format!("cpu/{gap_name}"), gcups_per_watt(gcups, w));
+    }
+
+    // GPU (modeled).
+    let gpu = GpuAligner::new(Device::titan_v()).with_tile(256);
+    for (gap_name, is_affine) in [("linear", false), ("affine", true)] {
+        let gcups = median(
+            sim_pairs
+                .iter()
+                .map(|(_, q, s)| {
+                    if is_affine {
+                        let r = gpu.score(&aff, q, s);
+                        r.stats.gcups(&gpu.device)
+                    } else {
+                        let r = gpu.score(&lin, q, s);
+                        r.stats.gcups(&gpu.device)
+                    }
+                })
+                .collect(),
+        );
+        let w = powers[1].watts;
+        table.row(vec![
+            powers[1].device.to_string(),
+            format!("{w}"),
+            gap_name.to_string(),
+            format!("{gcups:.2}"),
+            format!("{:.3}", gcups_per_watt(gcups, w)),
+        ]);
+        json.insert(format!("gpu/{gap_name}"), gcups_per_watt(gcups, w));
+    }
+
+    // FPGA (modeled; linear and affine take identical cycles).
+    let arr = SystolicArray::zcu104(128);
+    for (gap_name, is_affine) in [("linear", false), ("affine", true)] {
+        let gcups = median(
+            sim_pairs
+                .iter()
+                .map(|(_, q, s)| {
+                    if is_affine {
+                        let r = arr.score(aff.gap(), aff.subst(), q, s);
+                        arr.gcups(&r.stats)
+                    } else {
+                        let r = arr.score(lin.gap(), lin.subst(), q, s);
+                        arr.gcups(&r.stats)
+                    }
+                })
+                .collect(),
+        );
+        let w = powers[2].watts;
+        table.row(vec![
+            powers[2].device.to_string(),
+            format!("{w}"),
+            gap_name.to_string(),
+            format!("{gcups:.2}"),
+            format!("{:.3}", gcups_per_watt(gcups, w)),
+        ]);
+        json.insert(format!("fpga/{gap_name}"), gcups_per_watt(gcups, w));
+    }
+
+    println!("{}", table.render());
+    println!(
+        "(paper: CPU 1.024/0.968, Titan V 0.757/0.696, ZCU104 3.187/3.187 \
+         GCUPS/watt; the FPGA should lead by >3x over CPU, >4x over GPU)"
+    );
+    dump_json("table2", &json);
+}

@@ -1,0 +1,64 @@
+//! GCUPS measurement (giga cell updates per second, the paper's metric).
+
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct Measurement {
+    /// Cells relaxed per run.
+    pub cells: u64,
+    /// Median wall seconds per run.
+    pub seconds: f64,
+    /// Median GCUPS.
+    pub gcups: f64,
+}
+
+/// Median of a sample (consumes and sorts it).
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty());
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+/// Runs `f` `repeats` times over a workload of `cells` DP cells and
+/// reports the median GCUPS (the paper reports medians).
+pub fn measure_gcups<F: FnMut()>(cells: u64, repeats: usize, mut f: F) -> Measurement {
+    assert!(repeats >= 1);
+    let mut times = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let seconds = median(times);
+    Measurement {
+        cells,
+        seconds,
+        gcups: cells as f64 / seconds / 1e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn measure_produces_positive_gcups() {
+        let m = measure_gcups(1_000_000, 3, || {
+            std::hint::black_box((0..10_000u64).sum::<u64>());
+        });
+        assert!(m.gcups > 0.0);
+        assert_eq!(m.cells, 1_000_000);
+    }
+}

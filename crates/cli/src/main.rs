@@ -1,0 +1,166 @@
+//! `anyseq` — command-line pairwise aligner over the anyseq library.
+//!
+//! ```text
+//! anyseq align --query q.fa --subject s.fa [--type global|local|semiglobal]
+//!              [--match N] [--mismatch N] [--gap N | --open N --extend N]
+//!              [--score-only] [--threads N]
+//! anyseq simulate --length N [--gc F] [--seed N]    # emit a FASTA genome
+//! ```
+
+use anyseq_core::kind::{Global, Local, SemiGlobal};
+use anyseq_core::prelude::*;
+use anyseq_seq::fasta;
+use anyseq_seq::genome::GenomeSim;
+use anyseq_seq::Seq;
+use anyseq_wavefront::{ParallelCfg, ParallelExt};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  anyseq align --query FILE --subject FILE [--type global|local|semiglobal]\n\
+         \x20              [--match N] [--mismatch N] [--gap N | --open N --extend N]\n\
+         \x20              [--score-only] [--threads N]\n\
+         \x20 anyseq simulate --length N [--gc F] [--seed N]"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut k = 0;
+    while k < args.len() {
+        let key = args[k].trim_start_matches("--").to_string();
+        if !args[k].starts_with("--") {
+            usage();
+        }
+        if k + 1 < args.len() && !args[k + 1].starts_with("--") {
+            map.insert(key, args[k + 1].clone());
+            k += 2;
+        } else {
+            map.insert(key, "true".to_string());
+            k += 1;
+        }
+    }
+    map
+}
+
+fn load_first_record(path: &str) -> Seq {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1)
+    });
+    let records = fasta::read_fasta(file).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1)
+    });
+    match records.into_iter().next() {
+        Some(r) => r.seq,
+        None => {
+            eprintln!("{path} contains no FASTA records");
+            exit(1)
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("align") => cmd_align(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_simulate(args: &[String]) {
+    let flags = parse_flags(args);
+    let length: usize = flags
+        .get("length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage());
+    let gc: f64 = flags.get("gc").and_then(|v| v.parse().ok()).unwrap_or(0.41);
+    let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let genome = GenomeSim::new(seed).with_gc(gc).generate(length);
+    let record = fasta::Record {
+        id: format!("synthetic_{length}bp_seed{seed}"),
+        description: format!("gc={gc}"),
+        seq: genome,
+        quality: None,
+    };
+    fasta::write_fasta(std::io::stdout().lock(), &[record], 70).expect("stdout write");
+}
+
+fn cmd_align(args: &[String]) {
+    let flags = parse_flags(args);
+    let q = load_first_record(flags.get("query").unwrap_or_else(|| usage()));
+    let s = load_first_record(flags.get("subject").unwrap_or_else(|| usage()));
+    let kind = flags.get("type").map(String::as_str).unwrap_or("global");
+    let ma: i32 = flags.get("match").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let mi: i32 = flags
+        .get("mismatch")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(-1);
+    let score_only = flags.contains_key("score-only");
+    let threads: usize = flags
+        .get("threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let cfg = ParallelCfg::threads(threads);
+
+    // Gap model: --gap N (linear) or --open/--extend (affine).
+    let (open, extend) = if let Some(g) = flags.get("gap") {
+        (0, g.parse::<i32>().unwrap_or_else(|_| usage()))
+    } else {
+        (
+            flags
+                .get("open")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(-2),
+            flags
+                .get("extend")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(-1),
+        )
+    };
+    let scoring = affine(simple(ma, mi), open, extend);
+
+    macro_rules! run {
+        ($scheme:expr, $kind:ty) => {{
+            let scheme = $scheme;
+            if score_only {
+                println!("score: {}", scheme.score_parallel(&q, &s, &cfg));
+            } else {
+                let aln = scheme.align_parallel(&q, &s, &cfg);
+                aln.validate::<$kind, _, _>(&q, &s, scheme.gap(), scheme.subst())
+                    .expect("internal consistency");
+                println!("score: {}", aln.score);
+                println!(
+                    "region: query {}..{} subject {}..{}",
+                    aln.q_start, aln.q_end, aln.s_start, aln.s_end
+                );
+                println!("cigar: {}", aln.cigar());
+                println!("identity: {:.2}%", 100.0 * aln.identity());
+                let (qa, mid, sa) = aln.render(&q, &s);
+                for chunk_start in (0..qa.len()).step_by(80) {
+                    let end = (chunk_start + 80).min(qa.len());
+                    println!("Q {}", String::from_utf8_lossy(&qa[chunk_start..end]));
+                    println!("  {}", String::from_utf8_lossy(&mid[chunk_start..end]));
+                    println!("S {}", String::from_utf8_lossy(&sa[chunk_start..end]));
+                }
+            }
+        }};
+    }
+    match kind {
+        "global" => run!(global(scoring), Global),
+        "local" => run!(local(scoring), Local),
+        "semiglobal" => run!(semiglobal(scoring), SemiGlobal),
+        other => {
+            eprintln!("unknown alignment type {other}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Alignment results: edit operations, CIGAR rendering, validation.
+//!
+//! The engines report an [`Alignment`]: the optimal score, the aligned
+//! region of each sequence, and the operation sequence across that region.
+//! [`Alignment::validate`] recomputes the score from the operations — the
+//! workspace's strongest invariant check, used pervasively by tests: an
+//! engine cannot "accidentally" report a score its traceback does not
+//! realize.
+
+use crate::kind::AlignKind;
+use crate::score::Score;
+use crate::scoring::{GapModel, SubstScore};
+use anyseq_seq::Seq;
+use std::fmt;
+
+/// One alignment column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOp {
+    /// Both bases consumed, bases equal (CIGAR `=`).
+    Match,
+    /// Both bases consumed, bases differ (CIGAR `X`).
+    Mismatch,
+    /// Gap in the subject: consumes a query base (CIGAR `I`; the paper's
+    /// `PRED_SKIP_S`).
+    GapS,
+    /// Gap in the query: consumes a subject base (CIGAR `D`; the paper's
+    /// `PRED_SKIP_Q`).
+    GapQ,
+}
+
+impl AlignOp {
+    /// Extended-CIGAR letter for this operation.
+    pub fn cigar_char(self) -> char {
+        match self {
+            AlignOp::Match => '=',
+            AlignOp::Mismatch => 'X',
+            AlignOp::GapS => 'I',
+            AlignOp::GapQ => 'D',
+        }
+    }
+
+    /// Whether the op consumes a query base.
+    #[inline]
+    pub fn consumes_q(self) -> bool {
+        !matches!(self, AlignOp::GapQ)
+    }
+
+    /// Whether the op consumes a subject base.
+    #[inline]
+    pub fn consumes_s(self) -> bool {
+        !matches!(self, AlignOp::GapS)
+    }
+}
+
+/// A pairwise alignment over `q[q_start..q_end]` × `s[s_start..s_end]`.
+///
+/// For global alignments the region is everything; for local and
+/// semi-global alignments the region excludes the unaligned (local) or
+/// free-gap (semi-global) flanks, whose extent is recoverable from the
+/// coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// The optimal score the engine reported.
+    pub score: Score,
+    /// Alignment columns covering exactly the region below.
+    pub ops: Vec<AlignOp>,
+    /// Query region start (0-based, inclusive).
+    pub q_start: usize,
+    /// Query region end (0-based, exclusive).
+    pub q_end: usize,
+    /// Subject region start (0-based, inclusive).
+    pub s_start: usize,
+    /// Subject region end (0-based, exclusive).
+    pub s_end: usize,
+}
+
+/// Validation failure description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignmentError(pub String);
+
+impl fmt::Display for AlignmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid alignment: {}", self.0)
+    }
+}
+
+impl std::error::Error for AlignmentError {}
+
+impl Alignment {
+    /// An empty alignment with the given score (used for local alignments
+    /// of score 0).
+    pub fn empty(score: Score) -> Alignment {
+        Alignment {
+            score,
+            ops: Vec::new(),
+            q_start: 0,
+            q_end: 0,
+            s_start: 0,
+            s_end: 0,
+        }
+    }
+
+    /// Number of alignment columns.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the alignment has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Run-length encoded extended CIGAR (`=`, `X`, `I`, `D`),
+    /// e.g. `"5=1X2I3="`.
+    pub fn cigar(&self) -> String {
+        let mut out = String::new();
+        let mut iter = self.ops.iter().peekable();
+        while let Some(&op) = iter.next() {
+            let mut run = 1usize;
+            while iter.peek() == Some(&&op) {
+                iter.next();
+                run += 1;
+            }
+            out.push_str(&run.to_string());
+            out.push(op.cigar_char());
+        }
+        out
+    }
+
+    /// Fraction of columns that are matches (0 for empty alignments).
+    pub fn identity(&self) -> f64 {
+        if self.ops.is_empty() {
+            return 0.0;
+        }
+        let matches = self
+            .ops
+            .iter()
+            .filter(|&&op| op == AlignOp::Match)
+            .count();
+        matches as f64 / self.ops.len() as f64
+    }
+
+    /// Renders the aligned region as three ASCII rows: query with gaps,
+    /// midline (`|` match, `.` mismatch, space gap), subject with gaps —
+    /// the paper's `qAlign`/`sAlign` output strings.
+    pub fn render(&self, q: &Seq, s: &Seq) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        let mut qa = Vec::with_capacity(self.ops.len());
+        let mut mid = Vec::with_capacity(self.ops.len());
+        let mut sa = Vec::with_capacity(self.ops.len());
+        let mut qi = self.q_start;
+        let mut sj = self.s_start;
+        const LUT: [u8; 5] = [b'A', b'C', b'G', b'T', b'N'];
+        for &op in &self.ops {
+            match op {
+                AlignOp::Match | AlignOp::Mismatch => {
+                    qa.push(LUT[q[qi] as usize]);
+                    sa.push(LUT[s[sj] as usize]);
+                    mid.push(if op == AlignOp::Match { b'|' } else { b'.' });
+                    qi += 1;
+                    sj += 1;
+                }
+                AlignOp::GapS => {
+                    qa.push(LUT[q[qi] as usize]);
+                    sa.push(b'-');
+                    mid.push(b' ');
+                    qi += 1;
+                }
+                AlignOp::GapQ => {
+                    qa.push(b'-');
+                    sa.push(LUT[s[sj] as usize]);
+                    mid.push(b' ');
+                    sj += 1;
+                }
+            }
+        }
+        (qa, mid, sa)
+    }
+
+    /// Recomputes the score of the operation sequence under `gap`/`subst`.
+    pub fn recompute_score<G: GapModel, S: SubstScore>(
+        &self,
+        q: &Seq,
+        s: &Seq,
+        gap: &G,
+        subst: &S,
+    ) -> Score {
+        let mut score: Score = 0;
+        let mut qi = self.q_start;
+        let mut sj = self.s_start;
+        let mut idx = 0usize;
+        while idx < self.ops.len() {
+            match self.ops[idx] {
+                AlignOp::Match | AlignOp::Mismatch => {
+                    score += subst.score(q[qi], s[sj]);
+                    qi += 1;
+                    sj += 1;
+                    idx += 1;
+                }
+                op @ (AlignOp::GapS | AlignOp::GapQ) => {
+                    let mut run = 0usize;
+                    while idx < self.ops.len() && self.ops[idx] == op {
+                        run += 1;
+                        idx += 1;
+                    }
+                    score += gap.gap(run);
+                    if op == AlignOp::GapS {
+                        qi += run;
+                    } else {
+                        sj += run;
+                    }
+                }
+            }
+        }
+        score
+    }
+
+    /// Checks structural and score consistency for kind `K`:
+    ///
+    /// 1. ops consume exactly the declared regions,
+    /// 2. `Match`/`Mismatch` labels agree with the actual bases,
+    /// 3. region boundaries satisfy the kind's conventions,
+    /// 4. the recomputed score equals `self.score`.
+    pub fn validate<K: AlignKind, G: GapModel, S: SubstScore>(
+        &self,
+        q: &Seq,
+        s: &Seq,
+        gap: &G,
+        subst: &S,
+    ) -> Result<(), AlignmentError> {
+        let err = |msg: String| Err(AlignmentError(msg));
+
+        if self.q_start > self.q_end || self.q_end > q.len() {
+            return err(format!(
+                "query region {}..{} out of bounds (len {})",
+                self.q_start,
+                self.q_end,
+                q.len()
+            ));
+        }
+        if self.s_start > self.s_end || self.s_end > s.len() {
+            return err(format!(
+                "subject region {}..{} out of bounds (len {})",
+                self.s_start,
+                self.s_end,
+                s.len()
+            ));
+        }
+
+        let q_used: usize = self.ops.iter().filter(|o| o.consumes_q()).count();
+        let s_used: usize = self.ops.iter().filter(|o| o.consumes_s()).count();
+        if q_used != self.q_end - self.q_start {
+            return err(format!(
+                "ops consume {q_used} query bases but region spans {}",
+                self.q_end - self.q_start
+            ));
+        }
+        if s_used != self.s_end - self.s_start {
+            return err(format!(
+                "ops consume {s_used} subject bases but region spans {}",
+                self.s_end - self.s_start
+            ));
+        }
+
+        // Match/mismatch labels must agree with the data.
+        let mut qi = self.q_start;
+        let mut sj = self.s_start;
+        for (k, &op) in self.ops.iter().enumerate() {
+            match op {
+                AlignOp::Match if q[qi] != s[sj] => {
+                    return err(format!("op {k} labelled Match but bases differ"));
+                }
+                AlignOp::Mismatch if q[qi] == s[sj] => {
+                    return err(format!("op {k} labelled Mismatch but bases equal"));
+                }
+                _ => {}
+            }
+            if op.consumes_q() {
+                qi += 1;
+            }
+            if op.consumes_s() {
+                sj += 1;
+            }
+        }
+
+        // Kind conventions for the region.
+        use crate::kind::OptRegion;
+        match K::OPT {
+            OptRegion::Corner => {
+                if self.q_start != 0
+                    || self.s_start != 0
+                    || self.q_end != q.len()
+                    || self.s_end != s.len()
+                {
+                    return err("global alignment must span both sequences".into());
+                }
+            }
+            OptRegion::Border => {
+                if K::FREE_BEGIN {
+                    if !self.is_empty() && self.q_start != 0 && self.s_start != 0 {
+                        return err(
+                            "semi-global alignment must start on a sequence boundary".into(),
+                        );
+                    }
+                } else if !self.is_empty() && (self.q_start != 0 || self.s_start != 0) {
+                    return err("free-end alignment must start at the origin".into());
+                }
+                if !self.is_empty() && self.q_end != q.len() && self.s_end != s.len() {
+                    return err("border-kind alignment must end on a sequence boundary".into());
+                }
+            }
+            OptRegion::Anywhere => {
+                if self.score < 0 {
+                    return err(format!(
+                        "{} score {} is negative",
+                        K::NAME,
+                        self.score
+                    ));
+                }
+                if !K::FREE_BEGIN && (self.q_start != 0 || self.s_start != 0) {
+                    return err("extension alignment must start at the origin".into());
+                }
+            }
+        }
+
+        let recomputed = self.recompute_score(q, s, gap, subst);
+        if recomputed != self.score {
+            return err(format!(
+                "reported score {} but operations recompute to {recomputed} (cigar {})",
+                self.score,
+                self.cigar()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{Global, Local};
+    use crate::scoring::{simple, AffineGap, LinearGap};
+
+    fn seq(text: &[u8]) -> Seq {
+        Seq::from_ascii(text).unwrap()
+    }
+
+    fn manual(score: Score, ops: Vec<AlignOp>, qr: (usize, usize), sr: (usize, usize)) -> Alignment {
+        Alignment {
+            score,
+            ops,
+            q_start: qr.0,
+            q_end: qr.1,
+            s_start: sr.0,
+            s_end: sr.1,
+        }
+    }
+
+    #[test]
+    fn cigar_run_length_encoding() {
+        use AlignOp::*;
+        let a = manual(0, vec![Match, Match, Mismatch, GapS, GapS, Match], (0, 5), (0, 4));
+        assert_eq!(a.cigar(), "2=1X2I1=");
+    }
+
+    #[test]
+    fn recompute_simple_global() {
+        use AlignOp::*;
+        let q = seq(b"ACGT");
+        let s = seq(b"AGGT");
+        let gap = LinearGap { gap: -1 };
+        let subst = simple(2, -1);
+        let a = manual(5, vec![Match, Mismatch, Match, Match], (0, 4), (0, 4));
+        assert_eq!(a.recompute_score(&q, &s, &gap, &subst), 5);
+        a.validate::<Global, _, _>(&q, &s, &gap, &subst).unwrap();
+    }
+
+    #[test]
+    fn recompute_affine_gap_runs() {
+        use AlignOp::*;
+        let q = seq(b"AACC");
+        let s = seq(b"AA");
+        let gap = AffineGap {
+            open: -3,
+            extend: -1,
+        };
+        let subst = simple(2, -2);
+        // AA matched, CC deleted: 4 + (-3 - 2) = -1
+        let a = manual(-1, vec![Match, Match, GapS, GapS], (0, 4), (0, 2));
+        assert_eq!(a.recompute_score(&q, &s, &gap, &subst), -1);
+        a.validate::<Global, _, _>(&q, &s, &gap, &subst).unwrap();
+    }
+
+    #[test]
+    fn two_separate_gaps_pay_two_opens() {
+        use AlignOp::*;
+        let q = seq(b"ACA");
+        let s = seq(b"AA");
+        let gap = AffineGap {
+            open: -3,
+            extend: -1,
+        };
+        let subst = simple(2, -2);
+        // A= , C del, A=, then an extra subject gap? Construct: = I = then D?
+        let a = manual(0, vec![Match, GapS, Match, GapQ], (0, 3), (0, 2));
+        // 2 - 4 + 2 - 4 = -4
+        assert_eq!(a.recompute_score(&q, &s, &gap, &subst), -4);
+    }
+
+    #[test]
+    fn validate_rejects_wrong_score() {
+        use AlignOp::*;
+        let q = seq(b"AC");
+        let s = seq(b"AC");
+        let gap = LinearGap { gap: -1 };
+        let subst = simple(2, -1);
+        let a = manual(99, vec![Match, Match], (0, 2), (0, 2));
+        assert!(a.validate::<Global, _, _>(&q, &s, &gap, &subst).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_mislabeled_ops() {
+        use AlignOp::*;
+        let q = seq(b"AC");
+        let s = seq(b"AG");
+        let gap = LinearGap { gap: -1 };
+        let subst = simple(2, -1);
+        let a = manual(4, vec![Match, Match], (0, 2), (0, 2));
+        assert!(a.validate::<Global, _, _>(&q, &s, &gap, &subst).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_region_mismatch() {
+        use AlignOp::*;
+        let q = seq(b"ACGT");
+        let s = seq(b"ACGT");
+        let gap = LinearGap { gap: -1 };
+        let subst = simple(2, -1);
+        let a = manual(4, vec![Match, Match], (0, 4), (0, 4));
+        assert!(a.validate::<Global, _, _>(&q, &s, &gap, &subst).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_negative_local() {
+        let q = seq(b"A");
+        let s = seq(b"A");
+        let gap = LinearGap { gap: -1 };
+        let subst = simple(2, -1);
+        let a = Alignment::empty(-5);
+        assert!(a.validate::<Local, _, _>(&q, &s, &gap, &subst).is_err());
+    }
+
+    #[test]
+    fn render_shows_gaps_and_midline() {
+        use AlignOp::*;
+        let q = seq(b"ACG");
+        let s = seq(b"AG");
+        let a = manual(0, vec![Match, GapS, Match], (0, 3), (0, 2));
+        let (qa, mid, sa) = a.render(&q, &s);
+        assert_eq!(qa, b"ACG");
+        assert_eq!(mid, b"| |");
+        assert_eq!(sa, b"A-G");
+    }
+
+    #[test]
+    fn identity_fraction() {
+        use AlignOp::*;
+        let a = manual(0, vec![Match, Mismatch, Match, GapQ], (0, 3), (0, 4));
+        assert!((a.identity() - 0.5).abs() < 1e-12);
+        assert_eq!(Alignment::empty(0).identity(), 0.0);
+    }
+}

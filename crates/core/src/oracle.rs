@@ -1,0 +1,158 @@
+//! Deliberately naive reference implementation — the testing oracle.
+//!
+//! This module re-derives the optimum **directly from the paper's
+//! equations** (1)–(5) with fully materialized `H`/`E`/`F` matrices in
+//! `i64`, sharing *no* code with the optimized engines (no tile kernel, no
+//! rolling rows, no relax function). Every engine in the workspace is
+//! cross-checked against it; a bug would have to be made twice, in two
+//! different formulations, to slip through.
+//!
+//! Only use on small inputs: memory is `3·(n+1)·(m+1)` `i64`s.
+
+use crate::kind::{AlignKind, OptRegion};
+use crate::relax::BestCell;
+use crate::score::Score;
+use crate::scoring::{GapModel, SubstScore};
+
+const INF: i64 = i64::MIN / 4;
+
+/// Optimal score and its 1-based end cell for kind `K`, computed naively.
+///
+/// Conventions (identical to the engines'): local optima of value ≤ 0
+/// report `(0, (0,0))`; border kinds consider the border initialization
+/// cells `(0, m)` / `(n, 0)` as endpoints; extension kinds consider the
+/// empty prefix; ties break toward smaller `i`, then smaller `j`.
+pub fn oracle_score<K, G, S>(gap: &G, subst: &S, q: &[u8], s: &[u8]) -> (Score, (usize, usize))
+where
+    K: AlignKind,
+    G: GapModel,
+    S: SubstScore,
+{
+    let n = q.len();
+    let m = s.len();
+    let open = gap.open() as i64;
+    let ext = gap.extend() as i64;
+    let width = m + 1;
+    let idx = |i: usize, j: usize| i * width + j;
+
+    let mut h = vec![INF; (n + 1) * (m + 1)];
+    let mut e = vec![INF; (n + 1) * (m + 1)];
+    let mut f = vec![INF; (n + 1) * (m + 1)];
+
+    // Initialization exactly as the paper lists it (§III-A), with the
+    // never-read entries left at −∞.
+    h[idx(0, 0)] = 0;
+    for j in 1..=m {
+        h[idx(0, j)] = if K::FREE_BEGIN { 0 } else { open + j as i64 * ext };
+        e[idx(0, j)] = INF;
+        f[idx(0, j)] = open + j as i64 * ext;
+    }
+    for i in 1..=n {
+        h[idx(i, 0)] = if K::FREE_BEGIN { 0 } else { open + i as i64 * ext };
+        e[idx(i, 0)] = open + i as i64 * ext;
+        f[idx(i, 0)] = INF;
+    }
+
+    for i in 1..=n {
+        for j in 1..=m {
+            // Equations (4)/(5); for linear models open() == 0 makes this
+            // identical to Equations (2)/(3) because H dominates E and F.
+            e[idx(i, j)] = (e[idx(i - 1, j)] + ext).max(h[idx(i - 1, j)] + open + ext);
+            f[idx(i, j)] = (f[idx(i, j - 1)] + ext).max(h[idx(i, j - 1)] + open + ext);
+            // Equation (1).
+            let mut best = h[idx(i - 1, j - 1)] + subst.score(q[i - 1], s[j - 1]) as i64;
+            best = best.max(e[idx(i, j)]).max(f[idx(i, j)]);
+            if K::NU_ZERO {
+                best = best.max(0);
+            }
+            h[idx(i, j)] = best;
+        }
+    }
+
+    let mut best = BestCell::empty();
+    match K::OPT {
+        OptRegion::Corner => {
+            return (h[idx(n, m)] as Score, (n, m));
+        }
+        OptRegion::Border => {
+            for i in 1..=n {
+                best.update(h[idx(i, m)] as Score, i, m);
+            }
+            for j in 1..=m {
+                best.update(h[idx(n, j)] as Score, n, j);
+            }
+            best.update(h[idx(0, m)] as Score, 0, m);
+            best.update(h[idx(n, 0)] as Score, n, 0);
+        }
+        OptRegion::Anywhere => {
+            for i in 1..=n {
+                for j in 1..=m {
+                    best.update(h[idx(i, j)] as Score, i, j);
+                }
+            }
+            if !K::NU_ZERO {
+                best.update(0, 0, 0);
+            }
+        }
+    }
+    if K::NU_ZERO && best.score <= 0 {
+        return (0, (0, 0));
+    }
+    (best.score, (best.i, best.j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{Global, Local, SemiGlobal};
+    use crate::scoring::{simple, AffineGap, LinearGap};
+
+    fn codes(text: &[u8]) -> Vec<u8> {
+        anyseq_seq::Seq::from_ascii(text).unwrap().codes().to_vec()
+    }
+
+    #[test]
+    fn global_hand_checked() {
+        let gap = LinearGap { gap: -1 };
+        let subst = simple(2, -1);
+        let (score, end) =
+            oracle_score::<Global, _, _>(&gap, &subst, &codes(b"ACGT"), &codes(b"AGT"));
+        assert_eq!(score, 5);
+        assert_eq!(end, (4, 3));
+    }
+
+    #[test]
+    fn local_hand_checked() {
+        let gap = LinearGap { gap: -2 };
+        let subst = simple(2, -3);
+        let (score, _) =
+            oracle_score::<Local, _, _>(&gap, &subst, &codes(b"TTACGTTT"), &codes(b"GGACGTGG"));
+        assert_eq!(score, 8);
+    }
+
+    #[test]
+    fn semiglobal_negative_case_is_zero() {
+        let gap = LinearGap { gap: -2 };
+        let subst = simple(2, -3);
+        let (score, end) =
+            oracle_score::<SemiGlobal, _, _>(&gap, &subst, &codes(b"A"), &codes(b"C"));
+        assert_eq!(score, 0);
+        assert_eq!(end, (0, 1));
+    }
+
+    #[test]
+    fn affine_gap_run() {
+        let gap = AffineGap {
+            open: -4,
+            extend: -1,
+        };
+        let subst = simple(2, -1);
+        let (score, _) = oracle_score::<Global, _, _>(
+            &gap,
+            &subst,
+            &codes(b"ACGTTTACGT"),
+            &codes(b"ACGACGT"),
+        );
+        assert_eq!(score, 7 * 2 - 4 - 3);
+    }
+}

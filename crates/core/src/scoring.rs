@@ -1,0 +1,273 @@
+//! Substitution functions and gap models — the compile-time scoring
+//! parameters of the scheme (paper §III, "scoring scheme").
+//!
+//! In AnySeq these are *function values* handed to higher-order functions
+//! and removed by partial evaluation (`simple_subst_scoring(2,-1)` returns
+//! a lambda that the evaluator folds into the relaxation). The Rust analog
+//! is a trait implemented by zero-cost value types: `relax::<K, G, S>` is
+//! monomorphized per `(G, S)` pair, so e.g. a [`LinearGap`] scheme compiles
+//! to code with **no** E/F matrix traffic at all — the same specialization
+//! the paper gets from PE (`G::AFFINE` is a `const`, the dead branch is
+//! eliminated at compile time).
+
+use crate::score::Score;
+use anyseq_seq::alphabet::ALPHABET_SIZE;
+
+/// A substitution function σ over base-code pairs.
+pub trait SubstScore: Copy + Send + Sync + 'static {
+    /// Score of aligning query code `q` against subject code `s`.
+    fn score(&self, q: u8, s: u8) -> Score;
+
+    /// Largest value σ can take (used for SIMD range analysis, §IV-A).
+    fn max_score(&self) -> Score;
+
+    /// Smallest value σ can take.
+    fn min_score(&self) -> Score;
+}
+
+/// Match/mismatch scoring (paper: `simple_subst_scoring(2, -1)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimpleSubst {
+    /// Score when the bases are equal.
+    pub matches: Score,
+    /// Score when the bases differ.
+    pub mismatch: Score,
+}
+
+impl SubstScore for SimpleSubst {
+    #[inline(always)]
+    fn score(&self, q: u8, s: u8) -> Score {
+        if q == s {
+            self.matches
+        } else {
+            self.mismatch
+        }
+    }
+
+    fn max_score(&self) -> Score {
+        self.matches.max(self.mismatch)
+    }
+
+    fn min_score(&self) -> Score {
+        self.matches.min(self.mismatch)
+    }
+}
+
+/// Substitution-matrix scoring: σ read from a dense lookup table
+/// (paper: "a substitution function that reads scores from a lookup table").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixSubst {
+    /// `table[q][s]` is σ(q, s).
+    pub table: [[Score; ALPHABET_SIZE]; ALPHABET_SIZE],
+}
+
+impl MatrixSubst {
+    /// Builds a matrix equivalent to [`SimpleSubst`] with `N` treated as a
+    /// wildcard scoring `n_score` against everything (a common DNA policy).
+    pub fn dna(matches: Score, mismatch: Score, n_score: Score) -> MatrixSubst {
+        let mut table = [[mismatch; ALPHABET_SIZE]; ALPHABET_SIZE];
+        for (q, row) in table.iter_mut().enumerate() {
+            for (s, cell) in row.iter_mut().enumerate() {
+                if q == 4 || s == 4 {
+                    *cell = n_score;
+                } else if q == s {
+                    *cell = matches;
+                }
+            }
+        }
+        MatrixSubst { table }
+    }
+}
+
+impl SubstScore for MatrixSubst {
+    #[inline(always)]
+    fn score(&self, q: u8, s: u8) -> Score {
+        self.table[q as usize][s as usize]
+    }
+
+    fn max_score(&self) -> Score {
+        self.table.iter().flatten().copied().max().unwrap()
+    }
+
+    fn min_score(&self) -> Score {
+        self.table.iter().flatten().copied().min().unwrap()
+    }
+}
+
+/// A gap penalty model. Costs are expressed as (non-positive) *scores*:
+/// a gap of length `k ≥ 1` contributes `open() + k · extend()`.
+///
+/// The paper's linear model `g` is `open() = 0, extend() = −g`; the affine
+/// model `Go + k·Ge` is `open() = −Go, extend() = −Ge` (sign-flipped into
+/// score space).
+pub trait GapModel: Copy + Send + Sync + 'static {
+    /// `true` for affine models: the engines then maintain the auxiliary
+    /// E/F matrices of Equations (4)–(5). For `false` the E/F code paths
+    /// are removed at compile time (monomorphization = partial evaluation).
+    const AFFINE: bool;
+
+    /// One-time score contribution for opening a gap (≤ 0).
+    fn open(&self) -> Score;
+
+    /// Per-base score contribution of a gap (≤ 0, usually < 0).
+    fn extend(&self) -> Score;
+
+    /// Total score of a gap of length `k` (0 for `k == 0`).
+    #[inline(always)]
+    fn gap(&self, k: usize) -> Score {
+        if k == 0 {
+            0
+        } else {
+            self.open() + (k as Score) * self.extend()
+        }
+    }
+}
+
+/// Linear gap penalties: every gap base costs `gap` (Equation (2)–(3)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearGap {
+    /// Per-base gap score (≤ 0).
+    pub gap: Score,
+}
+
+impl GapModel for LinearGap {
+    const AFFINE: bool = false;
+
+    #[inline(always)]
+    fn open(&self) -> Score {
+        0
+    }
+
+    #[inline(always)]
+    fn extend(&self) -> Score {
+        self.gap
+    }
+}
+
+/// Affine gap penalties (Gotoh; Equations (4)–(5)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffineGap {
+    /// Gap-open score (≤ 0); the paper's `−Go`.
+    pub open: Score,
+    /// Gap-extension score per base (≤ 0); the paper's `−Ge`.
+    pub extend: Score,
+}
+
+impl GapModel for AffineGap {
+    const AFFINE: bool = true;
+
+    #[inline(always)]
+    fn open(&self) -> Score {
+        self.open
+    }
+
+    #[inline(always)]
+    fn extend(&self) -> Score {
+        self.extend
+    }
+}
+
+/// A complete scoring scheme: substitution function + gap model
+/// (paper: `linear_gap_scoring(simple_subst_scoring(2,-1), -1)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scoring<G: GapModel, S: SubstScore> {
+    /// Gap model.
+    pub gap: G,
+    /// Substitution function.
+    pub subst: S,
+}
+
+/// Builds a [`SimpleSubst`] (paper's `simple_subst_scoring`).
+pub fn simple(matches: Score, mismatch: Score) -> SimpleSubst {
+    SimpleSubst { matches, mismatch }
+}
+
+/// Combines a substitution function with linear gap penalties
+/// (paper's `linear_gap_scoring`). `gap` must be ≤ 0.
+pub fn linear<S: SubstScore>(subst: S, gap: Score) -> Scoring<LinearGap, S> {
+    assert!(gap <= 0, "gap score must be non-positive, got {gap}");
+    Scoring {
+        gap: LinearGap { gap },
+        subst,
+    }
+}
+
+/// Combines a substitution function with affine gap penalties.
+/// Both `open` and `extend` must be ≤ 0.
+pub fn affine<S: SubstScore>(subst: S, open: Score, extend: Score) -> Scoring<AffineGap, S> {
+    assert!(open <= 0, "gap open score must be non-positive, got {open}");
+    assert!(
+        extend <= 0,
+        "gap extend score must be non-positive, got {extend}"
+    );
+    Scoring {
+        gap: AffineGap { open, extend },
+        subst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_subst_scores() {
+        let s = simple(2, -1);
+        assert_eq!(s.score(0, 0), 2);
+        assert_eq!(s.score(0, 3), -1);
+        assert_eq!(s.max_score(), 2);
+        assert_eq!(s.min_score(), -1);
+    }
+
+    #[test]
+    fn matrix_subst_matches_simple_on_acgt() {
+        let m = MatrixSubst::dna(2, -1, -1);
+        let s = simple(2, -1);
+        for q in 0..4u8 {
+            for t in 0..4u8 {
+                assert_eq!(m.score(q, t), s.score(q, t));
+            }
+        }
+        assert_eq!(m.score(4, 0), -1);
+        assert_eq!(m.score(2, 4), -1);
+    }
+
+    #[test]
+    fn linear_gap_costs() {
+        let g = LinearGap { gap: -1 };
+        assert_eq!(g.gap(0), 0);
+        assert_eq!(g.gap(1), -1);
+        assert_eq!(g.gap(5), -5);
+        assert!(!LinearGap::AFFINE);
+    }
+
+    #[test]
+    fn affine_gap_costs() {
+        let g = AffineGap {
+            open: -2,
+            extend: -1,
+        };
+        assert_eq!(g.gap(0), 0);
+        assert_eq!(g.gap(1), -3);
+        assert_eq!(g.gap(4), -6);
+        assert!(AffineGap::AFFINE);
+    }
+
+    #[test]
+    fn affine_with_zero_open_equals_linear() {
+        let a = AffineGap {
+            open: 0,
+            extend: -3,
+        };
+        let l = LinearGap { gap: -3 };
+        for k in 0..10 {
+            assert_eq!(a.gap(k), l.gap(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn positive_gap_rejected() {
+        let _ = linear(simple(2, -1), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Golden tests: alignment scores and tracebacks verified by hand (or
+//! against well-known textbook examples), pinned exactly. These protect
+//! against silent regressions that the relative (engine-vs-oracle) tests
+//! cannot see, e.g. a systematic off-by-one both implementations share.
+
+use anyseq_core::kind::{FreeEnd, Global, Local, SemiGlobal};
+use anyseq_core::prelude::*;
+use anyseq_seq::Seq;
+
+fn seq(t: &[u8]) -> Seq {
+    Seq::from_ascii(t).unwrap()
+}
+
+/// Classic textbook pair: GATTACA vs GCATGCT, match +1, mismatch −1,
+/// linear gap −1. The global optimum is 0 (e.g. G-ATTACA / GCAT-GCT
+/// variants); verified by hand against the standard NW matrix.
+#[test]
+fn needleman_wunsch_textbook() {
+    let scheme = global(linear(simple(1, -1), -1));
+    let q = seq(b"GATTACA");
+    let s = seq(b"GCATGCT");
+    assert_eq!(scheme.score(&q, &s), 0);
+    let aln = scheme.align(&q, &s);
+    assert_eq!(aln.score, 0);
+    aln.validate::<Global, _, _>(&q, &s, scheme.gap(), scheme.subst())
+        .unwrap();
+}
+
+/// The Smith–Waterman 1981 example shape: local alignment of
+/// AAUGCCAUUGACGG vs CAGCCUCGCUUAG (as DNA), +1/−1/3 gap −1... we pin the
+/// simpler canonical case TGTTACGG vs GGTTGACTA with +3/−3, gap −2
+/// (Wikipedia's worked example): optimal local score 13, alignment
+/// GTT-AC / GTTGAC.
+#[test]
+fn smith_waterman_worked_example() {
+    let scheme = local(linear(simple(3, -3), -2));
+    let q = seq(b"TGTTACGG");
+    let s = seq(b"GGTTGACTA");
+    let (score, _end) = scheme.score_with_end(&q, &s);
+    assert_eq!(score, 13);
+    let aln = scheme.align(&q, &s);
+    assert_eq!(aln.score, 13);
+    assert_eq!(aln.cigar(), "3=1D2=");
+    // q region GTTAC (1..6), s region GTTGAC (1..7)
+    assert_eq!((aln.q_start, aln.q_end), (1, 6));
+    assert_eq!((aln.s_start, aln.s_end), (1, 7));
+    aln.validate::<Local, _, _>(&q, &s, scheme.gap(), scheme.subst())
+        .unwrap();
+}
+
+/// Gotoh affine example, hand-computed: q = ACACT, s = AT, open −5,
+/// extend −1, match +2, mismatch −3.
+/// Best: A≈A (+2), CAC deleted (−5−3), T≈T (+2) = −4.
+#[test]
+fn gotoh_affine_hand_computed() {
+    let scheme = global(affine(simple(2, -3), -5, -1));
+    let q = seq(b"ACACT");
+    let s = seq(b"AT");
+    assert_eq!(scheme.score(&q, &s), -4);
+    let aln = scheme.align(&q, &s);
+    assert_eq!(aln.cigar(), "1=3I1=");
+    aln.validate::<Global, _, _>(&q, &s, scheme.gap(), scheme.subst())
+        .unwrap();
+}
+
+/// Semi-global: primer contained in a template, zero-cost overhangs.
+#[test]
+fn semiglobal_primer_in_template() {
+    let scheme = semiglobal(linear(simple(1, -2), -2));
+    let template = seq(b"GGGGGGACGTACGTGGGGGG");
+    let primer = seq(b"ACGTACGT");
+    assert_eq!(scheme.score(&template, &primer), 8);
+    let aln = scheme.align(&template, &primer);
+    assert_eq!(aln.cigar(), "8=");
+    assert_eq!((aln.q_start, aln.q_end), (6, 14));
+    aln.validate::<SemiGlobal, _, _>(&template, &primer, scheme.gap(), scheme.subst())
+        .unwrap();
+}
+
+/// Free-end: adapter detection — shared prefix then divergence; one
+/// sequence must still be fully consumed.
+#[test]
+fn free_end_adapter() {
+    let scheme = free_end(linear(simple(1, -2), -1));
+    let read = seq(b"ACGTACGTTTTTTTTTTTTTTTT");
+    let adapter = seq(b"ACGTACGT");
+    // Adapter fully consumed at its end: 8 matches, read overhang free.
+    assert_eq!(scheme.score(&read, &adapter), 8);
+    let aln = scheme.align(&read, &adapter);
+    assert_eq!(aln.cigar(), "8=");
+    aln.validate::<FreeEnd, _, _>(&read, &adapter, scheme.gap(), scheme.subst())
+        .unwrap();
+}
+
+/// Paper parameterization (+2/−1, linear −1) on a pinned random-ish pair:
+/// the exact value locks the whole engine stack.
+#[test]
+fn paper_scoring_pinned_value() {
+    let scheme = global(linear(simple(2, -1), -1));
+    let q = seq(b"ACGTTGCAACGTACGTTGCA");
+    let s = seq(b"ACGTGCAACGGTACGTTGA");
+    assert_eq!(scheme.score(&q, &s), 33);
+    let aff = global(affine(simple(2, -1), -2, -1));
+    assert_eq!(aff.score(&q, &s), 27);
+}
+
+/// N bases behave like ordinary mismatching letters under SimpleSubst
+/// (N == N matches!) and per-table under MatrixSubst.
+#[test]
+fn n_base_scoring_semantics() {
+    let q = seq(b"ANNA");
+    let s = seq(b"ANNA");
+    assert_eq!(global(linear(simple(2, -1), -1)).score(&q, &s), 8);
+    let wild = global(linear(MatrixSubst::dna(2, -1, 0), -1));
+    // N columns score 0: 2 + 0 + 0 + 2
+    assert_eq!(wild.score(&q, &s), 4);
+}
+
+/// Empty-vs-empty and empty-vs-nonempty across all kinds.
+#[test]
+fn empty_sequence_matrix() {
+    let e = Seq::new();
+    let a = seq(b"ACGT");
+    let sc = affine(simple(2, -1), -2, -1);
+    assert_eq!(global(sc).score(&e, &e), 0);
+    assert_eq!(global(sc).score(&a, &e), -6);
+    assert_eq!(global(sc).score(&e, &a), -6);
+    assert_eq!(local(sc).score(&a, &e), 0);
+    assert_eq!(semiglobal(sc).score(&e, &a), 0);
+    assert_eq!(free_end(sc).score(&e, &a), 0);
+    for aln in [
+        global(sc).align(&a, &e),
+        local(sc).align(&a, &e),
+        semiglobal(sc).align(&a, &e),
+    ] {
+        assert!(aln.len() <= 4);
+    }
+}
+
+/// Single-base cells: the smallest real DP matrix.
+#[test]
+fn single_base_cases() {
+    let a = seq(b"A");
+    let c = seq(b"C");
+    let sc = affine(simple(2, -3), -2, -1);
+    assert_eq!(global(sc).score(&a, &a), 2);
+    assert_eq!(global(sc).score(&a, &c), -3); // mismatch beats two gaps (−6)
+    assert_eq!(local(sc).score(&a, &c), 0);
+    assert_eq!(semiglobal(sc).score(&a, &c), 0);
+}

@@ -1,0 +1,16 @@
+//! # anyseq-fpga-sim — systolic-array FPGA simulator
+//!
+//! Substitute for the paper's Xilinx ZCU104 HLS backend (§IV-C): a
+//! value-faithful, cycle-counted linear array of processing elements —
+//! query block latched into the PEs, subject streamed through the chain,
+//! one cell per PE per clock, stripe boundaries buffered through a
+//! modeled DDR FIFO. The cycle count is exact for the array; the DDR
+//! stream is a calibrated bandwidth model reproducing the paper's
+//! transfer-bound observation. [`power`] carries the Table II
+//! GCUPS-per-watt accounting.
+
+pub mod array;
+pub mod power;
+
+pub use array::{FpgaRun, FpgaStats, SystolicArray};
+pub use power::{gcups_per_watt, table2_devices, DevicePower};

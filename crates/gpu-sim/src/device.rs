@@ -1,0 +1,151 @@
+//! GPU device descriptions and the analytic cost model.
+//!
+//! The paper evaluates on an NVIDIA Titan V. Without CUDA hardware we
+//! execute the *same kernel structure* functionally (see
+//! [`crate::kernel`]) and charge each operation to an analytic cycle
+//! model whose constants are documented here. Absolute GCUPS therefore
+//! depend on the calibration constants, but the *relative* effects the
+//! paper reports — striping and coalescing win, affine costs extra
+//! memory traffic, 32-bit arithmetic on the GPU — emerge from the
+//! executed structure, not from the constants.
+
+/// Overlap factor for global-memory transactions: the cost model charges
+/// `transactions × transaction_cycles / MEMORY_PARALLELISM`, i.e. this
+/// many transactions are assumed in flight concurrently device-wide.
+pub const MEMORY_PARALLELISM: f64 = 8.0;
+
+/// A modeled CUDA-class device.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Resident blocks per SM (occupancy).
+    pub blocks_per_sm: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Shared-memory capacity per block in bytes.
+    pub shared_bytes: usize,
+    /// Issue cycles charged per warp per DP cell update (the fused
+    /// max/add chain of the relaxation; ~8 instructions on Volta).
+    pub cell_cycles: f64,
+    /// Extra issue cycles per warp per cell for affine gap models
+    /// (the E/F updates double the arithmetic + shared traffic).
+    pub affine_extra_cycles: f64,
+    /// Cycles per 32-byte global-memory transaction (amortized
+    /// latency/bandwidth cost at high occupancy).
+    pub transaction_cycles: f64,
+    /// Cycles per block-wide synchronization (one per diagonal step).
+    pub sync_cycles: f64,
+    /// Host-side kernel launch overhead in cycles (one per wavefront
+    /// diagonal — the paper's host "starts a GPU kernel for each
+    /// diagonal").
+    pub launch_cycles: f64,
+}
+
+impl Device {
+    /// A Titan V-like device (80 SMs, 1.455 GHz boost, 96 KiB shared per
+    /// SM of which 48 KiB usable per block by default).
+    pub fn titan_v() -> Device {
+        Device {
+            name: "TitanV-sim".to_string(),
+            sm_count: 80,
+            blocks_per_sm: 2,
+            warp_size: 32,
+            clock_ghz: 1.455,
+            shared_bytes: 48 * 1024,
+            cell_cycles: 8.0,
+            affine_extra_cycles: 4.0,
+            transaction_cycles: 8.0,
+            sync_cycles: 20.0,
+            launch_cycles: 6000.0,
+        }
+    }
+
+    /// Concurrent blocks the device can run.
+    pub fn concurrent_blocks(&self) -> usize {
+        self.sm_count * self.blocks_per_sm
+    }
+}
+
+/// Aggregate execution statistics of a simulated GPU computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GpuStats {
+    /// DP cells relaxed.
+    pub cells: u64,
+    /// Modeled device cycles.
+    pub cycles: f64,
+    /// Global-memory transactions (32-byte segments).
+    pub transactions: u64,
+    /// Kernel launches (one per tile diagonal).
+    pub launches: u64,
+    /// Block executions.
+    pub blocks: u64,
+    /// Warp-step work items issued (incl. divergence waste).
+    pub warp_steps: u64,
+    /// Peak shared memory used by any block, in bytes.
+    pub peak_shared_bytes: usize,
+}
+
+impl GpuStats {
+    /// Merges another stats record (e.g. from a second pass).
+    pub fn merge(&mut self, o: &GpuStats) {
+        self.cells += o.cells;
+        self.cycles += o.cycles;
+        self.transactions += o.transactions;
+        self.launches += o.launches;
+        self.blocks += o.blocks;
+        self.warp_steps += o.warp_steps;
+        self.peak_shared_bytes = self.peak_shared_bytes.max(o.peak_shared_bytes);
+    }
+
+    /// Modeled wall time in seconds on `device`.
+    pub fn seconds(&self, device: &Device) -> f64 {
+        self.cycles / (device.clock_ghz * 1e9)
+    }
+
+    /// Modeled giga cell updates per second.
+    pub fn gcups(&self, device: &Device) -> f64 {
+        let t = self.seconds(device);
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.cells as f64 / t / 1e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_v_plausible() {
+        let d = Device::titan_v();
+        assert_eq!(d.concurrent_blocks(), 160);
+        assert!(d.shared_bytes >= 32 * 1024);
+    }
+
+    #[test]
+    fn stats_merge_and_gcups() {
+        let d = Device::titan_v();
+        let mut a = GpuStats {
+            cells: 1_000_000,
+            cycles: 1e6,
+            transactions: 10,
+            launches: 1,
+            blocks: 2,
+            warp_steps: 100,
+            peak_shared_bytes: 1024,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.cells, 2_000_000);
+        assert_eq!(a.launches, 2);
+        // 2e6 cells in 2e6 cycles at 1.455 GHz = 1.455 GCUPS.
+        assert!((a.gcups(&d) - 1.455).abs() < 1e-9);
+    }
+}

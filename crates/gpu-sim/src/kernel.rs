@@ -1,0 +1,430 @@
+//! The AnySeq GPU tile kernel, executed functionally (paper §IV-B,
+//! Fig. 4): one thread-block per tile; the tile is processed in
+//! *stripes* of height = block threads; within a stripe, threads relax
+//! anti-diagonals in lockstep; the row buffer above the stripe is
+//! reused in place for the stripe's bottom row ("re-use the memory cells
+//! with the values of the uppermost row that are no longer needed");
+//! computation is split into head/body/tail parts "to avoid branch
+//! divergence".
+//!
+//! The emulation is value-faithful: every shared-memory buffer of the
+//! real kernel exists here with the same indexing and reuse discipline,
+//! and the result is asserted bit-equal to the scalar tile kernel in
+//! tests. Cost counters (warp steps, transactions, shared bytes) ride
+//! along and feed the [`crate::device`] model.
+
+use crate::device::{Device, GpuStats};
+use crate::mem::{MemTracker, SharedMem};
+use anyseq_core::score::{Score, NEG_INF};
+use anyseq_core::scoring::{GapModel, SubstScore};
+
+/// Kernel structure variants (the NVBio-like baseline flips these off).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelShape {
+    /// Threads per block = stripe height.
+    pub block_threads: usize,
+    /// Split diagonal loops into head/body/tail (no divergence) instead
+    /// of one guarded loop (paper's three parts).
+    pub phased: bool,
+    /// Use the coalesced border layout for global reads/writes.
+    pub coalesced: bool,
+}
+
+impl Default for KernelShape {
+    fn default() -> Self {
+        KernelShape {
+            block_threads: 64,
+            phased: true,
+            coalesced: true,
+        }
+    }
+}
+
+/// Boundary stripes of one tile (mirrors `anyseq_core::tile`).
+pub struct GpuTileIo<'a> {
+    /// `H(i0−1, j0−1..=j1)`, length `w+1`; becomes the bottom stripe.
+    pub h_row: &'a mut [Score],
+    /// `E(i0−1, j0..=j1)`, length `w` (affine only); becomes bottom `E`.
+    pub e_row: &'a mut [Score],
+    /// `H(i0..=i1, j0−1)`, length `h`; becomes the right stripe.
+    pub h_col: &'a mut [Score],
+    /// `F(i0..=i1, j0−1)`, length `h` (affine only); becomes right `F`.
+    pub f_col: &'a mut [Score],
+}
+
+/// Relaxes one tile with the striped block kernel, updating `io` in
+/// place and charging costs to `stats`.
+pub fn striped_tile_kernel<G, S>(
+    device: &Device,
+    shape: &KernelShape,
+    gap: &G,
+    subst: &S,
+    q_tile: &[u8],
+    s_tile: &[u8],
+    io: GpuTileIo<'_>,
+    stats: &mut GpuStats,
+    mem: &mut MemTracker,
+) where
+    G: GapModel,
+    S: SubstScore,
+{
+    let th = q_tile.len();
+    let tw = s_tile.len();
+    assert!(th > 0 && tw > 0);
+    assert_eq!(io.h_row.len(), tw + 1);
+    assert_eq!(io.h_col.len(), th);
+    if G::AFFINE {
+        assert_eq!(io.e_row.len(), tw);
+        assert_eq!(io.f_col.len(), th);
+    }
+
+    let sh_max = shape.block_threads.min(th);
+    let warp = device.warp_size;
+
+    // --- Shared memory plan (checked against the device budget) -------
+    let mut shared = SharedMem::new();
+    shared.alloc(tw); // subject segment (paper: "segments of the input
+                      // sequences ... stored in block-local shared memory")
+    shared.alloc(sh_max); // query segment per stripe
+    shared.alloc(4 * (tw + 1)); // H row buffer (top -> bottom reuse)
+    if G::AFFINE {
+        shared.alloc(4 * tw); // E row buffer
+    }
+    shared.alloc(4 * 4 * sh_max); // per-thread a_h/b_h/a_e/f registers spilled
+    assert!(
+        shared.peak() <= device.shared_bytes,
+        "tile {}×{} exceeds shared memory: {} > {}",
+        th,
+        tw,
+        shared.peak(),
+        device.shared_bytes
+    );
+    stats.peak_shared_bytes = stats.peak_shared_bytes.max(shared.peak());
+
+    // --- Global traffic: border + sequence loads -----------------------
+    if shape.coalesced {
+        mem.bulk_access(0, tw + 1, 4); // top H stripe
+        mem.bulk_access(0, th, 4); // left H stripe
+        mem.bulk_access(0, tw, 1); // subject chars
+        mem.bulk_access(0, th, 1); // query chars
+        if G::AFFINE {
+            mem.bulk_access(0, tw, 4);
+            mem.bulk_access(0, th, 4);
+        }
+    } else {
+        mem.strided_access(tw + 1);
+        mem.strided_access(th);
+        mem.bulk_access(0, tw, 1);
+        mem.bulk_access(0, th, 1);
+        if G::AFFINE {
+            mem.strided_access(tw);
+            mem.strided_access(th);
+        }
+    }
+
+    // --- Functional stripe loop ----------------------------------------
+    // Snapshot the bottom-left input corner H(i1, j0−1) before the right
+    // border overwrites h_col in place: it becomes the bottom stripe's
+    // corner element (same handoff as the scalar tile kernel).
+    let bottom_left_in = io.h_col[th - 1];
+    // Per-thread "registers" (one slot per stripe row).
+    let mut a_h = vec![0 as Score; sh_max]; // H(row, latest column)
+    let mut b_h = vec![0 as Score; sh_max]; // H(row, latest column − 1)
+    let mut a_e = vec![0 as Score; if G::AFFINE { sh_max } else { 0 }];
+    let mut f_reg = vec![0 as Score; if G::AFFINE { sh_max } else { 0 }];
+
+    let ext = gap.extend();
+    let open = gap.open();
+
+    let mut r0 = 0usize;
+    while r0 < th {
+        let sh = sh_max.min(th - r0);
+
+        // The corner of the *next* stripe is this stripe's last input
+        // left-border value — capture it before the right border
+        // overwrites h_col in place.
+        let next_corner = io.h_col[r0 + sh - 1];
+
+        // Stripe init: thread r starts at "column −1" with the left
+        // border values (the real kernel reads them from global memory
+        // into registers).
+        for r in 0..sh {
+            a_h[r] = io.h_col[r0 + r];
+            if G::AFFINE {
+                f_reg[r] = io.f_col[r0 + r];
+                a_e[r] = NEG_INF; // never read before first assignment
+            }
+            b_h[r] = 0; // never read before first assignment
+        }
+
+        // Thread 0's diagonal register: each step's "up" value becomes
+        // the next step's diagonal (the real kernel shifts it through a
+        // register, so the reused row buffer is only ever read one
+        // position ahead of the bottom-row writes).
+        let mut diag0 = io.h_row[0];
+
+        let steps = sh + tw - 1;
+        for d in 0..steps {
+            let r_lo = d.saturating_sub(tw - 1);
+            let r_hi = d.min(sh - 1);
+            let active = r_hi - r_lo + 1;
+
+            let (pre_up, pre_e) = if r_lo == 0 {
+                (io.h_row[d + 1], if G::AFFINE { io.e_row[d] } else { 0 })
+            } else {
+                (0, 0)
+            };
+
+            // Cost: phased kernels issue ceil(active/warp) warps; the
+            // unphased variant predicates over the whole block width.
+            let issued = if shape.phased {
+                active.div_ceil(warp)
+            } else {
+                sh.div_ceil(warp)
+            };
+            stats.warp_steps += issued as u64;
+            stats.cycles += issued as f64
+                * (device.cell_cycles
+                    + if G::AFFINE {
+                        device.affine_extra_cycles
+                    } else {
+                        0.0
+                    })
+                + device.sync_cycles;
+
+            // Lockstep emulation: descending r keeps neighbour reads at
+            // their previous-step values (barrier semantics).
+            for r in (r_lo..=r_hi).rev() {
+                let c = d - r;
+                let global_row = r0 + r;
+                let (up_h, diag_h, up_e) = if r == 0 {
+                    (pre_up, diag0, pre_e)
+                } else {
+                    (a_h[r - 1], b_h[r - 1], if G::AFFINE { a_e[r - 1] } else { 0 })
+                };
+                let left_h = a_h[r];
+
+                let e = if G::AFFINE {
+                    (up_e + ext).max(up_h + open + ext)
+                } else {
+                    up_h + ext
+                };
+                let f = if G::AFFINE {
+                    (f_reg[r] + ext).max(left_h + open + ext)
+                } else {
+                    left_h + ext
+                };
+                let mut h = diag_h + subst.score(q_tile[global_row], s_tile[c]);
+                if e > h {
+                    h = e;
+                }
+                if f > h {
+                    h = f;
+                }
+
+                b_h[r] = a_h[r];
+                a_h[r] = h;
+                if G::AFFINE {
+                    a_e[r] = e;
+                    f_reg[r] = f;
+                }
+
+                // Bottom row of the stripe republishes into the (dead)
+                // prefix of the row buffer — the Fig. 4 memory reuse.
+                if r == sh - 1 {
+                    io.h_row[c + 1] = h;
+                    if G::AFFINE {
+                        io.e_row[c] = e;
+                    }
+                }
+                // Rightmost column feeds the right border.
+                if c == tw - 1 {
+                    io.h_col[global_row] = h;
+                    if G::AFFINE {
+                        io.f_col[global_row] = f;
+                    }
+                }
+            }
+            if r_lo == 0 {
+                diag0 = pre_up;
+            }
+        }
+        stats.cells += (sh * tw) as u64;
+        // Refresh the row buffer's corner element for the next stripe
+        // (H(stripe_last_row, j0−1)); after the final stripe this leaves
+        // the bottom border's corner in place.
+        io.h_row[0] = next_corner;
+        r0 += sh;
+    }
+    debug_assert_eq!(io.h_row[0], bottom_left_in);
+
+    // --- Border write-back traffic --------------------------------------
+    if shape.coalesced {
+        mem.bulk_access(0, tw + 1, 4);
+        mem.bulk_access(0, th, 4);
+        if G::AFFINE {
+            mem.bulk_access(0, tw, 4);
+            mem.bulk_access(0, th, 4);
+        }
+    } else {
+        mem.strided_access(tw + 1);
+        mem.strided_access(th);
+        if G::AFFINE {
+            mem.strided_access(tw);
+            mem.strided_access(th);
+        }
+    }
+    stats.blocks += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyseq_core::kind::Global;
+    use anyseq_core::pass::{init_left_f, init_left_h, init_top_e, init_top_h};
+    use anyseq_core::scoring::{simple, AffineGap, LinearGap};
+    use anyseq_core::tile::{relax_tile, NoSink, TileIn, TileOut};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_vs_scalar<G: GapModel + Copy>(gap: G, th: usize, tw: usize, threads: usize, seed: u64) {
+        let subst = simple(2, -1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q: Vec<u8> = (0..th).map(|_| rng.gen_range(0..4)).collect();
+        let s: Vec<u8> = (0..tw).map(|_| rng.gen_range(0..4)).collect();
+
+        let top_h = init_top_h::<Global, G>(&gap, tw);
+        let top_e = init_top_e::<Global, G>(&gap, tw);
+        let left_h = init_left_h::<Global, G>(&gap, th, gap.open());
+        let left_f = init_left_f::<G>(th);
+
+        // Scalar reference.
+        let mut out = TileOut::new();
+        relax_tile::<Global, G, _, _>(
+            &gap,
+            &subst,
+            &q,
+            &s,
+            (1, 1),
+            (th, tw),
+            TileIn {
+                top_h: &top_h,
+                top_e: &top_e,
+                left_h: &left_h,
+                left_f: &left_f,
+            },
+            &mut out,
+            &mut NoSink,
+        );
+
+        // GPU kernel in place.
+        let device = Device::titan_v();
+        let shape = KernelShape {
+            block_threads: threads,
+            phased: true,
+            coalesced: true,
+        };
+        let mut h_row = top_h.clone();
+        let mut e_row = top_e.clone();
+        let mut h_col = left_h.clone();
+        let mut f_col = left_f.clone();
+        let mut stats = GpuStats::default();
+        let mut mem = MemTracker::new();
+        striped_tile_kernel(
+            &device,
+            &shape,
+            &gap,
+            &subst,
+            &q,
+            &s,
+            GpuTileIo {
+                h_row: &mut h_row,
+                e_row: &mut e_row,
+                h_col: &mut h_col,
+                f_col: &mut f_col,
+            },
+            &mut stats,
+            &mut mem,
+        );
+        assert_eq!(h_row, out.bot_h, "bottom H ({th}x{tw} t{threads})");
+        assert_eq!(h_col, out.right_h, "right H");
+        if G::AFFINE {
+            assert_eq!(e_row, out.bot_e, "bottom E");
+            assert_eq!(f_col, out.right_f, "right F");
+        }
+        assert_eq!(stats.cells, (th * tw) as u64);
+        assert!(mem.transactions() > 0);
+    }
+
+    #[test]
+    fn striped_kernel_bit_exact_linear() {
+        for (th, tw, t) in [(7, 9, 4), (64, 64, 32), (100, 37, 16), (33, 129, 64)] {
+            check_vs_scalar(LinearGap { gap: -1 }, th, tw, t, th as u64);
+        }
+    }
+
+    #[test]
+    fn striped_kernel_bit_exact_affine() {
+        let gap = AffineGap {
+            open: -2,
+            extend: -1,
+        };
+        for (th, tw, t) in [(8, 8, 8), (65, 127, 32), (128, 128, 64), (50, 200, 33)] {
+            check_vs_scalar(gap, th, tw, t, tw as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_stripe_works() {
+        check_vs_scalar(LinearGap { gap: -2 }, 10, 10, 1, 99);
+    }
+
+    #[test]
+    fn unphased_costs_more_warp_steps() {
+        let gap = LinearGap { gap: -1 };
+        let subst = simple(2, -1);
+        let device = Device::titan_v();
+        let q = vec![0u8; 64];
+        let s = vec![1u8; 64];
+        let run = |phased: bool| {
+            let top_h = init_top_h::<Global, _>(&gap, 64);
+            let left_h = init_left_h::<Global, _>(&gap, 64, gap.open());
+            let mut h_row = top_h;
+            let mut e_row = Vec::new();
+            let mut h_col = left_h;
+            let mut f_col = Vec::new();
+            let mut stats = GpuStats::default();
+            let mut mem = MemTracker::new();
+            striped_tile_kernel(
+                &device,
+                &KernelShape {
+                    block_threads: 64,
+                    phased,
+                    coalesced: true,
+                },
+                &gap,
+                &subst,
+                &q,
+                &s,
+                GpuTileIo {
+                    h_row: &mut h_row,
+                    e_row: &mut e_row,
+                    h_col: &mut h_col,
+                    f_col: &mut f_col,
+                },
+                &mut stats,
+                &mut mem,
+            );
+            (stats, h_row)
+        };
+        let (phased, row_a) = run(true);
+        let (unphased, row_b) = run(false);
+        assert_eq!(row_a, row_b, "phasing must not change values");
+        assert!(
+            unphased.warp_steps > phased.warp_steps,
+            "divergence must cost extra warp steps: {} vs {}",
+            unphased.warp_steps,
+            phased.warp_steps
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # anyseq-gpu-sim — GPU execution-model simulator
+//!
+//! Substitute for the paper's CUDA/Titan V backend (§IV-B): the very same
+//! kernel structure — one thread-block per tile, stripes held in shared
+//! memory, lockstep anti-diagonals with head/body/tail phasing, in-place
+//! row-buffer reuse (Fig. 4), coalesced border layout — is executed
+//! *functionally* on the host (bit-exact scores, asserted against the
+//! scalar engine) while an analytic cost model charges cycles for warp
+//! issue, divergence, synchronization, kernel launches and global-memory
+//! transactions (counted by a real coalescing analyzer over the kernel's
+//! actual addresses).
+//!
+//! Modeled GCUPS from [`device::GpuStats::gcups`] drives the paper's
+//! Titan V columns in Fig. 5 and Table II; the NVBio-like baseline in
+//! `anyseq-baselines` reuses this simulator with striping/phasing/
+//! coalescing disabled.
+
+pub mod align;
+pub mod device;
+pub mod kernel;
+pub mod mem;
+
+pub use align::{GpuAligner, GpuRun};
+pub use device::{Device, GpuStats};
+pub use kernel::{striped_tile_kernel, GpuTileIo, KernelShape};
+pub use mem::{MemTracker, SharedMem, SEGMENT_BYTES};

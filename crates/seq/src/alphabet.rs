@@ -1,0 +1,157 @@
+//! The DNA alphabet and its compact per-base encoding.
+//!
+//! Bases are stored as one byte per base with codes `A=0, C=1, G=2, T=3,
+//! N=4`. Keeping the code space dense at the low end lets substitution
+//! matrices be indexed directly (`matrix[q as usize][s as usize]`) without a
+//! translation table — the same trick AnySeq's Impala code uses to let the
+//! partial evaluator fold lookups.
+
+/// Number of distinct base codes (`A`, `C`, `G`, `T`, `N`).
+pub const ALPHABET_SIZE: usize = 5;
+
+/// A single DNA base.
+///
+/// `N` models any IUPAC ambiguity code: FASTA inputs map every non-ACGT
+/// letter to `N`, matching common aligner behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine (code 0).
+    A = 0,
+    /// Cytosine (code 1).
+    C = 1,
+    /// Guanine (code 2).
+    G = 2,
+    /// Thymine (code 3).
+    T = 3,
+    /// Any / unknown base (code 4).
+    N = 4,
+}
+
+impl Base {
+    /// All non-ambiguous bases, in code order.
+    pub const ACGT: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Decodes an ASCII letter (case-insensitive). Every letter outside
+    /// `ACGTacgt` becomes [`Base::N`]; non-alphabetic bytes are rejected.
+    #[inline]
+    pub fn from_ascii(byte: u8) -> Option<Base> {
+        match byte {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' => Some(Base::T),
+            b'U' | b'u' => Some(Base::T), // RNA input tolerated
+            b if b.is_ascii_alphabetic() => Some(Base::N),
+            _ => None,
+        }
+    }
+
+    /// Re-encodes a raw code (`0..=4`) as a `Base`.
+    #[inline]
+    pub fn from_code(code: u8) -> Option<Base> {
+        match code {
+            0 => Some(Base::A),
+            1 => Some(Base::C),
+            2 => Some(Base::G),
+            3 => Some(Base::T),
+            4 => Some(Base::N),
+            _ => None,
+        }
+    }
+
+    /// The numeric code of this base (`0..=4`).
+    #[inline(always)]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Upper-case ASCII representation.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        const LUT: [u8; ALPHABET_SIZE] = [b'A', b'C', b'G', b'T', b'N'];
+        LUT[self as usize]
+    }
+
+    /// Watson–Crick complement; `N` is its own complement.
+    #[inline(always)]
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+            Base::N => Base::N,
+        }
+    }
+
+    /// Whether the base is one of the four concrete nucleotides.
+    #[inline]
+    pub fn is_concrete(self) -> bool {
+        !matches!(self, Base::N)
+    }
+}
+
+/// Complements a raw base code without round-tripping through [`Base`].
+/// Used in hot re-indexing paths (reverse-complement sequence views).
+#[inline(always)]
+pub fn complement_code(code: u8) -> u8 {
+    // A<->T is 0<->3, C<->G is 1<->2, so 3 - code; N (4) stays 4.
+    if code < 4 {
+        3 - code
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_round_trip() {
+        for &b in &[Base::A, Base::C, Base::G, Base::T, Base::N] {
+            assert_eq!(Base::from_ascii(b.to_ascii()), Some(b));
+        }
+    }
+
+    #[test]
+    fn lowercase_and_rna_accepted() {
+        assert_eq!(Base::from_ascii(b'a'), Some(Base::A));
+        assert_eq!(Base::from_ascii(b'u'), Some(Base::T));
+        assert_eq!(Base::from_ascii(b'U'), Some(Base::T));
+    }
+
+    #[test]
+    fn ambiguity_codes_become_n() {
+        for b in [b'R', b'y', b'W', b's', b'K', b'm', b'B', b'd', b'H', b'v'] {
+            assert_eq!(Base::from_ascii(b), Some(Base::N));
+        }
+    }
+
+    #[test]
+    fn non_alphabetic_rejected() {
+        for b in [b' ', b'\n', b'-', b'1', b'*', 0u8, 200u8] {
+            assert_eq!(Base::from_ascii(b), None, "byte {b:?}");
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for &b in &[Base::A, Base::C, Base::G, Base::T, Base::N] {
+            assert_eq!(b.complement().complement(), b);
+        }
+        assert_eq!(Base::A.complement(), Base::T);
+        assert_eq!(Base::C.complement(), Base::G);
+    }
+
+    #[test]
+    fn code_round_trip_and_complement_code() {
+        for code in 0u8..5 {
+            let b = Base::from_code(code).unwrap();
+            assert_eq!(b.code(), code);
+            assert_eq!(complement_code(code), b.complement().code());
+        }
+        assert_eq!(Base::from_code(5), None);
+    }
+}

@@ -1,0 +1,264 @@
+//! Minimal FASTA/FASTQ reading and writing.
+//!
+//! The paper's evaluation pipeline loads long genome FASTA files and large
+//! FASTQ read sets. This module provides buffered, allocation-conscious
+//! parsers sufficient for that pipeline (multi-record, wrapped lines,
+//! comments) without pulling in an external bio crate.
+
+use crate::seq::{Seq, SeqError};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// One FASTA/FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Header text after `>` / `@`, up to the first whitespace.
+    pub id: String,
+    /// Remainder of the header line (may be empty).
+    pub description: String,
+    /// The sequence payload.
+    pub seq: Seq,
+    /// Phred quality string for FASTQ records, `None` for FASTA.
+    pub quality: Option<Vec<u8>>,
+}
+
+/// Errors produced by the parsers.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Sequence letters failed to decode.
+    Seq { record: String, source: SeqError },
+    /// Structural problem (missing header, truncated FASTQ record, ...).
+    Format { line: usize, msg: String },
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+            FastaError::Seq { record, source } => {
+                write!(f, "bad sequence in record '{record}': {source}")
+            }
+            FastaError::Format { line, msg } => write!(f, "format error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+fn split_header(line: &str) -> (String, String) {
+    let body = line[1..].trim_end();
+    match body.split_once(char::is_whitespace) {
+        Some((id, rest)) => (id.to_string(), rest.trim_start().to_string()),
+        None => (body.to_string(), String::new()),
+    }
+}
+
+/// Parses all FASTA records from a reader.
+pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<Record>, FastaError> {
+    let reader = BufReader::new(reader);
+    let mut records = Vec::new();
+    let mut header: Option<(String, String)> = None;
+    let mut body: Vec<u8> = Vec::new();
+    let mut line_no = 0usize;
+
+    let flush = |header: &mut Option<(String, String)>,
+                     body: &mut Vec<u8>,
+                     records: &mut Vec<Record>|
+     -> Result<(), FastaError> {
+        if let Some((id, description)) = header.take() {
+            let seq = Seq::from_ascii(body).map_err(|source| FastaError::Seq {
+                record: id.clone(),
+                source,
+            })?;
+            records.push(Record {
+                id,
+                description,
+                seq,
+                quality: None,
+            });
+        }
+        body.clear();
+        Ok(())
+    };
+
+    for line in reader.lines() {
+        line_no += 1;
+        let line = line?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('>') {
+            flush(&mut header, &mut body, &mut records)?;
+            header = Some(split_header(&format!(">{rest}")));
+        } else {
+            if header.is_none() {
+                return Err(FastaError::Format {
+                    line: line_no,
+                    msg: "sequence data before first '>' header".into(),
+                });
+            }
+            body.extend_from_slice(trimmed.as_bytes());
+        }
+    }
+    flush(&mut header, &mut body, &mut records)?;
+    Ok(records)
+}
+
+/// Parses all FASTQ records (4-line layout) from a reader.
+pub fn read_fastq<R: Read>(reader: R) -> Result<Vec<Record>, FastaError> {
+    let mut reader = BufReader::new(reader);
+    let mut records = Vec::new();
+    let mut line = String::new();
+    let mut line_no = 0usize;
+
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let head = line.trim_end();
+        if head.is_empty() {
+            continue;
+        }
+        if !head.starts_with('@') {
+            return Err(FastaError::Format {
+                line: line_no,
+                msg: format!("expected '@' header, found {head:?}"),
+            });
+        }
+        let (id, description) = split_header(head);
+
+        let mut need = |what: &str, line: &mut String| -> Result<usize, FastaError> {
+            line.clear();
+            if reader.read_line(line)? == 0 {
+                return Err(FastaError::Format {
+                    line: line_no,
+                    msg: format!("truncated record: missing {what}"),
+                });
+            }
+            line_no += 1;
+            Ok(line.trim_end().len())
+        };
+
+        need("sequence line", &mut line)?;
+        let seq = Seq::from_ascii(line.trim_end().as_bytes()).map_err(|source| {
+            FastaError::Seq {
+                record: id.clone(),
+                source,
+            }
+        })?;
+
+        need("separator line", &mut line)?;
+        if !line.trim_end().starts_with('+') {
+            return Err(FastaError::Format {
+                line: line_no,
+                msg: "expected '+' separator".into(),
+            });
+        }
+
+        let qlen = need("quality line", &mut line)?;
+        if qlen != seq.len() {
+            return Err(FastaError::Format {
+                line: line_no,
+                msg: format!("quality length {qlen} != sequence length {}", seq.len()),
+            });
+        }
+        records.push(Record {
+            id,
+            description,
+            seq,
+            quality: Some(line.trim_end().as_bytes().to_vec()),
+        });
+    }
+    Ok(records)
+}
+
+/// Writes records in FASTA format, wrapping sequence lines at `width`.
+pub fn write_fasta<W: Write>(mut w: W, records: &[Record], width: usize) -> io::Result<()> {
+    let width = width.max(1);
+    for r in records {
+        if r.description.is_empty() {
+            writeln!(w, ">{}", r.id)?;
+        } else {
+            writeln!(w, ">{} {}", r.id, r.description)?;
+        }
+        let ascii = r.seq.to_ascii();
+        for chunk in ascii.chunks(width) {
+            w.write_all(chunk)?;
+            w.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fasta_multi_record_wrapped() {
+        let text = b">seq1 first test\nACGT\nACGT\n;comment\n>seq2\nTTTT\n";
+        let recs = read_fasta(&text[..]).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "seq1");
+        assert_eq!(recs[0].description, "first test");
+        assert_eq!(recs[0].seq.to_ascii(), b"ACGTACGT");
+        assert_eq!(recs[1].id, "seq2");
+        assert_eq!(recs[1].seq.len(), 4);
+    }
+
+    #[test]
+    fn fasta_round_trip() {
+        let text = b">a\nACGTACGTACGT\n>b desc here\nTTAA\n";
+        let recs = read_fasta(&text[..]).unwrap();
+        let mut out = Vec::new();
+        write_fasta(&mut out, &recs, 5).unwrap();
+        let again = read_fasta(&out[..]).unwrap();
+        assert_eq!(recs, again);
+    }
+
+    #[test]
+    fn fasta_rejects_headerless_data() {
+        assert!(matches!(
+            read_fasta(&b"ACGT\n"[..]),
+            Err(FastaError::Format { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn fastq_basic() {
+        let text = b"@r1 pair\nACGT\n+\nIIII\n@r2\nTT\n+\nII\n";
+        let recs = read_fastq(&text[..]).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].quality.as_deref(), Some(&b"IIII"[..]));
+        assert_eq!(recs[1].seq.to_ascii(), b"TT");
+    }
+
+    #[test]
+    fn fastq_length_mismatch_rejected() {
+        let text = b"@r1\nACGT\n+\nII\n";
+        assert!(matches!(
+            read_fastq(&text[..]),
+            Err(FastaError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn fastq_truncated_rejected() {
+        let text = b"@r1\nACGT\n+\n";
+        assert!(matches!(
+            read_fastq(&text[..]),
+            Err(FastaError::Format { .. })
+        ));
+    }
+}

@@ -1,0 +1,213 @@
+//! Mason-like Illumina read simulation.
+//!
+//! The paper's short-read benchmark (Fig. 5b) aligns 12.5 million pairs of
+//! 150 bp Illumina reads simulated with Mason from GRCh38 chromosome 10.
+//! [`ReadSim`] substitutes for Mason: it samples loci from a reference,
+//! derives two reads per locus with independent Illumina-style error
+//! profiles (position-dependent substitution rate ramping toward the 3'
+//! end, rare short indels), so that each pair aligns with high but not
+//! perfect identity — the same workload shape the paper measures.
+
+use crate::seq::Seq;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Error/shape profile for simulated reads.
+#[derive(Debug, Clone)]
+pub struct ReadSimProfile {
+    /// Read length in bases (paper: 150).
+    pub read_len: usize,
+    /// Substitution rate at the 5' end.
+    pub sub_rate_start: f64,
+    /// Substitution rate at the 3' end (Illumina quality decays along the read).
+    pub sub_rate_end: f64,
+    /// Per-base insertion rate.
+    pub ins_rate: f64,
+    /// Per-base deletion rate.
+    pub del_rate: f64,
+}
+
+impl Default for ReadSimProfile {
+    fn default() -> Self {
+        ReadSimProfile {
+            read_len: 150,
+            sub_rate_start: 0.001,
+            sub_rate_end: 0.01,
+            ins_rate: 0.0002,
+            del_rate: 0.0002,
+        }
+    }
+}
+
+/// A pair of reads sampled from the same locus, to be aligned against
+/// each other (the paper's use case (ii)).
+#[derive(Debug, Clone)]
+pub struct ReadPair {
+    /// First read.
+    pub a: Seq,
+    /// Second read.
+    pub b: Seq,
+    /// Origin offset in the reference (for diagnostics).
+    pub origin: usize,
+}
+
+/// Simulates Illumina-style reads from a reference sequence.
+pub struct ReadSim {
+    profile: ReadSimProfile,
+    rng: StdRng,
+}
+
+impl ReadSim {
+    /// Creates a simulator with the given profile and seed.
+    pub fn new(profile: ReadSimProfile, seed: u64) -> ReadSim {
+        assert!(profile.read_len > 0, "read length must be positive");
+        ReadSim {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Applies the error profile to a perfect template read.
+    fn sequence_read(&mut self, template: &[u8]) -> Seq {
+        let n = template.len();
+        let mut out = Vec::with_capacity(n + 4);
+        let p = &self.profile;
+        for (i, &base) in template.iter().enumerate() {
+            let t = if n <= 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+            let sub_rate = p.sub_rate_start + t * (p.sub_rate_end - p.sub_rate_start);
+            if self.rng.gen_bool(p.del_rate) {
+                continue; // base dropped
+            }
+            if self.rng.gen_bool(p.ins_rate) {
+                out.push(self.rng.gen_range(0..4u8));
+            }
+            if self.rng.gen_bool(sub_rate) {
+                let mut b = self.rng.gen_range(0..4u8);
+                if b == base {
+                    b = (b + 1) % 4;
+                }
+                out.push(b);
+            } else {
+                out.push(base);
+            }
+        }
+        Seq::from_codes(out).expect("generated codes are valid")
+    }
+
+    /// Samples `count` read pairs from `reference`.
+    ///
+    /// Both reads of a pair derive from the same locus with independent
+    /// errors; the second read is drawn from the opposite strand half of
+    /// the time and flipped back, modelling paired sampling.
+    pub fn simulate_pairs(&mut self, reference: &Seq, count: usize) -> Vec<ReadPair> {
+        let len = self.profile.read_len;
+        assert!(
+            reference.len() >= len,
+            "reference ({} bp) shorter than read length ({len} bp)",
+            reference.len()
+        );
+        let max_start = reference.len() - len;
+        let mut pairs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let origin = self.rng.gen_range(0..=max_start);
+            let template = reference.subseq(origin..origin + len);
+            let a = self.sequence_read(template.codes());
+            let b = if self.rng.gen_bool(0.5) {
+                self.sequence_read(template.codes())
+            } else {
+                let rc = template.rev_comp();
+                self.sequence_read(rc.codes()).rev_comp()
+            };
+            pairs.push(ReadPair { a, b, origin });
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::GenomeSim;
+
+    fn reference() -> Seq {
+        GenomeSim::new(5).generate(100_000)
+    }
+
+    #[test]
+    fn pair_count_and_lengths() {
+        let r = reference();
+        let mut sim = ReadSim::new(ReadSimProfile::default(), 9);
+        let pairs = sim.simulate_pairs(&r, 64);
+        assert_eq!(pairs.len(), 64);
+        for p in &pairs {
+            // indels shift length by at most a few bases
+            assert!((145..=155).contains(&p.a.len()), "len {}", p.a.len());
+            assert!((145..=155).contains(&p.b.len()));
+            assert!(p.origin + 150 <= r.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let r = reference();
+        let p1 = ReadSim::new(ReadSimProfile::default(), 1).simulate_pairs(&r, 8);
+        let p2 = ReadSim::new(ReadSimProfile::default(), 1).simulate_pairs(&r, 8);
+        for (x, y) in p1.iter().zip(&p2) {
+            assert_eq!(x.a, y.a);
+            assert_eq!(x.b, y.b);
+        }
+    }
+
+    #[test]
+    fn reads_are_similar_to_each_other() {
+        let r = reference();
+        let mut sim = ReadSim::new(ReadSimProfile::default(), 2);
+        let pairs = sim.simulate_pairs(&r, 32);
+        // Positional identity is only meaningful for indel-free pairs
+        // (an indel near a read end shifts every later position), so check
+        // the aggregate: most equal-length pairs must be near-identical.
+        let mut high_identity = 0usize;
+        let mut comparable = 0usize;
+        for p in &pairs {
+            if p.a.len() != p.b.len() {
+                continue;
+            }
+            comparable += 1;
+            let n = p.a.len();
+            let same = (0..n).filter(|&i| p.a[i] == p.b[i]).count();
+            if same as f64 / n as f64 > 0.9 {
+                high_identity += 1;
+            }
+        }
+        assert!(comparable >= 16, "too few indel-free pairs: {comparable}");
+        assert!(
+            high_identity * 10 >= comparable * 8,
+            "{high_identity}/{comparable} pairs above 90% identity"
+        );
+    }
+
+    #[test]
+    fn error_free_profile_reproduces_template() {
+        let r = reference();
+        let profile = ReadSimProfile {
+            sub_rate_start: 0.0,
+            sub_rate_end: 0.0,
+            ins_rate: 0.0,
+            del_rate: 0.0,
+            ..Default::default()
+        };
+        let mut sim = ReadSim::new(profile, 3);
+        for p in sim.simulate_pairs(&r, 16) {
+            let t = r.subseq(p.origin..p.origin + 150);
+            assert_eq!(p.a, t);
+            assert_eq!(p.b, t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than read length")]
+    fn rejects_tiny_reference() {
+        let r = Seq::from_ascii(b"ACGT").unwrap();
+        ReadSim::new(ReadSimProfile::default(), 0).simulate_pairs(&r, 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! Inter-sequence SIMD batch scoring for short reads: each vector lane
+//! carries one *whole* alignment (the classic inter-sequence scheme the
+//! paper uses for the NGS use case (ii), with 16-bit in-lane scores).
+//!
+//! Lanes must share matrix dimensions, so pairs are bucketed by
+//! `(|q|, |s|)` — for Illumina-style reads the dominant bucket is
+//! `(150, 150)` and lane occupancy is near-perfect. Leftovers and
+//! oversized problems fall back to the scalar engine.
+
+use crate::kernel::{block_kernel, from16, max_block_extent, to16, BlockBorders, SimdSubst};
+use crate::lanes::I16s;
+use anyseq_core::kind::Global;
+use anyseq_core::pass::{init_left_f, init_left_h, init_top_e, init_top_h};
+use anyseq_core::scheme::Scheme;
+use anyseq_core::score::Score;
+use anyseq_core::scoring::GapModel;
+use anyseq_seq::Seq;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Scores a batch of independent pairs with `L`-lane SIMD and
+/// `threads`-way parallelism; returns one global score per pair, in
+/// input order (bit-identical to `scheme.score`).
+pub fn score_batch_simd<G, SS, const L: usize>(
+    scheme: &Scheme<Global, G, SS>,
+    pairs: &[(Seq, Seq)],
+    threads: usize,
+) -> Vec<Score>
+where
+    G: GapModel,
+    SS: SimdSubst,
+{
+    let gap = *scheme.gap();
+    let subst = *scheme.subst();
+    let extent_budget = max_block_extent(&gap, &subst);
+
+    // Bucket by dimensions.
+    let mut buckets: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    let mut scalar_idx: Vec<usize> = Vec::new();
+    for (k, (q, s)) in pairs.iter().enumerate() {
+        let (n, m) = (q.len(), s.len());
+        if n == 0 || m == 0 || n + m > extent_budget {
+            scalar_idx.push(k);
+        } else {
+            buckets.entry((n, m)).or_default().push(k);
+        }
+    }
+
+    // Work items: one per full lane group, plus leftovers scalar.
+    let mut groups: Vec<[usize; L]> = Vec::new();
+    for idx in buckets.into_values() {
+        let full = idx.len() / L * L;
+        for chunk in idx[..full].chunks_exact(L) {
+            groups.push(std::array::from_fn(|l| chunk[l]));
+        }
+        scalar_idx.extend_from_slice(&idx[full..]);
+    }
+
+    let mut scores = vec![0 as Score; pairs.len()];
+    struct Out(*mut Score);
+    unsafe impl Send for Out {}
+    unsafe impl Sync for Out {}
+    let out = Out(scores.as_mut_ptr());
+    let next_group = AtomicUsize::new(0);
+    let next_scalar = AtomicUsize::new(0);
+    let threads = threads.max(1);
+
+    {
+        let out = &out;
+        let groups = &groups;
+        let scalar_idx = &scalar_idx;
+        let next_group = &next_group;
+        let next_scalar = &next_scalar;
+        let gap = &gap;
+        let subst = &subst;
+        std::thread::scope(|sc| {
+            for _ in 0..threads {
+                sc.spawn(move || {
+                    loop {
+                        let g = next_group.fetch_add(1, Ordering::Relaxed);
+                        if g >= groups.len() {
+                            break;
+                        }
+                        let lanes = &groups[g];
+                        let results = score_lane_group::<G, SS, L>(gap, subst, pairs, lanes);
+                        for (l, &idx) in lanes.iter().enumerate() {
+                            // SAFETY: each pair index is written exactly once.
+                            unsafe { *out.0.add(idx) = results[l] };
+                        }
+                    }
+                    loop {
+                        let k = next_scalar.fetch_add(1, Ordering::Relaxed);
+                        if k >= scalar_idx.len() {
+                            break;
+                        }
+                        let idx = scalar_idx[k];
+                        let (q, s) = &pairs[idx];
+                        let score = scheme.score(q, s);
+                        unsafe { *out.0.add(idx) = score };
+                    }
+                });
+            }
+        });
+    }
+    scores
+}
+
+/// Scores `L` equal-dimension pairs in one vector block.
+fn score_lane_group<G, SS, const L: usize>(
+    gap: &G,
+    subst: &SS,
+    pairs: &[(Seq, Seq)],
+    lanes: &[usize; L],
+) -> [Score; L]
+where
+    G: GapModel,
+    SS: SimdSubst,
+{
+    let n = pairs[lanes[0]].0.len();
+    let m = pairs[lanes[0]].1.len();
+    debug_assert!(lanes
+        .iter()
+        .all(|&k| pairs[k].0.len() == n && pairs[k].1.len() == m));
+
+    // Global init stripes are lane-uniform (base 0).
+    let top_h = init_top_h::<Global, G>(gap, m);
+    let top_e = init_top_e::<Global, G>(gap, m);
+    let left_h = init_left_h::<Global, G>(gap, n, gap.open());
+    let left_f = init_left_f::<G>(n);
+    let mut block = BlockBorders::<L> {
+        top_h: top_h.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
+        top_e: top_e.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
+        left_h: left_h.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
+        left_f: left_f.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
+    };
+    let q_rows: Vec<[u8; L]> = (0..n)
+        .map(|r| std::array::from_fn(|l| pairs[lanes[l]].0[r]))
+        .collect();
+    let s_cols: Vec<[u8; L]> = (0..m)
+        .map(|c| std::array::from_fn(|l| pairs[lanes[l]].1[c]))
+        .collect();
+
+    block_kernel(gap, subst, &q_rows, &s_cols, &mut block);
+
+    std::array::from_fn(|l| from16(block.top_h[m].0[l], 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyseq_core::prelude::{affine, global, linear, simple};
+    use anyseq_seq::genome::GenomeSim;
+    use anyseq_seq::readsim::{ReadSim, ReadSimProfile};
+
+    fn read_pairs(count: usize, seed: u64) -> Vec<(Seq, Seq)> {
+        let mut sim = GenomeSim::new(seed);
+        let reference = sim.generate(100_000);
+        let mut rs = ReadSim::new(ReadSimProfile::default(), seed ^ 0xabcd);
+        rs.simulate_pairs(&reference, count)
+            .into_iter()
+            .map(|p| (p.a, p.b))
+            .collect()
+    }
+
+    #[test]
+    fn batch_simd_matches_scalar_linear() {
+        let pairs = read_pairs(300, 3);
+        let scheme = global(linear(simple(2, -1), -1));
+        let simd = score_batch_simd::<_, _, 16>(&scheme, &pairs, 8);
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(simd[k], scheme.score(q, s), "pair {k}");
+        }
+    }
+
+    #[test]
+    fn batch_simd_matches_scalar_affine() {
+        let pairs = read_pairs(300, 5);
+        let scheme = global(affine(simple(2, -1), -2, -1));
+        let simd = score_batch_simd::<_, _, 8>(&scheme, &pairs, 4);
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(simd[k], scheme.score(q, s), "pair {k}");
+        }
+    }
+
+    #[test]
+    fn batch_simd_handles_empty_and_tiny() {
+        let scheme = global(linear(simple(2, -1), -1));
+        assert!(score_batch_simd::<_, _, 8>(&scheme, &[], 4).is_empty());
+        let a = Seq::from_ascii(b"ACGT").unwrap();
+        let empty = Seq::new();
+        let pairs = vec![(a.clone(), a.clone()), (a.clone(), empty)];
+        let out = score_batch_simd::<_, _, 8>(&scheme, &pairs, 2);
+        assert_eq!(out[0], 8);
+        assert_eq!(out[1], -4);
+    }
+
+    #[test]
+    fn batch_simd_mixed_lengths_bucketed() {
+        // Mix several distinct dimension buckets to exercise grouping.
+        let mut pairs = read_pairs(100, 7);
+        let mut extra = read_pairs(50, 8);
+        for (q, _) in extra.iter_mut() {
+            *q = q.subseq(0..q.len().min(100));
+        }
+        pairs.extend(extra);
+        let scheme = global(linear(simple(2, -1), -1));
+        let simd = score_batch_simd::<_, _, 16>(&scheme, &pairs, 6);
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(simd[k], scheme.score(q, s), "pair {k}");
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! The vectorized block kernel: relaxes `L` *independent* equally-sized
+//! tiles, one per SIMD lane, with 16-bit differential scores
+//! (paper §IV-A: "Vectorization is done over blocks that consist of rows
+//! from independent submatrices ... we use smaller data types (e.g.
+//! 16 bits ...) for scores within a block" — here whole independent tiles
+//! per lane, the natural strengthening of rows-per-lane that needs no
+//! auxiliary score-lookup array).
+//!
+//! Scores inside a block are *differences to the block's incoming corner
+//! value* (one rebase constant per lane); the i32 ↔ i16 conversion happens
+//! only on the `O(h + w)` boundary stripes. Saturating arithmetic keeps
+//! the −∞ sentinel pinned instead of wrapping.
+
+use crate::lanes::I16s;
+use anyseq_core::score::{Score, NEG_INF};
+use anyseq_core::scoring::{GapModel, MatrixSubst, SimpleSubst, SubstScore};
+
+/// The 16-bit −∞ sentinel. Large enough below any legitimate
+/// differential score (bounded by `(h+w)·max|step|`, see
+/// [`max_block_extent`]) that saturated drift never climbs back into the
+/// legitimate range before a `max` rescues the cell.
+pub const SENT16: i16 = -25_000;
+
+/// Largest `h + w` a block may have for i16 differential scores to be
+/// provably exact under the given scheme (paper §IV-A's bound: the
+/// largest differential magnitude is `(h+w)` steps of the largest
+/// per-step score change).
+pub fn max_block_extent<G: GapModel, S: SubstScore>(gap: &G, subst: &S) -> usize {
+    let step = subst
+        .max_score()
+        .abs()
+        .max(subst.min_score().abs())
+        .max(gap.extend().abs())
+        .max((gap.open() + gap.extend()).abs())
+        .max(1);
+    // Keep differential values within ±12000, far from SENT16.
+    (12_000 / step) as usize
+}
+
+/// Converts an absolute i32 score to a lane-local differential i16.
+#[inline(always)]
+pub fn to16(v: Score, base: Score) -> i16 {
+    if v <= NEG_INF / 2 {
+        SENT16
+    } else {
+        let d = v - base;
+        debug_assert!(
+            (-12_000..=12_000).contains(&d),
+            "differential {d} exceeds the i16 block budget"
+        );
+        d as i16
+    }
+}
+
+/// Converts a lane-local differential i16 back to an absolute i32 score.
+#[inline(always)]
+pub fn from16(v: i16, base: Score) -> Score {
+    if v <= SENT16 / 2 {
+        NEG_INF
+    } else {
+        base + v as Score
+    }
+}
+
+/// Substitution functions usable inside the vector kernel.
+///
+/// The extra method is the paper's "substitution function" specialized
+/// per lane block; [`SimpleSubst`] compiles to a branchless compare+blend,
+/// [`MatrixSubst`] to per-lane gathers.
+pub trait SimdSubst: SubstScore {
+    /// σ over `L` lanes of base-code pairs.
+    fn lanes_score<const L: usize>(&self, q: &[u8; L], s: &[u8; L]) -> I16s<L>;
+}
+
+impl SimdSubst for SimpleSubst {
+    #[inline(always)]
+    fn lanes_score<const L: usize>(&self, q: &[u8; L], s: &[u8; L]) -> I16s<L> {
+        crate::lanes::select_eq(q, s, self.matches as i16, self.mismatch as i16)
+    }
+}
+
+impl SimdSubst for MatrixSubst {
+    #[inline(always)]
+    fn lanes_score<const L: usize>(&self, q: &[u8; L], s: &[u8; L]) -> I16s<L> {
+        let mut out = [0i16; L];
+        for l in 0..L {
+            out[l] = self.table[q[l] as usize][s[l] as usize] as i16;
+        }
+        I16s(out)
+    }
+}
+
+/// Boundary stripes of a block of `L` independent tiles, in lane-local
+/// differential i16 representation.
+///
+/// The kernel works **in place**: on return `top_h`/`top_e` hold the
+/// bottom stripes and `left_h`/`left_f` hold the right stripes (the same
+/// rolling-buffer trick as the scalar tile kernel).
+pub struct BlockBorders<const L: usize> {
+    /// `H` crossing the top edge, `w + 1` vectors (corner included).
+    pub top_h: Vec<I16s<L>>,
+    /// `E` crossing the top edge, `w` vectors (empty for linear models).
+    pub top_e: Vec<I16s<L>>,
+    /// `H` crossing the left edge, `h` vectors.
+    pub left_h: Vec<I16s<L>>,
+    /// `F` crossing the left edge, `h` vectors (empty for linear models).
+    pub left_f: Vec<I16s<L>>,
+}
+
+/// Relaxes a block of `L` independent `h × w` tiles (global/corner kinds:
+/// no per-cell optimum tracking — the score lives on the borders).
+///
+/// * `q_rows[r]` — the `L` query codes of tile-local row `r` (one per lane),
+/// * `s_cols[c]` — the `L` subject codes of tile-local column `c`.
+pub fn block_kernel<G, SS, const L: usize>(
+    gap: &G,
+    subst: &SS,
+    q_rows: &[[u8; L]],
+    s_cols: &[[u8; L]],
+    borders: &mut BlockBorders<L>,
+) where
+    G: GapModel,
+    SS: SimdSubst,
+{
+    let h = q_rows.len();
+    let w = s_cols.len();
+    assert!(h > 0 && w > 0);
+    assert_eq!(borders.top_h.len(), w + 1);
+    assert_eq!(borders.left_h.len(), h);
+    if G::AFFINE {
+        assert_eq!(borders.top_e.len(), w);
+        assert_eq!(borders.left_f.len(), h);
+    }
+
+    let ext = gap.extend() as i16;
+    let openext = (gap.open() + gap.extend()) as i16;
+
+    for r in 0..h {
+        let qc = &q_rows[r];
+        let mut diag = borders.top_h[0];
+        borders.top_h[0] = borders.left_h[r];
+        let mut left = borders.top_h[0];
+        let mut f = if G::AFFINE {
+            borders.left_f[r]
+        } else {
+            I16s::splat(SENT16)
+        };
+        for c in 0..w {
+            let up = borders.top_h[c + 1];
+            let e = if G::AFFINE {
+                borders.top_e[c].sat_adds(ext).max(up.sat_adds(openext))
+            } else {
+                up.sat_adds(ext)
+            };
+            f = if G::AFFINE {
+                f.sat_adds(ext).max(left.sat_adds(openext))
+            } else {
+                left.sat_adds(ext)
+            };
+            let sub = subst.lanes_score(qc, &s_cols[c]);
+            let hval = diag.sat_add(sub).max(e).max(f);
+            diag = up;
+            borders.top_h[c + 1] = hval;
+            if G::AFFINE {
+                borders.top_e[c] = e;
+            }
+            left = hval;
+        }
+        borders.left_h[r] = borders.top_h[w];
+        if G::AFFINE {
+            borders.left_f[r] = f;
+        }
+    }
+}
+
+/// Masked-dataflow variant of [`block_kernel`] used by the SeqAn-like
+/// baseline: intrinsics-level SIMD code "requires to emulate control flow
+/// constructs such as if, while, or break with masked data flow — a
+/// time-consuming and error-prone process" (paper §V). This kernel
+/// therefore unconditionally maintains the affine E/F lanes (even for
+/// linear schemes), a running block maximum, and a ν floor mask — the
+/// redundant lane work a masked translation of the general variant
+/// carries. Results are identical; only the instruction count differs.
+pub fn block_kernel_masked<G, SS, const L: usize>(
+    gap: &G,
+    subst: &SS,
+    q_rows: &[[u8; L]],
+    s_cols: &[[u8; L]],
+    borders: &mut BlockBorders<L>,
+) where
+    G: GapModel,
+    SS: SimdSubst,
+{
+    let h = q_rows.len();
+    let w = s_cols.len();
+    assert!(h > 0 && w > 0);
+    assert_eq!(borders.top_h.len(), w + 1);
+    assert_eq!(borders.left_h.len(), h);
+
+    let ext = gap.extend() as i16;
+    let openext = (gap.open() + gap.extend()) as i16;
+    // Masked-flow ballast: these accumulators exist in the "general"
+    // masked translation whether or not the variant needs them.
+    let mut running_max = I16s::<L>::splat(SENT16);
+    let nu_floor = I16s::<L>::splat(SENT16);
+
+    // E/F stripes are materialized even for linear gap models.
+    if borders.top_e.len() != w {
+        borders.top_e = (0..w)
+            .map(|c| borders.top_h[c + 1].sat_adds(gap.open() as i16))
+            .collect();
+    }
+    if borders.left_f.len() != h {
+        borders.left_f = vec![I16s::splat(SENT16); h];
+    }
+
+    for r in 0..h {
+        let qc = &q_rows[r];
+        let mut diag = borders.top_h[0];
+        borders.top_h[0] = borders.left_h[r];
+        let mut left = borders.top_h[0];
+        let mut f = borders.left_f[r];
+        for c in 0..w {
+            let up = borders.top_h[c + 1];
+            let e = borders.top_e[c].sat_adds(ext).max(up.sat_adds(openext));
+            f = f.sat_adds(ext).max(left.sat_adds(openext));
+            let sub = subst.lanes_score(qc, &s_cols[c]);
+            let mut hval = diag.sat_add(sub).max(e).max(f);
+            // ν mask applied unconditionally (a no-op floor for global).
+            hval = hval.max(nu_floor);
+            running_max = running_max.max(hval);
+            diag = up;
+            borders.top_h[c + 1] = hval;
+            borders.top_e[c] = e;
+            left = hval;
+        }
+        borders.left_h[r] = borders.top_h[w];
+        borders.left_f[r] = f;
+    }
+    // Keep the running maximum live so the optimizer cannot drop the
+    // masked ballast.
+    std::hint::black_box(running_max.hmax());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyseq_core::kind::Global;
+    use anyseq_core::pass::{init_left_f, init_left_h, init_top_e, init_top_h};
+    use anyseq_core::scoring::{simple, AffineGap, GapModel, LinearGap};
+    use anyseq_core::tile::{relax_tile, NoSink, TileIn, TileOut};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Run the block kernel with L whole small problems and compare every
+    /// lane against the scalar tile kernel.
+    fn check_against_scalar<G: GapModel + Copy>(gap: G, seed: u64) {
+        const L: usize = 8;
+        let subst = simple(2, -1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = 17;
+        let w = 23;
+        let qs: Vec<Vec<u8>> = (0..L)
+            .map(|_| (0..h).map(|_| rng.gen_range(0..4u8)).collect())
+            .collect();
+        let ss: Vec<Vec<u8>> = (0..L)
+            .map(|_| (0..w).map(|_| rng.gen_range(0..4u8)).collect())
+            .collect();
+
+        // Block setup (global init stripes, base = corner H(0,0) = 0).
+        let top_h_i32 = init_top_h::<Global, G>(&gap, w);
+        let top_e_i32 = init_top_e::<Global, G>(&gap, w);
+        let left_h_i32 = init_left_h::<Global, G>(&gap, h, gap.open());
+        let left_f_i32 = init_left_f::<G>(h);
+        let mut borders = BlockBorders::<L> {
+            top_h: (0..=w)
+                .map(|c| I16s::splat(to16(top_h_i32[c], 0)))
+                .collect(),
+            top_e: (0..top_e_i32.len())
+                .map(|c| I16s::splat(to16(top_e_i32[c], 0)))
+                .collect(),
+            left_h: (0..h)
+                .map(|r| I16s::splat(to16(left_h_i32[r], 0)))
+                .collect(),
+            left_f: (0..left_f_i32.len())
+                .map(|r| I16s::splat(to16(left_f_i32[r], 0)))
+                .collect(),
+        };
+        let q_rows: Vec<[u8; L]> = (0..h)
+            .map(|r| std::array::from_fn(|l| qs[l][r]))
+            .collect();
+        let s_cols: Vec<[u8; L]> = (0..w)
+            .map(|c| std::array::from_fn(|l| ss[l][c]))
+            .collect();
+        block_kernel(&gap, &subst, &q_rows, &s_cols, &mut borders);
+
+        for l in 0..L {
+            let mut out = TileOut::new();
+            relax_tile::<Global, G, _, _>(
+                &gap,
+                &subst,
+                &qs[l],
+                &ss[l],
+                (1, 1),
+                (h, w),
+                TileIn {
+                    top_h: &top_h_i32,
+                    top_e: &top_e_i32,
+                    left_h: &left_h_i32,
+                    left_f: &left_f_i32,
+                },
+                &mut out,
+                &mut NoSink,
+            );
+            for c in 0..=w {
+                assert_eq!(
+                    from16(borders.top_h[c].0[l], 0),
+                    out.bot_h[c],
+                    "lane {l} bottom H at {c}"
+                );
+            }
+            for r in 0..h {
+                assert_eq!(
+                    from16(borders.left_h[r].0[l], 0),
+                    out.right_h[r],
+                    "lane {l} right H at {r}"
+                );
+            }
+            if G::AFFINE {
+                for c in 0..w {
+                    assert_eq!(from16(borders.top_e[c].0[l], 0), out.bot_e[c]);
+                }
+                for r in 0..h {
+                    assert_eq!(from16(borders.left_f[r].0[l], 0), out.right_f[r]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_matches_scalar_linear() {
+        for seed in 0..4 {
+            check_against_scalar(LinearGap { gap: -1 }, seed);
+        }
+    }
+
+    #[test]
+    fn block_matches_scalar_affine() {
+        for seed in 0..4 {
+            check_against_scalar(
+                AffineGap {
+                    open: -2,
+                    extend: -1,
+                },
+                seed,
+            );
+        }
+    }
+
+    #[test]
+    fn conversion_round_trip() {
+        for v in [-3000, -1, 0, 5, 11_999] {
+            assert_eq!(from16(to16(v + 1000, 1000), 1000), v + 1000);
+        }
+        assert_eq!(to16(NEG_INF, 0), SENT16);
+        assert_eq!(from16(SENT16, 12345), NEG_INF);
+    }
+
+    #[test]
+    fn extent_budget_reasonable() {
+        let gap = AffineGap {
+            open: -2,
+            extend: -1,
+        };
+        let subst = simple(2, -1);
+        let ext = max_block_extent(&gap, &subst);
+        // 2×512 tiles must fit comfortably.
+        assert!(ext >= 2048, "extent {ext}");
+    }
+}

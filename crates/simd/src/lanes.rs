@@ -1,0 +1,153 @@
+//! Portable lane arrays.
+//!
+//! The paper vectorizes with AnyDSL's `vectorize` generator, which "does
+//! not resort to architecture-specific intrinsics" and supports several
+//! SIMD instruction sets. The Rust analog: a fixed-size lane array whose
+//! operations are written as plain per-lane loops marked
+//! `#[inline(always)]` — under `-C target-cpu=native` LLVM reliably
+//! compiles `I16s<16>` arithmetic to one AVX2 instruction and `I16s<32>`
+//! to one AVX512BW instruction (`vpaddsw`, `vpmaxsw`, ...), matching the
+//! paper's AVX2/AVX512 variants with 16-bit scores per lane.
+
+/// A SIMD block of `L` signed 16-bit scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(align(64))]
+pub struct I16s<const L: usize>(pub [i16; L]);
+
+impl<const L: usize> I16s<L> {
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: i16) -> I16s<L> {
+        I16s([v; L])
+    }
+
+    /// Lane-wise saturating addition (the sentinel stays pinned near the
+    /// bottom of the range instead of wrapping — paper §IV-A's over/
+    /// underflow discussion).
+    #[inline(always)]
+    pub fn sat_add(self, rhs: I16s<L>) -> I16s<L> {
+        let mut out = [0i16; L];
+        for l in 0..L {
+            out[l] = self.0[l].saturating_add(rhs.0[l]);
+        }
+        I16s(out)
+    }
+
+    /// Saturating addition of a scalar to every lane.
+    #[inline(always)]
+    pub fn sat_adds(self, rhs: i16) -> I16s<L> {
+        let mut out = [0i16; L];
+        for l in 0..L {
+            out[l] = self.0[l].saturating_add(rhs);
+        }
+        I16s(out)
+    }
+
+    /// Lane-wise maximum.
+    #[inline(always)]
+    pub fn max(self, rhs: I16s<L>) -> I16s<L> {
+        let mut out = [0i16; L];
+        for l in 0..L {
+            out[l] = if self.0[l] >= rhs.0[l] {
+                self.0[l]
+            } else {
+                rhs.0[l]
+            };
+        }
+        I16s(out)
+    }
+
+    /// Lane-wise maximum against a scalar.
+    #[inline(always)]
+    pub fn maxs(self, rhs: i16) -> I16s<L> {
+        let mut out = [0i16; L];
+        for l in 0..L {
+            out[l] = if self.0[l] >= rhs { self.0[l] } else { rhs };
+        }
+        I16s(out)
+    }
+
+    /// Shifts every value one lane upward (lane `l` → `l+1`), dropping
+    /// the last lane and inserting `fill` at lane 0 — the striped-layout
+    /// wrap step of Farrar's method (`vslli` in SSE terms).
+    #[inline(always)]
+    pub fn shift_lanes_up(self, fill: i16) -> I16s<L> {
+        let mut out = [fill; L];
+        for l in 1..L {
+            out[l] = self.0[l - 1];
+        }
+        I16s(out)
+    }
+
+    /// Whether any lane of `self` is strictly greater than the matching
+    /// lane of `rhs` (`movemask` + test in SSE terms).
+    #[inline(always)]
+    pub fn any_gt(self, rhs: I16s<L>) -> bool {
+        let mut any = false;
+        for l in 0..L {
+            any |= self.0[l] > rhs.0[l];
+        }
+        any
+    }
+
+    /// Horizontal maximum over all lanes.
+    #[inline]
+    pub fn hmax(self) -> i16 {
+        let mut m = self.0[0];
+        for l in 1..L {
+            if self.0[l] > m {
+                m = self.0[l];
+            }
+        }
+        m
+    }
+}
+
+/// Branchless per-lane select: `mask[l] ? a : b` with a byte-equality
+/// mask (used for match/mismatch scoring).
+#[inline(always)]
+pub fn select_eq<const L: usize>(x: &[u8; L], y: &[u8; L], a: i16, b: i16) -> I16s<L> {
+    let mut out = [0i16; L];
+    for l in 0..L {
+        out[l] = if x[l] == y[l] { a } else { b };
+    }
+    I16s(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_max() {
+        let a = I16s::<8>::splat(3);
+        let b = I16s::<8>([1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(a.max(b).0, [3, 3, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(b.maxs(4).0, [4, 4, 4, 4, 5, 6, 7, 8]);
+        assert_eq!(b.hmax(), 8);
+    }
+
+    #[test]
+    fn saturating_arithmetic_pins_sentinel() {
+        let sent = I16s::<4>::splat(i16::MIN + 100);
+        let dropped = sent.sat_adds(-500);
+        assert!(dropped.0.iter().all(|&v| v == i16::MIN));
+        let raised = dropped.sat_adds(5);
+        assert!(raised.0.iter().all(|&v| v == i16::MIN + 5));
+    }
+
+    #[test]
+    fn select_eq_masks() {
+        let x = [1u8, 2, 3, 4];
+        let y = [1u8, 9, 3, 9];
+        assert_eq!(select_eq(&x, &y, 2, -1).0, [2, -1, 2, -1]);
+    }
+
+    #[test]
+    fn wide_lane_counts_work() {
+        let a = I16s::<32>::splat(1).sat_adds(2);
+        assert!(a.0.iter().all(|&v| v == 3));
+        let b = I16s::<16>::splat(-5).max(I16s::<16>::splat(-7));
+        assert!(b.0.iter().all(|&v| v == -5));
+    }
+}

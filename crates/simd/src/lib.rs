@@ -1,0 +1,36 @@
+//! # anyseq-simd — portable SIMD kernels with 16-bit differential scores
+//!
+//! Reproduces the paper's CPU vectorization (§IV-A) without
+//! architecture-specific intrinsics: lane-array arithmetic autovectorizes
+//! under `-C target-cpu=native` (L = 16 ⇒ AVX2, L = 32 ⇒ AVX512, 16-bit
+//! lanes). Two execution shapes:
+//!
+//! * [`simd_tiled_score_pass`] — long-genome intra-sequence: vector lanes
+//!   are filled with independent tiles popped from the dynamic wavefront
+//!   queue (paper Fig. 3), scalar fallback when fewer than `L` are ready,
+//! * [`score_batch_simd`] — short-read inter-sequence: one whole
+//!   alignment per lane, bucketed by matrix dimensions.
+//!
+//! Scores inside a block are 16-bit *differences to the block's incoming
+//! corner* (paper: "only differences to the global score are relevant"),
+//! with the block extent bounded by [`kernel::max_block_extent`].
+
+pub mod batch;
+pub mod kernel;
+pub mod lanes;
+pub mod tiled;
+
+pub use batch::score_batch_simd;
+pub use kernel::{max_block_extent, BlockBorders, SimdSubst, SENT16};
+pub use lanes::I16s;
+pub use tiled::{simd_tiled_score_pass, SimdPass};
+
+// Internal aliases for the stripe buffers shared with the wavefront
+// border store.
+pub(crate) use anyseq_wavefront::borders::HStripe as HStripeBuf;
+pub(crate) use anyseq_wavefront::borders::VStripe as VStripeBuf;
+
+/// Lane count matching AVX2 (256-bit registers of 16-bit scores).
+pub const LANES_AVX2: usize = 16;
+/// Lane count matching AVX512 (512-bit registers of 16-bit scores).
+pub const LANES_AVX512: usize = 32;

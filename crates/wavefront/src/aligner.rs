@@ -1,0 +1,192 @@
+//! Parallel alignment entry points: a [`HalfPass`] provider backed by the
+//! tiled wavefront pass (so the Hirschberg recursion's dominant passes run
+//! multithreaded), plus an extension trait grafting `score_parallel` /
+//! `align_parallel` onto [`Scheme`].
+
+use crate::pass::{tiled_score_pass, ParallelCfg};
+use anyseq_core::alignment::Alignment;
+use anyseq_core::hirschberg::{align_with_pass, AlignConfig, HalfPass};
+use anyseq_core::kind::AlignKind;
+use anyseq_core::pass::PassOutput;
+use anyseq_core::scheme::Scheme;
+use anyseq_core::score::Score;
+use anyseq_core::scoring::{GapModel, SubstScore};
+use anyseq_seq::Seq;
+
+/// Pass provider running every sufficiently large pass through the
+/// dynamic wavefront.
+#[derive(Debug, Clone, Copy)]
+pub struct TiledPass {
+    /// Parallel execution parameters.
+    pub cfg: ParallelCfg,
+}
+
+impl<G: GapModel, S: SubstScore> HalfPass<G, S> for TiledPass {
+    fn pass<K: AlignKind>(
+        &self,
+        gap: &G,
+        subst: &S,
+        q: &[u8],
+        s: &[u8],
+        tb: Score,
+    ) -> PassOutput {
+        tiled_score_pass::<K, G, S>(gap, subst, q, s, tb, &self.cfg)
+    }
+}
+
+/// Parallel execution methods for [`Scheme`].
+pub trait ParallelExt {
+    /// Score-only, multithreaded (dynamic wavefront).
+    fn score_parallel(&self, q: &Seq, s: &Seq, cfg: &ParallelCfg) -> Score;
+    /// Full traceback with multithreaded Hirschberg passes.
+    fn align_parallel(&self, q: &Seq, s: &Seq, cfg: &ParallelCfg) -> Alignment;
+}
+
+impl<K: AlignKind, G: GapModel, S: SubstScore> ParallelExt for Scheme<K, G, S> {
+    fn score_parallel(&self, q: &Seq, s: &Seq, cfg: &ParallelCfg) -> Score {
+        tiled_score_pass::<K, G, S>(
+            self.gap(),
+            self.subst(),
+            q.codes(),
+            s.codes(),
+            self.gap().open(),
+            cfg,
+        )
+        .score
+    }
+
+    fn align_parallel(&self, q: &Seq, s: &Seq, cfg: &ParallelCfg) -> Alignment {
+        let pass = TiledPass { cfg: *cfg };
+        align_with_pass::<K, G, S, _>(
+            &pass,
+            self.gap(),
+            self.subst(),
+            q,
+            s,
+            &AlignConfig::default(),
+        )
+    }
+}
+
+/// Scores many independent pairs with inter-alignment parallelism — the
+/// paper's short-read use case (ii): each worker pulls whole alignments
+/// from a shared counter (the multi-alignment scheduling of Fig. 3 at
+/// alignment granularity).
+pub fn score_batch_parallel<K, G, S>(
+    scheme: &Scheme<K, G, S>,
+    pairs: &[(Seq, Seq)],
+    threads: usize,
+) -> Vec<Score>
+where
+    K: AlignKind,
+    G: GapModel,
+    S: SubstScore,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let threads = threads.max(1).min(pairs.len().max(1));
+    let mut scores = vec![0 as Score; pairs.len()];
+    let next = AtomicUsize::new(0);
+    const CHUNK: usize = 64;
+    // Hand out disjoint chunks of the output buffer through a raw
+    // pointer wrapper; each index is written exactly once.
+    struct Out(*mut Score);
+    unsafe impl Send for Out {}
+    unsafe impl Sync for Out {}
+    let out = Out(scores.as_mut_ptr());
+    {
+        let out = &out;
+        let next = &next;
+        std::thread::scope(|sc| {
+            for _ in 0..threads {
+                sc.spawn(move || loop {
+                    let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= pairs.len() {
+                        break;
+                    }
+                    let end = (start + CHUNK).min(pairs.len());
+                    for idx in start..end {
+                        let (q, s) = &pairs[idx];
+                        let score = scheme.score(q, s);
+                        // SAFETY: idx ranges are disjoint across workers.
+                        unsafe { *out.0.add(idx) = score };
+                    }
+                });
+            }
+        });
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyseq_core::kind::{Global, Local};
+    use anyseq_core::prelude::{affine, global, linear, local, simple};
+    use anyseq_seq::genome::GenomeSim;
+    use anyseq_seq::readsim::{ReadSim, ReadSimProfile};
+
+    fn small_cfg() -> ParallelCfg {
+        ParallelCfg {
+            threads: 6,
+            tile: 96,
+            min_parallel_area: 0,
+            static_schedule: false,
+        }
+    }
+
+    #[test]
+    fn parallel_align_equals_scalar_align() {
+        let mut sim = GenomeSim::new(11);
+        let q = sim.generate(2500);
+        let s = sim.mutate(&q, 0.06);
+        let scheme = global(affine(simple(2, -1), -2, -1));
+        let scalar = scheme.align(&q, &s);
+        let par = scheme.align_parallel(&q, &s, &small_cfg());
+        assert_eq!(par.score, scalar.score);
+        par.validate::<Global, _, _>(&q, &s, scheme.gap(), scheme.subst())
+            .unwrap();
+        // Scores must equal; op sequences may differ between equally
+        // optimal paths only if tie-breaking differed — ours is shared,
+        // so they should be identical.
+        assert_eq!(par.ops, scalar.ops);
+    }
+
+    #[test]
+    fn parallel_local_align_valid() {
+        let mut sim = GenomeSim::new(13);
+        let q = sim.generate(1800);
+        let s = sim.mutate(&q, 0.15);
+        let scheme = local(linear(simple(2, -2), -2));
+        let scalar = scheme.align(&q, &s);
+        let par = scheme.align_parallel(&q, &s, &small_cfg());
+        assert_eq!(par.score, scalar.score);
+        par.validate::<Local, _, _>(&q, &s, scheme.gap(), scheme.subst())
+            .unwrap();
+    }
+
+    #[test]
+    fn batch_scores_match_sequential() {
+        let mut sim = GenomeSim::new(5);
+        let reference = sim.generate(50_000);
+        let mut rs = ReadSim::new(ReadSimProfile::default(), 17);
+        let pairs: Vec<(Seq, Seq)> = rs
+            .simulate_pairs(&reference, 200)
+            .into_iter()
+            .map(|p| (p.a, p.b))
+            .collect();
+        let scheme = global(linear(simple(2, -1), -1));
+        let batch = score_batch_parallel(&scheme, &pairs, 8);
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(batch[k], scheme.score(q, s), "pair {k}");
+        }
+    }
+
+    #[test]
+    fn batch_empty_and_single() {
+        let scheme = global(linear(simple(2, -1), -1));
+        assert!(score_batch_parallel(&scheme, &[], 4).is_empty());
+        let q = Seq::from_ascii(b"ACGT").unwrap();
+        let out = score_batch_parallel(&scheme, &[(q.clone(), q)], 4);
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Boundary-stripe storage for tiled wavefront execution (paper Fig. 2:
+//! "the values of the rightmost and bottommost border cells of a submatrix
+//! need to be kept as long as neighboring submatrices ... have not been
+//! computed yet").
+//!
+//! One slot per tile column holds the horizontal stripe most recently
+//! produced in that column (bottom border of the last finished tile);
+//! one slot per tile row holds the vertical stripe. The dependency order
+//! of the wavefront guarantees a slot has exactly one producer and one
+//! consumer alive at any time, so the per-slot mutexes are uncontended —
+//! they exist to keep the code `unsafe`-free, costing two lock/unlock
+//! pairs per tile (negligible against the `O(tile²)` relaxation work).
+
+use crate::grid::TileGrid;
+use anyseq_core::kind::AlignKind;
+use anyseq_core::pass::{init_left_f, init_left_h, init_top_e, init_top_h};
+use anyseq_core::score::Score;
+use anyseq_core::scoring::GapModel;
+use parking_lot::Mutex;
+
+/// Horizontal stripe: `H(row, j0−1..=j1)` plus `E(row, j0..=j1)`.
+#[derive(Debug, Default, Clone)]
+pub struct HStripe {
+    /// `H` values (width + 1, including the left corner).
+    pub h: Vec<Score>,
+    /// `E` values (width; empty for linear gap models).
+    pub e: Vec<Score>,
+}
+
+/// Vertical stripe: `H(i0..=i1, col)` plus `F(i0..=i1, col)`.
+#[derive(Debug, Default, Clone)]
+pub struct VStripe {
+    /// `H` values (height).
+    pub h: Vec<Score>,
+    /// `F` values (height; empty for linear gap models).
+    pub f: Vec<Score>,
+}
+
+/// All live boundary stripes of one in-flight tiled pass.
+pub struct BorderStore {
+    /// Per tile column: the stripe crossing its top edge frontier.
+    pub col: Vec<Mutex<HStripe>>,
+    /// Per tile row: the stripe crossing its left edge frontier.
+    pub row: Vec<Mutex<VStripe>>,
+}
+
+impl BorderStore {
+    /// Builds the store with the kind's initialization stripes
+    /// (row 0 split across column slots, column 0 across row slots).
+    /// `tb` is the Hirschberg top-boundary vertical open (see
+    /// [`init_left_h`]).
+    pub fn init<K: AlignKind, G: GapModel>(grid: &TileGrid, gap: &G, tb: Score) -> BorderStore {
+        let top_h = init_top_h::<K, G>(gap, grid.m);
+        let top_e = init_top_e::<K, G>(gap, grid.m);
+        let left_h = init_left_h::<K, G>(gap, grid.n, tb);
+        let left_f = init_left_f::<G>(grid.n);
+
+        let col = (0..grid.mt)
+            .map(|tj| {
+                let (j0, w) = grid.cols(tj as u32);
+                Mutex::new(HStripe {
+                    h: top_h[j0 - 1..j0 + w].to_vec(),
+                    e: if top_e.is_empty() {
+                        Vec::new()
+                    } else {
+                        top_e[j0 - 1..j0 - 1 + w].to_vec()
+                    },
+                })
+            })
+            .collect();
+        let row = (0..grid.nt)
+            .map(|ti| {
+                let (i0, h) = grid.rows(ti as u32);
+                Mutex::new(VStripe {
+                    h: left_h[i0 - 1..i0 - 1 + h].to_vec(),
+                    f: if left_f.is_empty() {
+                        Vec::new()
+                    } else {
+                        left_f[i0 - 1..i0 - 1 + h].to_vec()
+                    },
+                })
+            })
+            .collect();
+        BorderStore { col, row }
+    }
+
+    /// Assembles the final DP row `H(n, 0..=m)` and `E(n, 1..=m)` from the
+    /// column slots (after the pass, each slot holds the bottom stripe of
+    /// its column's last tile).
+    pub fn assemble_last_rows(&self, grid: &TileGrid) -> (Vec<Score>, Vec<Score>) {
+        let mut last_h = Vec::with_capacity(grid.m + 1);
+        let mut last_e = Vec::with_capacity(grid.m);
+        for (tj, slot) in self.col.iter().enumerate() {
+            let stripe = slot.lock();
+            if tj == 0 {
+                last_h.extend_from_slice(&stripe.h);
+            } else {
+                last_h.extend_from_slice(&stripe.h[1..]);
+            }
+            last_e.extend_from_slice(&stripe.e);
+        }
+        (last_h, last_e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyseq_core::kind::Global;
+    use anyseq_core::scoring::AffineGap;
+
+    #[test]
+    fn init_splits_strides_consistently() {
+        let gap = AffineGap {
+            open: -2,
+            extend: -1,
+        };
+        let grid = TileGrid::new(10, 10, 4); // tiles: 4,4,2
+        let store = BorderStore::init::<Global, _>(&grid, &gap, gap.open());
+        assert_eq!(store.col.len(), 3);
+        assert_eq!(store.row.len(), 3);
+        // First column slot: H(0, 0..=4) = 0,-3,-4,-5,-6
+        assert_eq!(store.col[0].lock().h, vec![0, -3, -4, -5, -6]);
+        // Second: H(0, 4..=8), overlapping the corner at j=4.
+        assert_eq!(store.col[1].lock().h, vec![-6, -7, -8, -9, -10]);
+        // Last (width 2): H(0, 8..=10)
+        assert_eq!(store.col[2].lock().h, vec![-10, -11, -12]);
+        // Row slots mirror for column 0.
+        assert_eq!(store.row[0].lock().h, vec![-3, -4, -5, -6]);
+        assert_eq!(store.row[2].lock().h, vec![-11, -12]);
+        // Assembling immediately returns the init row.
+        let (h, e) = store.assemble_last_rows(&grid);
+        assert_eq!(h.len(), 11);
+        assert_eq!(e.len(), 10);
+        assert_eq!(h[0], 0);
+        assert_eq!(h[10], -12);
+    }
+}

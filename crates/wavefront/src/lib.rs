@@ -1,0 +1,36 @@
+//! # anyseq-wavefront — tiled wavefront execution substrate
+//!
+//! Multithreaded CPU parallelization of the anyseq alignment core,
+//! reproducing the paper's §IV-A: DP submatrices (tiles) are relaxed in
+//! wavefront order, scheduled **dynamically** through a thread-safe
+//! lock-free queue with per-tile atomic dependency counters. The
+//! preliminary static barrier-per-diagonal schedule is retained for the
+//! Fig. 6 scalability comparison.
+//!
+//! Only `O(n + m)` boundary stripes are ever materialized (paper Fig. 2);
+//! tile interiors live in per-worker rolling rows.
+//!
+//! ```
+//! use anyseq_core::prelude::*;
+//! use anyseq_wavefront::{ParallelCfg, ParallelExt};
+//! use anyseq_seq::genome::GenomeSim;
+//!
+//! let mut sim = GenomeSim::new(42);
+//! let q = sim.generate(10_000);
+//! let s = sim.mutate(&q, 0.05);
+//! let scheme = global(affine(simple(2, -1), -2, -1));
+//! let cfg = ParallelCfg::threads(4).with_tile(512);
+//! let score = scheme.score_parallel(&q, &s, &cfg);
+//! assert_eq!(score, scheme.score(&q, &s));
+//! ```
+
+pub mod aligner;
+pub mod borders;
+pub mod grid;
+pub mod pass;
+pub mod scheduler;
+
+pub use aligner::{score_batch_parallel, ParallelExt, TiledPass};
+pub use grid::{TileGrid, TileId};
+pub use pass::{tiled_score_pass, ParallelCfg};
+pub use scheduler::{run_dynamic, run_static};

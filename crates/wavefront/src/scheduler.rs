@@ -1,0 +1,263 @@
+//! Tile schedulers: the paper's **dynamic wavefront** (work queue +
+//! atomic dependency tracking, §IV-A) and the preliminary version's
+//! **static wavefront** (barrier per anti-diagonal) kept as the Fig. 6
+//! comparison baseline.
+
+use crate::grid::{TileGrid, TileId};
+use crossbeam::deque::{Injector, Steal};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// Runs `compute` over every tile respecting wavefront dependencies,
+/// scheduling ready tiles through a shared lock-free queue
+/// (paper: "submatrices are scheduled in a thread-safe queue which allows
+/// threads to add and extract work items concurrently").
+///
+/// `make_scratch` builds one per-worker scratch value; `compute` may pull
+/// up to `batch` ready tiles at once (the SIMD backend fills vector lanes
+/// with independent tiles this way — paper Fig. 3; with fewer than
+/// `batch` tiles available it receives a short slice and is expected to
+/// fall back to the scalar path). Returns the scratch values for
+/// result merging.
+///
+/// The completion and queuing status of all submatrices is tracked in
+/// preallocated arrays of atomic flags, exactly as the paper describes.
+pub fn run_dynamic<W, M, F>(
+    grid: &TileGrid,
+    threads: usize,
+    batch: usize,
+    make_scratch: M,
+    compute: F,
+) -> Vec<W>
+where
+    W: Send,
+    M: Fn() -> W + Sync,
+    F: Fn(&mut W, &[TileId]) + Sync,
+{
+    assert!(threads >= 1 && batch >= 1);
+    let deps: Vec<AtomicU8> = (0..grid.total())
+        .map(|idx| {
+            let t = TileId {
+                ti: (idx / grid.mt) as u32,
+                tj: (idx % grid.mt) as u32,
+            };
+            AtomicU8::new(grid.initial_deps(t))
+        })
+        .collect();
+    let remaining = AtomicUsize::new(grid.total());
+    let queue: Injector<TileId> = Injector::new();
+    queue.push(TileId { ti: 0, tj: 0 });
+
+    let release = |t: TileId| {
+        // Decrement each successor's dependency count; the one that
+        // reaches zero enqueues it (release/acquire pairing makes the
+        // producer's border writes visible to the consumer).
+        if (t.tj as usize) + 1 < grid.mt {
+            let right = TileId {
+                ti: t.ti,
+                tj: t.tj + 1,
+            };
+            if deps[grid.index(right)].fetch_sub(1, Ordering::AcqRel) == 1 {
+                queue.push(right);
+            }
+        }
+        if (t.ti as usize) + 1 < grid.nt {
+            let down = TileId {
+                ti: t.ti + 1,
+                tj: t.tj,
+            };
+            if deps[grid.index(down)].fetch_sub(1, Ordering::AcqRel) == 1 {
+                queue.push(down);
+            }
+        }
+    };
+
+    let mut scratches = Vec::with_capacity(threads);
+    std::thread::scope(|sc| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(sc.spawn(|| {
+                let mut scratch = make_scratch();
+                let mut ready: Vec<TileId> = Vec::with_capacity(batch);
+                loop {
+                    ready.clear();
+                    // Pull up to `batch` ready tiles.
+                    while ready.len() < batch {
+                        match queue.steal() {
+                            Steal::Success(t) => ready.push(t),
+                            Steal::Retry => continue,
+                            Steal::Empty => break,
+                        }
+                    }
+                    if ready.is_empty() {
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    compute(&mut scratch, &ready);
+                    for &t in &ready {
+                        release(t);
+                    }
+                    remaining.fetch_sub(ready.len(), Ordering::AcqRel);
+                }
+                scratch
+            }));
+        }
+        for h in handles {
+            scratches.push(h.join().expect("wavefront worker panicked"));
+        }
+    });
+    debug_assert_eq!(remaining.load(Ordering::Acquire), 0);
+    scratches
+}
+
+/// Runs `compute` with a **static** wavefront: every anti-diagonal is
+/// split evenly among the threads, followed by a barrier — the schedule
+/// of the paper's preliminary AnySeq version and of Parasail, reproduced
+/// as the Fig. 6 baseline. Load imbalance (short diagonals near the
+/// corners, uneven tile costs) and the `O(diagonals)` barriers are the
+/// point: do not use this for real work.
+pub fn run_static<W, M, F>(grid: &TileGrid, threads: usize, make_scratch: M, compute: F) -> Vec<W>
+where
+    W: Send,
+    M: Fn() -> W + Sync,
+    F: Fn(&mut W, &[TileId]) + Sync,
+{
+    assert!(threads >= 1);
+    let barrier = Barrier::new(threads);
+    let mut scratches = Vec::with_capacity(threads);
+    std::thread::scope(|sc| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let barrier = &barrier;
+            let compute = &compute;
+            let make_scratch = &make_scratch;
+            handles.push(sc.spawn(move || {
+                let mut scratch = make_scratch();
+                for d in 0..grid.diagonals() {
+                    let tiles: Vec<TileId> = grid.diagonal(d).collect();
+                    // Fixed round-robin assignment, no stealing.
+                    for t in tiles
+                        .iter()
+                        .skip(worker)
+                        .step_by(threads)
+                        .copied()
+                        .collect::<Vec<_>>()
+                    {
+                        compute(&mut scratch, &[t]);
+                    }
+                    barrier.wait();
+                }
+                scratch
+            }));
+        }
+        for h in handles {
+            scratches.push(h.join().expect("static wavefront worker panicked"));
+        }
+    });
+    scratches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::HashSet;
+
+    fn check_order(order: &[TileId], grid: &TileGrid) {
+        // Every tile exactly once, and each tile appears after its deps.
+        let mut pos = vec![usize::MAX; grid.total()];
+        for (k, &t) in order.iter().enumerate() {
+            assert_eq!(pos[grid.index(t)], usize::MAX, "tile computed twice");
+            pos[grid.index(t)] = k;
+        }
+        assert!(pos.iter().all(|&p| p != usize::MAX), "missing tiles");
+        for ti in 0..grid.nt as u32 {
+            for tj in 0..grid.mt as u32 {
+                let p = pos[grid.index(TileId { ti, tj })];
+                if ti > 0 {
+                    assert!(pos[grid.index(TileId { ti: ti - 1, tj })] < p);
+                }
+                if tj > 0 {
+                    assert!(pos[grid.index(TileId { ti, tj: tj - 1 })] < p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_respects_dependencies() {
+        let grid = TileGrid::new(97, 130, 16);
+        for threads in [1, 2, 8] {
+            let log = Mutex::new(Vec::new());
+            run_dynamic(
+                &grid,
+                threads,
+                1,
+                || (),
+                |_, tiles| {
+                    log.lock().extend_from_slice(tiles);
+                },
+            );
+            check_order(&log.into_inner(), &grid);
+        }
+    }
+
+    #[test]
+    fn dynamic_batch_pop_still_valid() {
+        let grid = TileGrid::new(257, 257, 16);
+        for batch in [2, 4, 16] {
+            let log = Mutex::new(Vec::new());
+            run_dynamic(
+                &grid,
+                4,
+                batch,
+                || (),
+                |_, tiles| {
+                    assert!(!tiles.is_empty() && tiles.len() <= batch);
+                    // Batched tiles must be pairwise independent (no tile
+                    // an ancestor of another): tiles popped together are
+                    // all "ready", which for a wavefront means no two on
+                    // the same row path... verify weaker: distinct.
+                    let set: HashSet<_> = tiles.iter().map(|t| grid.index(*t)).collect();
+                    assert_eq!(set.len(), tiles.len());
+                    log.lock().extend_from_slice(tiles);
+                },
+            );
+            check_order(&log.into_inner(), &grid);
+        }
+    }
+
+    #[test]
+    fn static_respects_dependencies() {
+        let grid = TileGrid::new(100, 60, 8);
+        for threads in [1, 3, 6] {
+            let log = Mutex::new(Vec::new());
+            run_static(
+                &grid,
+                threads,
+                || (),
+                |_, tiles| {
+                    log.lock().extend_from_slice(tiles);
+                },
+            );
+            check_order(&log.into_inner(), &grid);
+        }
+    }
+
+    #[test]
+    fn scratches_returned_per_worker() {
+        let grid = TileGrid::new(64, 64, 8);
+        let scratches = run_dynamic(
+            &grid,
+            4,
+            1,
+            || 0usize,
+            |count, tiles| *count += tiles.len(),
+        );
+        assert_eq!(scratches.len(), 4);
+        assert_eq!(scratches.iter().sum::<usize>(), grid.total());
+    }
+}

@@ -1,0 +1,67 @@
+//! Accelerator backends: the GPU execution-model simulator and the FPGA
+//! systolic array, with modeled GCUPS and energy efficiency — the
+//! paper's "backends-as-values" composition (§IV).
+//!
+//! Run: `cargo run --release --example accelerators [len]`
+
+use anyseq::fpga::{gcups_per_watt, SystolicArray};
+use anyseq::gpu::{Device, GpuAligner, KernelShape};
+use anyseq::prelude::*;
+
+fn main() {
+    let len: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let mut sim = GenomeSim::new(5);
+    let a = sim.generate(len);
+    let b = sim.mutate(&a, 0.03);
+    let scheme = global(affine(simple(2, -1), -2, -1));
+    let cpu_score = scheme.score(&a, &b);
+
+    // ---- GPU (Titan V model): striped tiles, phased diagonals,
+    // coalesced borders -------------------------------------------------
+    let gpu = GpuAligner::new(Device::titan_v()).with_tile(768);
+    let run = gpu.score(&scheme, &a, &b);
+    assert_eq!(run.score, cpu_score, "GPU simulation is bit-exact");
+    println!(
+        "GPU  {}: score {}, modeled {:.1} GCUPS \
+         ({} launches, {} blocks, {} transactions)",
+        gpu.device.name,
+        run.score,
+        run.stats.gcups(&gpu.device),
+        run.stats.launches,
+        run.stats.blocks,
+        run.stats.transactions,
+    );
+
+    // The same device with the kernel refinements disabled (NVBio-like):
+    let naive = GpuAligner::new(Device::titan_v())
+        .with_tile(768)
+        .with_shape(KernelShape {
+            block_threads: 64,
+            phased: false,
+            coalesced: false,
+        });
+    let nrun = naive.score(&scheme, &a, &b);
+    println!(
+        "GPU  unphased/uncoalesced: modeled {:.1} GCUPS (slower by {:.2}x)",
+        nrun.stats.gcups(&naive.device),
+        run.stats.gcups(&gpu.device) / nrun.stats.gcups(&naive.device),
+    );
+
+    // ---- FPGA (ZCU104 model): 128-PE systolic array --------------------
+    let arr = SystolicArray::zcu104(128);
+    let frun = arr.score(scheme.gap(), scheme.subst(), &a, &b);
+    assert_eq!(frun.score, cpu_score, "FPGA simulation is bit-exact");
+    let fpga_gcups = arr.gcups(&frun.stats);
+    println!(
+        "FPGA {}: score {}, modeled {:.1} GCUPS over {} stripes",
+        arr.name, frun.score, fpga_gcups, frun.stats.stripes,
+    );
+    println!(
+        "energy: FPGA {:.2} GCUPS/W vs GPU {:.2} GCUPS/W (paper Table II shape: FPGA > 4x GPU)",
+        gcups_per_watt(fpga_gcups, arr.watts),
+        gcups_per_watt(run.stats.gcups(&gpu.device), 250.0),
+    );
+}

@@ -1,0 +1,58 @@
+//! Custom scoring: substitution matrices, wildcard handling, and the
+//! effect of gap model choice — the paper's "variation of alignment
+//! parameters by simple function composition".
+//!
+//! Run: `cargo run --release --example custom_scoring`
+
+use anyseq::prelude::*;
+
+fn main() {
+    let q = Seq::from_ascii(b"ACGTNNACGTACGT").unwrap();
+    let s = Seq::from_ascii(b"ACGTACGTTTACGT").unwrap();
+
+    // A matrix scheme treating N as a cheap wildcard:
+    let wildcard = MatrixSubst::dna(2, -1, 0);
+    let scheme = global(affine(wildcard, -2, -1));
+    println!("matrix subst (N free): {}", scheme.score(&q, &s));
+
+    // The same matrix with N penalized like a mismatch:
+    let strict = MatrixSubst::dna(2, -1, -1);
+    let scheme = global(affine(strict, -2, -1));
+    println!("matrix subst (N = mismatch): {}", scheme.score(&q, &s));
+
+    // Transition/transversion-aware scoring (A<->G, C<->T cheaper):
+    let mut table = [[-2i32; 5]; 5];
+    for b in 0..4 {
+        table[b][b] = 2;
+    }
+    table[0][2] = -1; // A->G transition
+    table[2][0] = -1;
+    table[1][3] = -1; // C->T transition
+    table[3][1] = -1;
+    for k in 0..5 {
+        table[4][k] = -1;
+        table[k][4] = -1;
+    }
+    let titv = MatrixSubst { table };
+    let scheme = global(affine(titv, -3, -1));
+    let aln = scheme.align(&q, &s);
+    println!("transition-aware: score {}, cigar {}", aln.score, aln.cigar());
+
+    // Gap model comparison on a sequence with one long insertion:
+    let a = Seq::from_ascii(b"ACGTACGTACGTACGT").unwrap();
+    let mut with_insert = a.codes()[..8].to_vec();
+    with_insert.extend_from_slice(&[3, 3, 3, 3, 3, 3]); // TTTTTT inserted
+    with_insert.extend_from_slice(&a.codes()[8..]);
+    let b = Seq::from_codes(with_insert).unwrap();
+
+    let lin = global(linear(simple(2, -1), -1)).align(&a, &b);
+    let aff = global(affine(simple(2, -1), -4, -1)).align(&a, &b);
+    println!("linear gaps: {} ({})", lin.score, lin.cigar());
+    println!("affine gaps: {} ({})", aff.score, aff.cigar());
+    // Affine pricing concentrates the insertion into one run:
+    let aff_runs = aff
+        .cigar()
+        .matches('D')
+        .count();
+    assert_eq!(aff_runs, 1, "affine should produce one deletion run");
+}

@@ -1,0 +1,165 @@
+//! Workspace-level integration: every execution backend must produce the
+//! same scores as the core scalar engine (which is itself oracle-checked
+//! in `anyseq-core`). This is the reproduction's strongest claim: one
+//! generic algorithm, many specialized engines, identical results.
+
+use anyseq::fpga::SystolicArray;
+use anyseq::gpu::{Device, GpuAligner};
+use anyseq::prelude::*;
+use anyseq::simd::{score_batch_simd, simd_tiled_score_pass};
+use anyseq_baselines::{NvbioLike, ParasailLike, SeqAnLike};
+use anyseq_core::kind::Global;
+use anyseq_wavefront::pass::{tiled_score_pass, ParallelCfg};
+
+fn genome_pair(len: usize, divergence: f64, seed: u64) -> (Seq, Seq) {
+    let mut sim = GenomeSim::new(seed);
+    let a = sim.generate(len);
+    let b = sim.mutate(&a, divergence);
+    (a, b)
+}
+
+#[test]
+fn every_backend_agrees_on_global_scores() {
+    for (seed, div) in [(1u64, 0.02), (2, 0.10), (3, 0.30)] {
+        let (q, s) = genome_pair(3000, div, seed);
+        for (open, ext) in [(0, -1), (-2, -1), (-5, -2)] {
+            let scheme = global(affine(simple(2, -1), open, ext));
+            let expected = scheme.score(&q, &s);
+
+            let cfg = ParallelCfg {
+                threads: 6,
+                tile: 128,
+                min_parallel_area: 0,
+                static_schedule: false,
+            };
+            assert_eq!(
+                tiled_score_pass::<Global, _, _>(
+                    scheme.gap(),
+                    scheme.subst(),
+                    q.codes(),
+                    s.codes(),
+                    open,
+                    &cfg
+                )
+                .score,
+                expected,
+                "wavefront seed={seed}"
+            );
+            assert_eq!(
+                simd_tiled_score_pass::<_, _, 16>(
+                    scheme.gap(),
+                    scheme.subst(),
+                    q.codes(),
+                    s.codes(),
+                    open,
+                    &cfg
+                )
+                .score,
+                expected,
+                "simd seed={seed}"
+            );
+            let gpu = GpuAligner::new(Device::titan_v()).with_tile(256);
+            assert_eq!(gpu.score(&scheme, &q, &s).score, expected, "gpu seed={seed}");
+            let fpga = SystolicArray::zcu104(64);
+            assert_eq!(
+                fpga.score(scheme.gap(), scheme.subst(), &q, &s).score,
+                expected,
+                "fpga seed={seed}"
+            );
+            let mut seqan = SeqAnLike::new(4);
+            seqan.tile = 128;
+            assert_eq!(seqan.score(&scheme, &q, &s), expected, "seqan seed={seed}");
+            let mut parasail = ParasailLike::new(4);
+            parasail.tile = 128;
+            assert_eq!(parasail.score(&scheme, &q, &s), expected, "parasail seed={seed}");
+            let nvbio = NvbioLike::new(Device::titan_v());
+            assert_eq!(nvbio.score(&scheme, &q, &s).score, expected, "nvbio seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn every_traceback_backend_is_optimal_and_valid() {
+    let (q, s) = genome_pair(2000, 0.08, 11);
+    let scheme = global(affine(simple(2, -1), -2, -1));
+    let expected = scheme.score(&q, &s);
+
+    let check = |name: &str, aln: Alignment| {
+        assert_eq!(aln.score, expected, "{name} score");
+        aln.validate::<Global, _, _>(&q, &s, scheme.gap(), scheme.subst())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    };
+
+    check("scalar", scheme.align(&q, &s));
+    check(
+        "parallel",
+        scheme.align_parallel(&q, &s, &ParallelCfg::threads(6).with_tile(128)),
+    );
+    let gpu = GpuAligner::new(Device::titan_v()).with_tile(256);
+    check("gpu", gpu.align(&scheme, &q, &s).0);
+    check("seqan-like", SeqAnLike::new(4).align(&scheme, &q, &s));
+    check("parasail-like", ParasailLike::new(4).align(&scheme, &q, &s));
+    check("nvbio-like", NvbioLike::new(Device::titan_v()).align(&scheme, &q, &s).0);
+}
+
+#[test]
+fn read_batches_agree_across_engines() {
+    let reference = GenomeSim::new(21).generate(200_000);
+    let mut rs = ReadSim::new(ReadSimProfile::default(), 22);
+    let pairs: Vec<(Seq, Seq)> = rs
+        .simulate_pairs(&reference, 400)
+        .into_iter()
+        .map(|p| (p.a, p.b))
+        .collect();
+    let scheme = global(linear(simple(2, -1), -1));
+
+    let scalar = score_batch_parallel(&scheme, &pairs, 8);
+    let simd16 = score_batch_simd::<_, _, 16>(&scheme, &pairs, 8);
+    let simd32 = score_batch_simd::<_, _, 32>(&scheme, &pairs, 8);
+    assert_eq!(scalar, simd16);
+    assert_eq!(scalar, simd32);
+
+    let gpu = GpuAligner::new(Device::titan_v());
+    let (gpu_scores, stats) = gpu.score_batch(&scheme, &pairs);
+    assert_eq!(scalar, gpu_scores);
+    assert!(stats.gcups(&gpu.device) > 0.0);
+}
+
+#[test]
+fn all_kinds_cross_checked_on_the_facade() {
+    let (q, s) = genome_pair(800, 0.15, 31);
+    let sc = affine(simple(2, -1), -2, -1);
+    for (name, score, aln) in [
+        ("global", global(sc).score(&q, &s), global(sc).align(&q, &s)),
+        ("local", local(sc).score(&q, &s), local(sc).align(&q, &s)),
+        (
+            "semiglobal",
+            semiglobal(sc).score(&q, &s),
+            semiglobal(sc).align(&q, &s),
+        ),
+        (
+            "free_end",
+            free_end(sc).score(&q, &s),
+            free_end(sc).align(&q, &s),
+        ),
+    ] {
+        assert_eq!(aln.score, score, "{name}");
+    }
+}
+
+#[test]
+fn fasta_round_trip_through_alignment() {
+    use anyseq::seq::fasta;
+    let text = b">query first\nACGTACGTTGACCA\n>subject second\nACGTACGTTGCCAA\n";
+    let records = fasta::read_fasta(&text[..]).unwrap();
+    assert_eq!(records.len(), 2);
+    let scheme = global(linear(simple(2, -1), -1));
+    let aln = scheme.align(&records[0].seq, &records[1].seq);
+    aln.validate::<Global, _, _>(
+        &records[0].seq,
+        &records[1].seq,
+        scheme.gap(),
+        scheme.subst(),
+    )
+    .unwrap();
+}
