@@ -106,7 +106,13 @@ impl ParasailLike {
         run_static(
             &grid,
             self.threads,
-            || (HStripe::default(), VStripe::default(), DiagScratch::default()),
+            || {
+                (
+                    HStripe::default(),
+                    VStripe::default(),
+                    DiagScratch::default(),
+                )
+            },
             |(top, left, scratch), tiles| {
                 for &t in tiles {
                     let (i0, th) = grid.rows(t.ti);
@@ -331,16 +337,21 @@ mod tests {
             &mut out,
             &mut NoSink,
         );
-        let mut top = HStripe {
-            h: top_h,
-            e: top_e,
-        };
+        let mut top = HStripe { h: top_h, e: top_e };
         let mut left = VStripe {
             h: left_h,
             f: left_f,
         };
         let mut scratch = DiagScratch::default();
-        diag_tile_kernel(&gap, &subst, q.codes(), s.codes(), &mut top, &mut left, &mut scratch);
+        diag_tile_kernel(
+            &gap,
+            &subst,
+            q.codes(),
+            s.codes(),
+            &mut top,
+            &mut left,
+            &mut scratch,
+        );
         assert_eq!(top.h, out.bot_h);
         assert_eq!(top.e, out.bot_e);
         assert_eq!(left.h, out.right_h);

@@ -170,10 +170,7 @@ impl SeqAnLike {
                                 if remaining.load(Ordering::Acquire) == 0 {
                                     return;
                                 }
-                                nonempty.wait_for(
-                                    &mut qlock,
-                                    std::time::Duration::from_millis(1),
-                                );
+                                nonempty.wait_for(&mut qlock, std::time::Duration::from_millis(1));
                             }
                             while ready.len() < lanes {
                                 match qlock.pop_front() {
@@ -190,7 +187,7 @@ impl SeqAnLike {
                                 th == tile && tw == tile
                             });
                         if full_block {
-                            compute_masked_block::<K, G, SS>(
+                            compute_masked_block::<G, SS>(
                                 gap, subst, q, s, &grid, &borders, &ready, lanes, tile,
                             );
                         } else {
@@ -257,6 +254,7 @@ impl<G: GapModel, SS: SimdSubst> HalfPass<G, SS> for SeqAnLike {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn compute_scalar_tile<K, G, SS>(
     gap: &G,
     subst: &SS,
@@ -315,7 +313,7 @@ fn compute_scalar_tile<K, G, SS>(
 
 /// Vector path: dispatches on the configured lane count (masked kernel).
 #[allow(clippy::too_many_arguments)]
-fn compute_masked_block<K, G, SS>(
+fn compute_masked_block<G, SS>(
     gap: &G,
     subst: &SS,
     q: &[u8],
@@ -326,7 +324,6 @@ fn compute_masked_block<K, G, SS>(
     lanes: usize,
     tile: usize,
 ) where
-    K: AlignKind,
     G: GapModel,
     SS: SimdSubst,
 {

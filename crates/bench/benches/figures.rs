@@ -28,18 +28,13 @@ fn bench_fig5a_row(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig5a_scores_linear");
     group.throughput(Throughput::Elements(cells));
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("anyseq_cpu", |b| {
         b.iter(|| {
-            tiled_score_pass::<Global, _, _>(
-                lin.gap(),
-                lin.subst(),
-                q.codes(),
-                s.codes(),
-                0,
-                &cfg,
-            )
-            .score
+            tiled_score_pass::<Global, _, _>(lin.gap(), lin.subst(), q.codes(), s.codes(), 0, &cfg)
+                .score
         })
     });
     group.bench_function("anyseq_avx2", |b| {
@@ -71,7 +66,9 @@ fn bench_fig5b_row(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig5b_scores_linear");
     group.throughput(Throughput::Elements(cells));
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("anyseq_cpu_batch", |b| {
         b.iter(|| score_batch_parallel(&lin, &batch, threads))
     });

@@ -25,7 +25,9 @@ fn bench_scalar_kernel(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("scalar_pass");
     group.throughput(Throughput::Elements(cells));
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("global_linear", |b| {
         b.iter(|| score_pass::<Global, _, _>(&lin, &subst, q.codes(), s.codes(), 0).score)
     });
@@ -57,7 +59,9 @@ fn bench_simd_lanes(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("simd_tiled_pass");
     group.throughput(Throughput::Elements(cells));
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("scalar_i32", |b| {
         b.iter(|| {
             tiled_score_pass::<Global, _, _>(&aff, &subst, q.codes(), s.codes(), -2, &cfg).score
@@ -91,7 +95,9 @@ fn bench_schedulers(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("scheduler");
     group.throughput(Throughput::Elements(cells));
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for threads in [4usize, 8] {
         let dynamic = ParallelCfg {
             threads,
@@ -111,8 +117,7 @@ fn bench_schedulers(c: &mut Criterion) {
         });
         group.bench_function(format!("static_t{threads}"), |b| {
             b.iter(|| {
-                tiled_score_pass::<Global, _, _>(&lin, &subst, q.codes(), s.codes(), 0, &stat)
-                    .score
+                tiled_score_pass::<Global, _, _>(&lin, &subst, q.codes(), s.codes(), 0, &stat).score
             })
         });
     }
@@ -128,7 +133,9 @@ fn bench_traceback(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("traceback");
     group.throughput(Throughput::Elements(cells));
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("hirschberg_scalar", |b| {
         b.iter(|| scheme.align(&q, &s).score)
     });

@@ -21,7 +21,9 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut which = "all".to_string();
     let mut scale = 0.003;
-    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let mut k = 1;
     while k < args.len() {
         match args[k].as_str() {
@@ -120,7 +122,10 @@ fn main() {
                 .score,
             );
         });
-        t.row(vec!["lock-free injector".to_string(), format!("{:.2}", m.gcups)]);
+        t.row(vec![
+            "lock-free injector".to_string(),
+            format!("{:.2}", m.gcups),
+        ]);
         json.insert("queue/injector".to_string(), m.gcups);
         let scheme = global(affine(simple(2, -1), -2, -1));
         let mut seqan = SeqAnLike::new(threads).with_lanes(1);
@@ -220,7 +225,10 @@ fn main() {
                     coalesced,
                 });
             let r = gpu.score(&scheme, gq, gs);
-            t.row(vec![name.to_string(), format!("{:.1}", r.stats.gcups(&gpu.device))]);
+            t.row(vec![
+                name.to_string(),
+                format!("{:.1}", r.stats.gcups(&gpu.device)),
+            ]);
             json.insert(format!("stripes/{name}"), r.stats.gcups(&gpu.device));
         }
         println!("{}", t.render());

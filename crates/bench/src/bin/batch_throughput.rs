@@ -1,0 +1,96 @@
+//! Batch-throughput workload over the `anyseq-engine` subsystem:
+//! per-backend GCUPS on a Mason-like short-read batch, single-thread
+//! versus multi-thread, plus the engine's own per-batch statistics
+//! (utilization, fallbacks) — the scaling evidence the ROADMAP's
+//! batching milestone asks for.
+//!
+//! Run: `cargo run --release -p anyseq-bench --bin batch_throughput \
+//!       [pairs] [threads] [repeats]`
+
+use anyseq_bench::gcups::measure_batch_gcups;
+use anyseq_bench::report::{dump_json, Table};
+use anyseq_bench::workloads::read_batch;
+use anyseq_engine::{BackendId, BatchCfg, BatchScheduler, Dispatch, Policy, SchemeSpec};
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pairs_n: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(5_000);
+    let threads: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8)
+    });
+    let repeats: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(3);
+
+    println!("simulating {pairs_n} read pairs...");
+    let pairs = read_batch(pairs_n, 7);
+    let spec = SchemeSpec::global_linear(2, -1, -1);
+
+    let mut table = Table::new(vec!["backend", "threads", "GCUPS", "scaling", "util%"]);
+    let mut json: BTreeMap<String, f64> = BTreeMap::new();
+    let mut expected = None;
+
+    for backend in [BackendId::Scalar, BackendId::Simd, BackendId::GpuSim] {
+        let dispatch = Dispatch::standard(Policy::Fixed(backend));
+        let mut single = None;
+        for t in [1usize, threads] {
+            let scheduler = BatchScheduler::new(BatchCfg::threads(t));
+            let mut last_stats = None;
+            let m = measure_batch_gcups(&pairs, repeats, || {
+                let run = scheduler.score_batch(&dispatch, &spec, &pairs);
+                match &expected {
+                    None => expected = Some(run.results.clone()),
+                    Some(reference) => assert_eq!(
+                        reference,
+                        &run.results,
+                        "{} results diverged from the reference",
+                        backend.name()
+                    ),
+                }
+                last_stats = Some(run.stats);
+            });
+            let stats = last_stats.expect("at least one repeat ran");
+            let scaling = match (t, single) {
+                (1, _) => {
+                    single = Some(m.gcups);
+                    "1.00x".to_string()
+                }
+                (_, Some(base)) if base > 0.0 => format!("{:.2}x", m.gcups / base),
+                _ => "-".to_string(),
+            };
+            table.row(vec![
+                backend.name().to_string(),
+                t.to_string(),
+                format!("{:.3}", m.gcups),
+                scaling,
+                format!("{:.0}", 100.0 * stats.utilization(t)),
+            ]);
+            json.insert(format!("{}_{t}t", backend.name()), m.gcups);
+            if t == 1 && t == threads {
+                break; // single-core machine: one row is the whole story
+            }
+        }
+    }
+
+    println!("{}", table.render());
+    println!(
+        "(median of {repeats} runs over {} pairs; results cross-checked between backends)",
+        pairs.len()
+    );
+    if threads > 1 {
+        let s1 = json.get("simd_1t").copied().unwrap_or(0.0);
+        let sn = json
+            .get(&format!("simd_{threads}t"))
+            .copied()
+            .unwrap_or(0.0);
+        if s1 > 0.0 {
+            println!(
+                "simd {}-thread scaling over 1-thread: {:.2}x",
+                threads,
+                sn / s1
+            );
+        }
+    }
+    dump_json("batch_throughput", &json);
+}

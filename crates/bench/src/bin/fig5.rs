@@ -20,6 +20,7 @@ use anyseq_bench::workloads::{genome_pairs, read_batch};
 use anyseq_core::hirschberg::{align_with_pass, AlignConfig};
 use anyseq_core::prelude::*;
 use anyseq_core::scheme::Scheme;
+use anyseq_engine::stats::TRACEBACK_CELL_FACTOR;
 use anyseq_fpga_sim::SystolicArray;
 use anyseq_gpu_sim::{Device, GpuAligner};
 use anyseq_seq::Seq;
@@ -55,7 +56,9 @@ fn parse_args() -> Cfg {
         scale: 0.004,
         gpu_scale: 0.01,
         pairs: 20_000,
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8),
         repeats: 3,
     };
     let args: Vec<String> = std::env::args().collect();
@@ -116,10 +119,7 @@ fn main() {
 }
 
 /// Runs `f` over every long-genome pair and reports the median GCUPS.
-fn median_over_pairs<F: FnMut(&Seq, &Seq) -> f64>(
-    pairs: &[(String, Seq, Seq)],
-    mut f: F,
-) -> f64 {
+fn median_over_pairs<F: FnMut(&Seq, &Seq) -> f64>(pairs: &[(String, Seq, Seq)], mut f: F) -> f64 {
     median(pairs.iter().map(|(_, q, s)| f(q, s)).collect())
 }
 
@@ -132,7 +132,10 @@ fn part_a(cfg: &Cfg) {
     let pairs = genome_pairs(cfg.scale, 11);
     // One pair suffices for the simulators (functional emulation is
     // CPU-bound); the scale is chosen so the modeled device saturates.
-    let sim_pairs: Vec<_> = genome_pairs(cfg.gpu_scale, 11).into_iter().take(1).collect();
+    let sim_pairs: Vec<_> = genome_pairs(cfg.gpu_scale, 11)
+        .into_iter()
+        .take(1)
+        .collect();
     let lin = lin_scheme();
     let aff = aff_scheme();
     let mut json = BTreeMap::new();
@@ -155,14 +158,20 @@ fn part_a(cfg: &Cfg) {
             }
         );
         println!("== {title} ==");
-        let mut table = Table::new(vec!["library", "CPU", "AVX2", "AVX512", "TitanV*", "ZCU104*"]);
+        let mut table = Table::new(vec![
+            "library", "CPU", "AVX2", "AVX512", "TitanV*", "ZCU104*",
+        ]);
 
         // Helper macro running one CPU engine closure for the right scheme.
         macro_rules! cpu_gcups {
             ($run_lin:expr, $run_aff:expr) => {{
                 median_over_pairs(&pairs, |q, s| {
                     let cells = (q.len() * s.len()) as u64
-                        * if out == Output::Traceback { 2 } else { 1 };
+                        * if out == Output::Traceback {
+                            TRACEBACK_CELL_FACTOR
+                        } else {
+                            1
+                        };
                     let m = measure_gcups(cells, cfg.repeats, || match gapk {
                         GapKind::Linear => $run_lin(q, s),
                         GapKind::Affine => $run_aff(q, s),
@@ -493,7 +502,11 @@ fn part_b(cfg: &Cfg) {
     for gapk in [GapKind::Linear, GapKind::Affine] {
         let title = format!(
             "Scores only, {}",
-            if gapk == GapKind::Linear { "linear" } else { "affine" }
+            if gapk == GapKind::Linear {
+                "linear"
+            } else {
+                "affine"
+            }
         );
         println!("== {title} ==");
         let mut table = Table::new(vec!["library", "CPU", "AVX2", "AVX512", "TitanV*"]);
@@ -636,7 +649,11 @@ fn part_b(cfg: &Cfg) {
     for gapk in [GapKind::Linear, GapKind::Affine] {
         let title = format!(
             "Traceback, {}",
-            if gapk == GapKind::Linear { "linear" } else { "affine" }
+            if gapk == GapKind::Linear {
+                "linear"
+            } else {
+                "affine"
+            }
         );
         println!("== {title} ==");
         let mut table = Table::new(vec!["library", "CPU"]);

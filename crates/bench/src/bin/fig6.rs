@@ -39,10 +39,7 @@ fn main() {
                 k += 2;
             }
             "--threads" => {
-                threads = args[k + 1]
-                    .split(',')
-                    .map(|t| t.parse().unwrap())
-                    .collect();
+                threads = args[k + 1].split(',').map(|t| t.parse().unwrap()).collect();
                 k += 2;
             }
             other => {

@@ -33,9 +33,7 @@ fn count_loc(dir: &Path) -> usize {
 }
 
 fn main() {
-    let root = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| ".".to_string());
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
     let root = Path::new(&root);
 
     // Categories per the paper's methodology: shared = core algorithm +
@@ -73,10 +71,22 @@ fn main() {
          seq/bench/cli/fpga per the paper's exclusions):\n"
     );
     let pct = |x: usize| 100.0 * x as f64 / total as f64;
-    println!("  shared (core + grid/borders/scheduler): {shared_total:>6} ({:.0}%)", pct(shared_total));
-    println!("  CPU scalar (tiled pass + aligner):      {cpu_scalar:>6} ({:.0}%)", pct(cpu_scalar));
-    println!("  CPU SIMD:                               {simd:>6} ({:.0}%)", pct(simd));
-    println!("  GPU:                                    {gpu:>6} ({:.0}%)", pct(gpu));
+    println!(
+        "  shared (core + grid/borders/scheduler): {shared_total:>6} ({:.0}%)",
+        pct(shared_total)
+    );
+    println!(
+        "  CPU scalar (tiled pass + aligner):      {cpu_scalar:>6} ({:.0}%)",
+        pct(cpu_scalar)
+    );
+    println!(
+        "  CPU SIMD:                               {simd:>6} ({:.0}%)",
+        pct(simd)
+    );
+    println!(
+        "  GPU:                                    {gpu:>6} ({:.0}%)",
+        pct(gpu)
+    );
     println!("  total:                                  {total:>6}");
     println!("\n(paper: 52% shared / 11% CPU-scalar / 14% SIMD / 23% GPU)");
 }

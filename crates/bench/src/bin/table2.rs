@@ -18,7 +18,9 @@ use std::collections::BTreeMap;
 fn main() {
     let mut scale = 0.004;
     let mut gpu_scale = 0.01;
-    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let args: Vec<String> = std::env::args().collect();
     let mut k = 1;
     while k < args.len() {

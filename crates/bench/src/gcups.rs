@@ -1,9 +1,15 @@
 //! GCUPS measurement (giga cell updates per second, the paper's metric).
+//!
+//! Cell counting and the GCUPS formula are defined once, in
+//! [`anyseq_engine::stats`]; this module wraps them with the repeated-
+//! run / median protocol the figure binaries use, so the bench harness
+//! and the engine's per-batch statistics can never drift apart.
 
+use anyseq_engine::stats::{gcups, pair_cells};
 use std::time::Instant;
 
 /// One benchmark measurement.
-#[derive(Debug, Clone, Copy, serde::Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Measurement {
     /// Cells relaxed per run.
     pub cells: u64,
@@ -39,8 +45,18 @@ pub fn measure_gcups<F: FnMut()>(cells: u64, repeats: usize, mut f: F) -> Measur
     Measurement {
         cells,
         seconds,
-        gcups: cells as f64 / seconds / 1e9,
+        gcups: gcups(cells, seconds),
     }
+}
+
+/// [`measure_gcups`] with the cell count taken from a pair batch via
+/// the engine's shared accounting.
+pub fn measure_batch_gcups<F: FnMut()>(
+    pairs: &[(anyseq_seq::Seq, anyseq_seq::Seq)],
+    repeats: usize,
+    f: F,
+) -> Measurement {
+    measure_gcups(pair_cells(pairs), repeats, f)
 }
 
 #[cfg(test)]

@@ -63,9 +63,20 @@ pub fn dump_json(name: &str, values: &BTreeMap<String, f64>) {
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
-    if let Ok(text) = serde_json::to_string_pretty(values) {
-        let _ = std::fs::write(dir.join(format!("{name}.json")), text);
+    let mut text = String::from("{\n");
+    for (k, (key, value)) in values.iter().enumerate() {
+        let sep = if k + 1 == values.len() { "" } else { "," };
+        // Keys are plain ASCII benchmark ids; escape the JSON specials.
+        let escaped = key.replace('\\', "\\\\").replace('"', "\\\"");
+        if value.is_finite() {
+            text.push_str(&format!("  \"{escaped}\": {value}{sep}\n"));
+        } else {
+            // JSON has no NaN/inf literals; match serde_json's `null`.
+            text.push_str(&format!("  \"{escaped}\": null{sep}\n"));
+        }
     }
+    text.push('}');
+    let _ = std::fs::write(dir.join(format!("{name}.json")), text);
 }
 
 #[cfg(test)]

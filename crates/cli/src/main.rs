@@ -4,11 +4,25 @@
 //! anyseq align --query q.fa --subject s.fa [--type global|local|semiglobal]
 //!              [--match N] [--mismatch N] [--gap N | --open N --extend N]
 //!              [--score-only] [--threads N]
+//! anyseq batch (--pairs reads.fa | --query q.fa --subject s.fa | --simulate N)
+//!              [--type KIND] [--match N] [--mismatch N]
+//!              [--gap N | --open N --extend N]
+//!              [--backend auto|scalar|simd|wavefront|gpu-sim]
+//!              [--threads N] [--align] [--seed N] [--quiet]
 //! anyseq simulate --length N [--gc F] [--seed N]    # emit a FASTA genome
 //! ```
+//!
+//! `batch` drives the `anyseq-engine` subsystem: pairs are length-
+//! binned, sharded over a worker pool, dispatched to the selected
+//! backend (with scalar fallback) and printed in input order; the
+//! execution summary (per-backend GCUPS, utilization, fallbacks) goes
+//! to stderr.
 
 use anyseq_core::kind::{Global, Local, SemiGlobal};
 use anyseq_core::prelude::*;
+use anyseq_engine::{
+    BackendId, BatchCfg, BatchScheduler, Dispatch, GapSpec, KindSpec, Policy, SchemeSpec,
+};
 use anyseq_seq::fasta;
 use anyseq_seq::genome::GenomeSim;
 use anyseq_seq::Seq;
@@ -21,6 +35,11 @@ fn usage() -> ! {
         "usage:\n  anyseq align --query FILE --subject FILE [--type global|local|semiglobal]\n\
          \x20              [--match N] [--mismatch N] [--gap N | --open N --extend N]\n\
          \x20              [--score-only] [--threads N]\n\
+         \x20 anyseq batch (--pairs FILE | --query FILE --subject FILE | --simulate N)\n\
+         \x20              [--type KIND] [--match N] [--mismatch N]\n\
+         \x20              [--gap N | --open N --extend N]\n\
+         \x20              [--backend auto|scalar|simd|wavefront|gpu-sim]\n\
+         \x20              [--threads N] [--align] [--seed N] [--quiet]\n\
          \x20 anyseq simulate --length N [--gc F] [--seed N]"
     );
     exit(2)
@@ -46,15 +65,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 }
 
 fn load_first_record(path: &str) -> Seq {
-    let file = std::fs::File::open(path).unwrap_or_else(|e| {
-        eprintln!("cannot open {path}: {e}");
-        exit(1)
-    });
-    let records = fasta::read_fasta(file).unwrap_or_else(|e| {
-        eprintln!("cannot parse {path}: {e}");
-        exit(1)
-    });
-    match records.into_iter().next() {
+    match load_records(path).into_iter().next() {
         Some(r) => r.seq,
         None => {
             eprintln!("{path} contains no FASTA records");
@@ -67,8 +78,171 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("align") => cmd_align(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn load_records(path: &str) -> Vec<fasta::Record> {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1)
+    });
+    fasta::read_fasta(file).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1)
+    })
+}
+
+/// Numeric flag with a default: absent ⇒ `default`, present but
+/// malformed ⇒ error + usage (never silently substitute the default).
+fn numeric_flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key}: invalid value {v:?}");
+            usage()
+        }),
+    }
+}
+
+/// Assembles the batch input: an interleaved pair file, two matched
+/// files, or a simulated read set.
+fn batch_pairs(flags: &HashMap<String, String>) -> Vec<(Seq, Seq)> {
+    let seed: u64 = numeric_flag(flags, "seed", 42);
+    if let Some(path) = flags.get("pairs") {
+        let records = load_records(path);
+        if !records.len().is_multiple_of(2) {
+            eprintln!(
+                "{path}: --pairs expects interleaved query/subject records, got an odd count ({})",
+                records.len()
+            );
+            exit(1);
+        }
+        let mut records = records.into_iter();
+        let mut pairs = Vec::new();
+        while let (Some(q), Some(s)) = (records.next(), records.next()) {
+            pairs.push((q.seq, s.seq));
+        }
+        pairs
+    } else if let (Some(qp), Some(sp)) = (flags.get("query"), flags.get("subject")) {
+        let queries = load_records(qp);
+        let subjects = load_records(sp);
+        if queries.len() != subjects.len() {
+            eprintln!(
+                "record count mismatch: {qp} has {}, {sp} has {}",
+                queries.len(),
+                subjects.len()
+            );
+            exit(1);
+        }
+        queries
+            .into_iter()
+            .zip(subjects)
+            .map(|(q, s)| (q.seq, s.seq))
+            .collect()
+    } else if flags.contains_key("simulate") {
+        let count: usize = numeric_flag(flags, "simulate", 0);
+        let reference = GenomeSim::new(seed).generate(2_000_000.min(count.max(1) * 400));
+        let mut sim = anyseq_seq::readsim::ReadSim::new(
+            anyseq_seq::readsim::ReadSimProfile::default(),
+            seed ^ 0x5eed,
+        );
+        sim.simulate_pairs(&reference, count)
+            .into_iter()
+            .map(|p| (p.a, p.b))
+            .collect()
+    } else {
+        usage()
+    }
+}
+
+fn cmd_batch(args: &[String]) {
+    let flags = parse_flags(args);
+    let pairs = batch_pairs(&flags);
+    let ma: i32 = numeric_flag(&flags, "match", 2);
+    let mi: i32 = numeric_flag(&flags, "mismatch", -1);
+    let gap = if flags.contains_key("gap") {
+        GapSpec::Linear {
+            gap: numeric_flag(&flags, "gap", -1),
+        }
+    } else if flags.contains_key("open") || flags.contains_key("extend") {
+        GapSpec::Affine {
+            open: numeric_flag(&flags, "open", -2),
+            extend: numeric_flag(&flags, "extend", -1),
+        }
+    } else {
+        // Same default gap model as `anyseq align`, so the two
+        // subcommands agree on scores when no gap flags are given.
+        GapSpec::Affine {
+            open: -2,
+            extend: -1,
+        }
+    };
+    let kind = match flags.get("type") {
+        None => KindSpec::Global,
+        Some(t) => KindSpec::parse(t).unwrap_or_else(|| {
+            eprintln!("unknown alignment type {t}");
+            usage()
+        }),
+    };
+    let spec = SchemeSpec {
+        kind,
+        match_score: ma,
+        mismatch: mi,
+        gap,
+    };
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = numeric_flag(&flags, "threads", default_threads);
+    let policy = match flags.get("backend").map(String::as_str) {
+        None | Some("auto") => Policy::Auto,
+        Some(name) => match BackendId::parse(name) {
+            Some(id) => Policy::Fixed(id),
+            None => {
+                eprintln!("unknown backend {name}");
+                usage()
+            }
+        },
+    };
+    let dispatch = Dispatch::standard(policy);
+    let scheduler = BatchScheduler::new(BatchCfg::threads(threads));
+
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    use std::io::Write;
+    // A failed stdout write means the consumer went away (e.g.
+    // `| head`): exit quietly, not with a panic.
+    let mut emit = |line: std::fmt::Arguments<'_>| {
+        if out.write_fmt(line).and_then(|()| writeln!(out)).is_err() {
+            exit(0);
+        }
+    };
+    let stats = if flags.contains_key("align") {
+        let run = scheduler.align_batch(&dispatch, &spec, &pairs);
+        for (k, aln) in run.results.iter().enumerate() {
+            emit(format_args!("{k}\t{}\t{}", aln.score, aln.cigar()));
+        }
+        run.stats
+    } else {
+        let run = scheduler.score_batch(&dispatch, &spec, &pairs);
+        for (k, score) in run.results.iter().enumerate() {
+            emit(format_args!("{k}\t{score}"));
+        }
+        run.stats
+    };
+    if out.flush().is_err() {
+        exit(0);
+    }
+    if !flags.contains_key("quiet") {
+        eprintln!("{}", stats.summary());
+        eprintln!(
+            "utilization: {:.0}% of {} threads",
+            100.0 * stats.utilization(threads),
+            threads
+        );
     }
 }
 
@@ -78,8 +252,8 @@ fn cmd_simulate(args: &[String]) {
         .get("length")
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| usage());
-    let gc: f64 = flags.get("gc").and_then(|v| v.parse().ok()).unwrap_or(0.41);
-    let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let gc: f64 = numeric_flag(&flags, "gc", 0.41);
+    let seed: u64 = numeric_flag(&flags, "seed", 42);
     let genome = GenomeSim::new(seed).with_gc(gc).generate(length);
     let record = fasta::Record {
         id: format!("synthetic_{length}bp_seed{seed}"),
@@ -95,35 +269,22 @@ fn cmd_align(args: &[String]) {
     let q = load_first_record(flags.get("query").unwrap_or_else(|| usage()));
     let s = load_first_record(flags.get("subject").unwrap_or_else(|| usage()));
     let kind = flags.get("type").map(String::as_str).unwrap_or("global");
-    let ma: i32 = flags.get("match").and_then(|v| v.parse().ok()).unwrap_or(2);
-    let mi: i32 = flags
-        .get("mismatch")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(-1);
+    let ma: i32 = numeric_flag(&flags, "match", 2);
+    let mi: i32 = numeric_flag(&flags, "mismatch", -1);
     let score_only = flags.contains_key("score-only");
-    let threads: usize = flags
-        .get("threads")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = numeric_flag(&flags, "threads", default_threads);
     let cfg = ParallelCfg::threads(threads);
 
     // Gap model: --gap N (linear) or --open/--extend (affine).
-    let (open, extend) = if let Some(g) = flags.get("gap") {
-        (0, g.parse::<i32>().unwrap_or_else(|_| usage()))
+    let (open, extend) = if flags.contains_key("gap") {
+        (0, numeric_flag(&flags, "gap", -1))
     } else {
         (
-            flags
-                .get("open")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(-2),
-            flags
-                .get("extend")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(-1),
+            numeric_flag(&flags, "open", -2),
+            numeric_flag(&flags, "extend", -1),
         )
     };
     let scoring = affine(simple(ma, mi), open, extend);

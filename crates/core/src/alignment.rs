@@ -132,11 +132,7 @@ impl Alignment {
         if self.ops.is_empty() {
             return 0.0;
         }
-        let matches = self
-            .ops
-            .iter()
-            .filter(|&&op| op == AlignOp::Match)
-            .count();
+        let matches = self.ops.iter().filter(|&&op| op == AlignOp::Match).count();
         matches as f64 / self.ops.len() as f64
     }
 
@@ -298,7 +294,7 @@ impl Alignment {
                 if K::FREE_BEGIN {
                     if !self.is_empty() && self.q_start != 0 && self.s_start != 0 {
                         return err(
-                            "semi-global alignment must start on a sequence boundary".into(),
+                            "semi-global alignment must start on a sequence boundary".into()
                         );
                     }
                 } else if !self.is_empty() && (self.q_start != 0 || self.s_start != 0) {
@@ -310,11 +306,7 @@ impl Alignment {
             }
             OptRegion::Anywhere => {
                 if self.score < 0 {
-                    return err(format!(
-                        "{} score {} is negative",
-                        K::NAME,
-                        self.score
-                    ));
+                    return err(format!("{} score {} is negative", K::NAME, self.score));
                 }
                 if !K::FREE_BEGIN && (self.q_start != 0 || self.s_start != 0) {
                     return err("extension alignment must start at the origin".into());
@@ -344,7 +336,12 @@ mod tests {
         Seq::from_ascii(text).unwrap()
     }
 
-    fn manual(score: Score, ops: Vec<AlignOp>, qr: (usize, usize), sr: (usize, usize)) -> Alignment {
+    fn manual(
+        score: Score,
+        ops: Vec<AlignOp>,
+        qr: (usize, usize),
+        sr: (usize, usize),
+    ) -> Alignment {
         Alignment {
             score,
             ops,
@@ -358,7 +355,12 @@ mod tests {
     #[test]
     fn cigar_run_length_encoding() {
         use AlignOp::*;
-        let a = manual(0, vec![Match, Match, Mismatch, GapS, GapS, Match], (0, 5), (0, 4));
+        let a = manual(
+            0,
+            vec![Match, Match, Mismatch, GapS, GapS, Match],
+            (0, 5),
+            (0, 4),
+        );
         assert_eq!(a.cigar(), "2=1X2I1=");
     }
 

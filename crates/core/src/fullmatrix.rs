@@ -261,7 +261,15 @@ mod tests {
         };
         let subst = simple(2, -1);
         let mut ops = Vec::new();
-        let score = base_global(&gap, &subst, &[], &[0, 1, 2], gap.open(), gap.open(), &mut ops);
+        let score = base_global(
+            &gap,
+            &subst,
+            &[],
+            &[0, 1, 2],
+            gap.open(),
+            gap.open(),
+            &mut ops,
+        );
         assert_eq!(score, -5);
         assert_eq!(ops, vec![AlignOp::GapQ; 3]);
 

@@ -61,8 +61,7 @@ impl Default for AlignConfig {
 /// generator functions" applied to the traceback recursion.
 pub trait HalfPass<G: GapModel, S: SubstScore>: Sync {
     /// Runs a score-only pass of kind `K` (see [`score_pass`]).
-    fn pass<K: AlignKind>(&self, gap: &G, subst: &S, q: &[u8], s: &[u8], tb: Score)
-        -> PassOutput;
+    fn pass<K: AlignKind>(&self, gap: &G, subst: &S, q: &[u8], s: &[u8], tb: Score) -> PassOutput;
 }
 
 /// Single-threaded pass provider.
@@ -71,20 +70,14 @@ pub struct ScalarPass;
 
 impl<G: GapModel, S: SubstScore> HalfPass<G, S> for ScalarPass {
     #[inline]
-    fn pass<K: AlignKind>(
-        &self,
-        gap: &G,
-        subst: &S,
-        q: &[u8],
-        s: &[u8],
-        tb: Score,
-    ) -> PassOutput {
+    fn pass<K: AlignKind>(&self, gap: &G, subst: &S, q: &[u8], s: &[u8], tb: Score) -> PassOutput {
         score_pass::<K, G, S>(gap, subst, q, s, tb)
     }
 }
 
 /// Appends the optimal global alignment of `q × s` (with boundary
 /// vertical-gap opens `tb`, `te`) to `ops`; returns the adjusted score.
+#[allow(clippy::too_many_arguments)]
 pub fn diff<G, S, P>(
     pass: &P,
     gap: &G,
@@ -154,12 +147,42 @@ where
         // The optimal path crosses the midline inside a vertical gap:
         // rows mid and mid+1 are forced gap columns (Myers–Miller), and
         // the junction opens are waived in both children.
-        diff(pass, gap, subst, &q[..mid - 1], &s[..best_j], tb, 0, cfg, ops);
+        diff(
+            pass,
+            gap,
+            subst,
+            &q[..mid - 1],
+            &s[..best_j],
+            tb,
+            0,
+            cfg,
+            ops,
+        );
         ops.push(AlignOp::GapS);
         ops.push(AlignOp::GapS);
-        diff(pass, gap, subst, &q[mid + 1..], &s[best_j..], 0, te, cfg, ops);
+        diff(
+            pass,
+            gap,
+            subst,
+            &q[mid + 1..],
+            &s[best_j..],
+            0,
+            te,
+            cfg,
+            ops,
+        );
     } else {
-        diff(pass, gap, subst, &q[..mid], &s[..best_j], tb, gap.open(), cfg, ops);
+        diff(
+            pass,
+            gap,
+            subst,
+            &q[..mid],
+            &s[..best_j],
+            tb,
+            gap.open(),
+            cfg,
+            ops,
+        );
         diff(
             pass,
             gap,
@@ -258,7 +281,10 @@ where
         cfg,
         &mut ops,
     );
-    debug_assert_eq!(score, fwd.score, "region global score must equal local optimum");
+    debug_assert_eq!(
+        score, fwd.score,
+        "region global score must equal local optimum"
+    );
     Alignment {
         score: fwd.score,
         ops,
@@ -481,7 +507,9 @@ mod tests {
         let small = align_global(&ScalarPass, &gap, &subst, &q, &s, &deep());
         assert_eq!(big.score, small.score);
         big.validate::<Global, _, _>(&q, &s, &gap, &subst).unwrap();
-        small.validate::<Global, _, _>(&q, &s, &gap, &subst).unwrap();
+        small
+            .validate::<Global, _, _>(&q, &s, &gap, &subst)
+            .unwrap();
     }
 
     #[test]
@@ -496,7 +524,9 @@ mod tests {
         let big = align_global(&ScalarPass, &gap, &subst, &q, &s, &AlignConfig::default());
         let small = align_global(&ScalarPass, &gap, &subst, &q, &s, &deep());
         assert_eq!(big.score, small.score);
-        small.validate::<Global, _, _>(&q, &s, &gap, &subst).unwrap();
+        small
+            .validate::<Global, _, _>(&q, &s, &gap, &subst)
+            .unwrap();
     }
 
     #[test]
@@ -533,7 +563,14 @@ mod tests {
     fn local_empty_when_all_negative() {
         let gap = LinearGap { gap: -2 };
         let subst = simple(2, -3);
-        let aln = align_local(&ScalarPass, &gap, &subst, &seq(b"AAAA"), &seq(b"CCCC"), &deep());
+        let aln = align_local(
+            &ScalarPass,
+            &gap,
+            &subst,
+            &seq(b"AAAA"),
+            &seq(b"CCCC"),
+            &deep(),
+        );
         assert_eq!(aln.score, 0);
         assert!(aln.is_empty());
     }

@@ -142,6 +142,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn kind_constants() {
         assert!(Local::NU_ZERO && Local::FREE_BEGIN);
         assert!(!Global::NU_ZERO && !Global::FREE_BEGIN);

@@ -52,9 +52,7 @@ pub use kind::{AlignKind, Extension, FreeEnd, Global, Local, OptRegion, SemiGlob
 pub use relax::BestCell;
 pub use scheme::Scheme;
 pub use score::{Score, NEG_INF};
-pub use scoring::{
-    AffineGap, GapModel, LinearGap, MatrixSubst, Scoring, SimpleSubst, SubstScore,
-};
+pub use scoring::{AffineGap, GapModel, LinearGap, MatrixSubst, Scoring, SimpleSubst, SubstScore};
 
 /// Convenience re-exports.
 pub mod prelude {

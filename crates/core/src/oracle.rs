@@ -43,12 +43,20 @@ where
     // never-read entries left at −∞.
     h[idx(0, 0)] = 0;
     for j in 1..=m {
-        h[idx(0, j)] = if K::FREE_BEGIN { 0 } else { open + j as i64 * ext };
+        h[idx(0, j)] = if K::FREE_BEGIN {
+            0
+        } else {
+            open + j as i64 * ext
+        };
         e[idx(0, j)] = INF;
         f[idx(0, j)] = open + j as i64 * ext;
     }
     for i in 1..=n {
-        h[idx(i, 0)] = if K::FREE_BEGIN { 0 } else { open + i as i64 * ext };
+        h[idx(i, 0)] = if K::FREE_BEGIN {
+            0
+        } else {
+            open + i as i64 * ext
+        };
         e[idx(i, 0)] = open + i as i64 * ext;
         f[idx(i, 0)] = INF;
     }
@@ -147,12 +155,8 @@ mod tests {
             extend: -1,
         };
         let subst = simple(2, -1);
-        let (score, _) = oracle_score::<Global, _, _>(
-            &gap,
-            &subst,
-            &codes(b"ACGTTTACGT"),
-            &codes(b"ACGACGT"),
-        );
+        let (score, _) =
+            oracle_score::<Global, _, _>(&gap, &subst, &codes(b"ACGTTTACGT"), &codes(b"ACGACGT"));
         assert_eq!(score, 7 * 2 - 4 - 3);
     }
 }

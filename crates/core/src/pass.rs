@@ -290,8 +290,7 @@ mod tests {
         // the shared prefix.
         let q = codes(b"ACGTTTTTTTT");
         let s = codes(b"ACGTGGGGGGG");
-        let out =
-            score_pass::<crate::kind::Extension, _, _>(&gap, &subst, &q, &s, gap.open());
+        let out = score_pass::<crate::kind::Extension, _, _>(&gap, &subst, &q, &s, gap.open());
         assert_eq!(out.score, 8);
         assert_eq!(out.end, (4, 4));
     }

@@ -69,13 +69,7 @@ pub struct Next {
 /// *"no machine code is generated for calls to functions that either do
 /// not contain instructions or return a compile-time constant"*).
 #[inline(always)]
-pub fn relax<K, G, S, const WITH_PRED: bool>(
-    gap: &G,
-    subst: &S,
-    prev: Prev,
-    qc: u8,
-    sc: u8,
-) -> Next
+pub fn relax<K, G, S, const WITH_PRED: bool>(gap: &G, subst: &S, prev: Prev, qc: u8, sc: u8) -> Next
 where
     K: AlignKind,
     G: GapModel,

@@ -134,8 +134,10 @@ mod tests {
         let l = local(sc).align(&q, &s);
         let sg = semiglobal(sc).align(&q, &s);
         let fe = free_end(sc).align(&q, &s);
-        g.validate::<Global, _, _>(&q, &s, &sc.gap, &sc.subst).unwrap();
-        l.validate::<Local, _, _>(&q, &s, &sc.gap, &sc.subst).unwrap();
+        g.validate::<Global, _, _>(&q, &s, &sc.gap, &sc.subst)
+            .unwrap();
+        l.validate::<Local, _, _>(&q, &s, &sc.gap, &sc.subst)
+            .unwrap();
         sg.validate::<SemiGlobal, _, _>(&q, &s, &sc.gap, &sc.subst)
             .unwrap();
         fe.validate::<FreeEnd, _, _>(&q, &s, &sc.gap, &sc.subst)

@@ -233,6 +233,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn linear_gap_costs() {
         let g = LinearGap { gap: -1 };
         assert_eq!(g.gap(0), 0);
@@ -242,6 +243,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn affine_gap_costs() {
         let g = AffineGap {
             open: -2,

@@ -138,6 +138,7 @@ impl TileOut {
 /// compile-time parameters: each combination monomorphizes into a
 /// dedicated loop with dead code paths removed — the Rust rendition of the
 /// paper's partially-evaluated algorithm variants.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
 pub fn relax_tile<K, G, S, Sink>(
     gap: &G,
     subst: &S,
@@ -345,7 +346,9 @@ mod tests {
 
         // Whole-matrix reference tile.
         let top_h: Vec<Score> = (0..=m).map(|j| Global::h_init(&gap, j)).collect();
-        let top_e: Vec<Score> = (1..=m).map(|j| Global::h_init(&gap, j) + gap.open).collect();
+        let top_e: Vec<Score> = (1..=m)
+            .map(|j| Global::h_init(&gap, j) + gap.open)
+            .collect();
         let left_h: Vec<Score> = (1..=n).map(|i| Global::h_init(&gap, i)).collect();
         let left_f: Vec<Score> = vec![NEG_INF; n];
         let mut whole = TileOut::new();
@@ -367,10 +370,10 @@ mod tests {
         );
 
         // 2×2 tiling: tiles (0,0), (0,1), (1,0), (1,1).
-        let mut outs = vec![vec![TileOut::new(), TileOut::new()], vec![
-            TileOut::new(),
-            TileOut::new(),
-        ]];
+        let mut outs = [
+            vec![TileOut::new(), TileOut::new()],
+            vec![TileOut::new(), TileOut::new()],
+        ];
         for ti in 0..2 {
             for tj in 0..2 {
                 let i0 = ti * 2 + 1;
@@ -425,11 +428,14 @@ mod tests {
         );
         // Bottom stripes of the bottom tiles must match the whole run.
         assert_eq!(&whole.bot_h[2..], &outs[1][1].bot_h[..]);
-        assert_eq!(&whole.bot_h[..3], &{
-            let mut v = outs[1][0].bot_h.clone();
-            v.truncate(3);
-            v
-        }[..]);
+        assert_eq!(
+            &whole.bot_h[..3],
+            &{
+                let mut v = outs[1][0].bot_h.clone();
+                v.truncate(3);
+                v
+            }[..]
+        );
     }
 
     #[test]

@@ -255,8 +255,14 @@ fn giant_gap_across_midlines() {
             let gap = AffineGap { open, extend: -1 };
             let subst = simple(2, -7);
             let cfg = AlignConfig { cutoff_area: 16 };
-            let aln =
-                anyseq_core::hirschberg::align_global(&anyseq_core::hirschberg::ScalarPass, &gap, &subst, &q, &s, &cfg);
+            let aln = anyseq_core::hirschberg::align_global(
+                &anyseq_core::hirschberg::ScalarPass,
+                &gap,
+                &subst,
+                &q,
+                &s,
+                &cfg,
+            );
             let (oracle, _) = oracle_score::<Global, _, _>(&gap, &subst, q.codes(), s.codes());
             assert_eq!(aln.score, oracle, "nq={nq} ns={ns} open={open}");
             aln.validate::<Global, _, _>(&q, &s, &gap, &subst).unwrap();

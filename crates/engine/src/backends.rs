@@ -1,0 +1,412 @@
+//! [`Engine`](crate::Engine) adapters over the workspace's execution
+//! substrates.
+//!
+//! | backend     | scores | alignments | kinds       | shape                         |
+//! |-------------|--------|------------|-------------|-------------------------------|
+//! | `scalar`    | ✓      | ✓          | all four    | per-pair scalar kernels       |
+//! | `simd`      | ✓      | —          | global      | one alignment per 16-bit lane |
+//! | `wavefront` | ✓      | ✓          | all four    | tiled intra-pair parallelism  |
+//! | `gpu-sim`   | ✓      | ✓          | global      | device queue, modeled cycles  |
+//!
+//! Every adapter reduces to the same monomorphized kernels the typed
+//! API uses ([`with_scheme!`](crate::with_scheme) bridges the runtime
+//! [`SchemeSpec`] to them), so results stay bit-identical across
+//! backends.
+
+use crate::engine::{Caps, Engine, EngineError, ALL_KINDS, GLOBAL_ONLY};
+use crate::spec::SchemeSpec;
+use crate::util::parallel_map;
+use crate::{with_global_scheme, with_scheme};
+use anyseq_core::score::Score;
+use anyseq_core::Alignment;
+use anyseq_gpu_sim::{Device, GpuAligner, KernelShape};
+use anyseq_seq::Seq;
+use anyseq_simd::score_batch_simd;
+use anyseq_wavefront::{ParallelCfg, ParallelExt};
+
+/// Pairs handed to one pool chunk when an adapter parallelizes
+/// internally.
+const MAP_CHUNK: usize = 64;
+
+// ---------------------------------------------------------------- scalar
+
+/// The reference backend: per-pair scalar kernels from `anyseq-core`,
+/// optionally sharded across threads at alignment granularity.
+/// Supports everything; never refuses — the dispatch layer's fallback
+/// of last resort.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarEngine;
+
+impl Engine for ScalarEngine {
+    fn caps(&self) -> Caps {
+        Caps {
+            name: "scalar",
+            score_kinds: ALL_KINDS,
+            align_kinds: ALL_KINDS,
+            alphabet: "dna4+n",
+            max_native_extent: None,
+            batch_native: false,
+        }
+    }
+
+    fn score_batch(
+        &self,
+        spec: &SchemeSpec,
+        pairs: &[(Seq, Seq)],
+        threads: usize,
+    ) -> Result<Vec<Score>, EngineError> {
+        Ok(with_scheme!(spec, |scheme, _K| {
+            parallel_map(pairs, threads, MAP_CHUNK, |(q, s)| scheme.score(q, s))
+        }))
+    }
+
+    fn align_batch(
+        &self,
+        spec: &SchemeSpec,
+        pairs: &[(Seq, Seq)],
+        threads: usize,
+    ) -> Result<Vec<Alignment>, EngineError> {
+        Ok(with_scheme!(spec, |scheme, _K| {
+            parallel_map(pairs, threads, MAP_CHUNK, |(q, s)| scheme.align(q, s))
+        }))
+    }
+}
+
+// ------------------------------------------------------------------ simd
+
+/// Lane widths the SIMD batcher supports (16-bit score lanes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLanes {
+    /// 128-bit registers.
+    L8,
+    /// 256-bit registers (AVX2).
+    L16,
+    /// 512-bit registers (AVX512).
+    L32,
+}
+
+/// Inter-sequence SIMD batch scoring: one whole alignment per vector
+/// lane, pairs bucketed by matrix dimensions (`anyseq_simd::batch`).
+/// Score-only and global-only; oversized pairs take the internal
+/// scalar fallback, so acceptance is still unconditional for global
+/// specs.
+#[derive(Debug, Clone, Copy)]
+pub struct SimdEngine {
+    /// Vector width to run with.
+    pub lanes: SimdLanes,
+}
+
+impl SimdEngine {
+    /// AVX2-shaped default (16 × 16-bit lanes).
+    pub fn avx2() -> SimdEngine {
+        SimdEngine {
+            lanes: SimdLanes::L16,
+        }
+    }
+
+    /// AVX512-shaped variant (32 lanes).
+    pub fn avx512() -> SimdEngine {
+        SimdEngine {
+            lanes: SimdLanes::L32,
+        }
+    }
+}
+
+impl Engine for SimdEngine {
+    fn caps(&self) -> Caps {
+        Caps {
+            name: "simd",
+            score_kinds: GLOBAL_ONLY,
+            align_kinds: &[],
+            alphabet: "dna4+n",
+            // The 16-bit differential budget under the default ±2
+            // scoring; per-spec the exact bound is
+            // `anyseq_simd::max_block_extent`.
+            max_native_extent: Some(6000),
+            batch_native: true,
+        }
+    }
+
+    fn score_batch(
+        &self,
+        spec: &SchemeSpec,
+        pairs: &[(Seq, Seq)],
+        threads: usize,
+    ) -> Result<Vec<Score>, EngineError> {
+        with_global_scheme!(
+            spec,
+            |scheme| {
+                Ok(match self.lanes {
+                    SimdLanes::L8 => score_batch_simd::<_, _, 8>(&scheme, pairs, threads),
+                    SimdLanes::L16 => score_batch_simd::<_, _, 16>(&scheme, pairs, threads),
+                    SimdLanes::L32 => score_batch_simd::<_, _, 32>(&scheme, pairs, threads),
+                })
+            },
+            {
+                Err(EngineError::unsupported(
+                    "simd",
+                    format!(
+                        "inter-sequence lanes track corner optima only; kind {} needs another \
+                         backend",
+                        spec.kind.name()
+                    ),
+                ))
+            }
+        )
+    }
+
+    fn align_batch(
+        &self,
+        spec: &SchemeSpec,
+        _pairs: &[(Seq, Seq)],
+        _threads: usize,
+    ) -> Result<Vec<Alignment>, EngineError> {
+        let _ = spec;
+        Err(EngineError::unsupported(
+            "simd",
+            "score-only backend (no traceback); dispatch falls back for alignments",
+        ))
+    }
+}
+
+// ------------------------------------------------------------- wavefront
+
+/// Tiled wavefront backend: parallelism *inside* each pair (dynamic
+/// tile queue), pairs processed one after another. The right shape for
+/// batches of few, huge pairs — the scheduler runs it exclusively with
+/// the whole thread budget instead of sharding it into the pool.
+#[derive(Debug, Clone, Copy)]
+pub struct WavefrontEngine {
+    /// Tile edge for the DP grid.
+    pub tile: usize,
+}
+
+impl Default for WavefrontEngine {
+    fn default() -> WavefrontEngine {
+        WavefrontEngine { tile: 512 }
+    }
+}
+
+impl WavefrontEngine {
+    fn cfg(&self, threads: usize) -> ParallelCfg {
+        ParallelCfg::threads(threads.max(1)).with_tile(self.tile)
+    }
+}
+
+impl Engine for WavefrontEngine {
+    fn caps(&self) -> Caps {
+        Caps {
+            name: "wavefront",
+            score_kinds: ALL_KINDS,
+            align_kinds: ALL_KINDS,
+            alphabet: "dna4+n",
+            max_native_extent: None,
+            batch_native: false,
+        }
+    }
+
+    fn score_batch(
+        &self,
+        spec: &SchemeSpec,
+        pairs: &[(Seq, Seq)],
+        threads: usize,
+    ) -> Result<Vec<Score>, EngineError> {
+        let cfg = self.cfg(threads);
+        Ok(with_scheme!(spec, |scheme, _K| {
+            pairs
+                .iter()
+                .map(|(q, s)| scheme.score_parallel(q, s, &cfg))
+                .collect()
+        }))
+    }
+
+    fn align_batch(
+        &self,
+        spec: &SchemeSpec,
+        pairs: &[(Seq, Seq)],
+        threads: usize,
+    ) -> Result<Vec<Alignment>, EngineError> {
+        let cfg = self.cfg(threads);
+        Ok(with_scheme!(spec, |scheme, _K| {
+            pairs
+                .iter()
+                .map(|(q, s)| scheme.align_parallel(q, s, &cfg))
+                .collect()
+        }))
+    }
+}
+
+// --------------------------------------------------------------- gpu-sim
+
+/// GPU device-queue backend over the execution-model simulator: one
+/// thread-block per alignment, NVBio-style inter-sequence batching.
+/// Scores are bit-exact; modeled cycles accumulate in the aligner's
+/// stats and can be read for capacity planning. Global-only (the
+/// border-tracked optimum excludes local), and single-device — the
+/// scheduler treats it as batch-native but it ignores the thread hint.
+pub struct GpuSimEngine {
+    aligner: GpuAligner,
+}
+
+impl GpuSimEngine {
+    /// Titan-V-modeled device, AnySeq kernel shape.
+    pub fn titan_v() -> GpuSimEngine {
+        GpuSimEngine {
+            aligner: GpuAligner::new(Device::titan_v()),
+        }
+    }
+
+    /// Custom device/kernel shape.
+    pub fn new(device: Device, shape: KernelShape, tile: usize) -> GpuSimEngine {
+        GpuSimEngine {
+            aligner: GpuAligner::new(device).with_shape(shape).with_tile(tile),
+        }
+    }
+
+    /// The modeled device's accumulated statistics.
+    pub fn aligner(&self) -> &GpuAligner {
+        &self.aligner
+    }
+}
+
+impl Engine for GpuSimEngine {
+    fn caps(&self) -> Caps {
+        Caps {
+            name: "gpu-sim",
+            score_kinds: GLOBAL_ONLY,
+            align_kinds: GLOBAL_ONLY,
+            alphabet: "dna4+n",
+            max_native_extent: None,
+            batch_native: true,
+        }
+    }
+
+    fn score_batch(
+        &self,
+        spec: &SchemeSpec,
+        pairs: &[(Seq, Seq)],
+        _threads: usize,
+    ) -> Result<Vec<Score>, EngineError> {
+        with_global_scheme!(
+            spec,
+            |scheme| { Ok(self.aligner.score_batch(&scheme, pairs).0) },
+            {
+                Err(EngineError::unsupported(
+                    "gpu-sim",
+                    format!(
+                        "device kernels track border optima; kind {} is CPU-only",
+                        spec.kind.name()
+                    ),
+                ))
+            }
+        )
+    }
+
+    fn align_batch(
+        &self,
+        spec: &SchemeSpec,
+        pairs: &[(Seq, Seq)],
+        _threads: usize,
+    ) -> Result<Vec<Alignment>, EngineError> {
+        with_global_scheme!(
+            spec,
+            |scheme| {
+                Ok(pairs
+                    .iter()
+                    .map(|(q, s)| self.aligner.align(&scheme, q, s).0)
+                    .collect())
+            },
+            {
+                Err(EngineError::unsupported(
+                    "gpu-sim",
+                    format!(
+                        "device traceback is global-only; kind {} is CPU-only",
+                        spec.kind.name()
+                    ),
+                ))
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::KindSpec;
+    use anyseq_seq::genome::GenomeSim;
+    use anyseq_seq::readsim::{ReadSim, ReadSimProfile};
+
+    fn read_pairs(count: usize, seed: u64) -> Vec<(Seq, Seq)> {
+        let reference = GenomeSim::new(seed).generate(60_000);
+        let mut rs = ReadSim::new(ReadSimProfile::default(), seed ^ 0x777);
+        rs.simulate_pairs(&reference, count)
+            .into_iter()
+            .map(|p| (p.a, p.b))
+            .collect()
+    }
+
+    #[test]
+    fn all_backends_score_identically_global() {
+        let pairs = read_pairs(60, 3);
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        let expected: Vec<Score> = pairs.iter().map(|(q, s)| spec.score_scalar(q, s)).collect();
+        let backends: Vec<Box<dyn Engine>> = vec![
+            Box::new(ScalarEngine),
+            Box::new(SimdEngine::avx2()),
+            Box::new(WavefrontEngine::default()),
+            Box::new(GpuSimEngine::titan_v()),
+        ];
+        for engine in &backends {
+            let got = engine.score_batch(&spec, &pairs, 4).unwrap();
+            assert_eq!(got, expected, "{}", engine.caps().name);
+        }
+    }
+
+    #[test]
+    fn align_backends_match_scalar_ops() {
+        let pairs = read_pairs(12, 5);
+        let spec = SchemeSpec::global_affine(2, -1, -2, -1);
+        let reference = ScalarEngine.align_batch(&spec, &pairs, 1).unwrap();
+        for engine in [
+            Box::new(WavefrontEngine::default()) as Box<dyn Engine>,
+            Box::new(GpuSimEngine::titan_v()),
+        ] {
+            let got = engine.align_batch(&spec, &pairs, 4).unwrap();
+            for (k, (a, b)) in reference.iter().zip(&got).enumerate() {
+                assert_eq!(a.score, b.score, "{} pair {k}", engine.caps().name);
+                assert_eq!(a.ops, b.ops, "{} pair {k}", engine.caps().name);
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_backends_refuse_unsupported_kinds() {
+        let pairs = read_pairs(4, 7);
+        let spec = SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::Local);
+        assert!(SimdEngine::avx2().score_batch(&spec, &pairs, 1).is_err());
+        assert!(GpuSimEngine::titan_v()
+            .score_batch(&spec, &pairs, 1)
+            .is_err());
+        assert!(SimdEngine::avx2()
+            .align_batch(&SchemeSpec::global_linear(2, -1, -1), &pairs, 1)
+            .is_err());
+        // The generic engines accept all kinds.
+        assert!(ScalarEngine.score_batch(&spec, &pairs, 1).is_ok());
+        assert!(WavefrontEngine::default()
+            .score_batch(&spec, &pairs, 2)
+            .is_ok());
+    }
+
+    #[test]
+    fn caps_reflect_contract() {
+        assert!(Caps::supports_score(
+            &ScalarEngine.caps(),
+            &SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::Local)
+        ));
+        assert!(!SimdEngine::avx2()
+            .caps()
+            .supports_align(&SchemeSpec::global_linear(2, -1, -1)));
+        assert!(SimdEngine::avx2().caps().batch_native);
+        assert!(!WavefrontEngine::default().caps().batch_native);
+    }
+}

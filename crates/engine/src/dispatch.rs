@@ -1,0 +1,229 @@
+//! Backend selection policy.
+//!
+//! A [`Dispatch`] owns the registered engines and decides, per length
+//! bin, which backend should run it — either a fixed user choice or
+//! the `Auto` heuristic (SIMD lanes for short-read-shaped global bins,
+//! the wavefront for huge pairs, scalar otherwise). Selection returns
+//! a *candidate chain* ending in the scalar engine, so a backend that
+//! refuses a unit (unsupported kind, score-only, …) degrades
+//! gracefully instead of failing the batch.
+
+use crate::backends::{GpuSimEngine, ScalarEngine, SimdEngine, WavefrontEngine};
+use crate::engine::Engine;
+use crate::spec::SchemeSpec;
+
+/// Stable identifiers for the built-in backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendId {
+    /// Per-pair scalar kernels (reference; always available).
+    Scalar,
+    /// Inter-sequence SIMD lanes (score-only, global).
+    Simd,
+    /// Tiled wavefront (intra-pair threading).
+    Wavefront,
+    /// GPU execution-model simulator (global).
+    GpuSim,
+}
+
+impl BackendId {
+    /// Stable lower-case name (CLI flag values, stats labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendId::Scalar => "scalar",
+            BackendId::Simd => "simd",
+            BackendId::Wavefront => "wavefront",
+            BackendId::GpuSim => "gpu-sim",
+        }
+    }
+
+    /// Parses a CLI-style name.
+    pub fn parse(text: &str) -> Option<BackendId> {
+        match text {
+            "scalar" => Some(BackendId::Scalar),
+            "simd" => Some(BackendId::Simd),
+            "wavefront" => Some(BackendId::Wavefront),
+            "gpu-sim" | "gpu" | "gpusim" => Some(BackendId::GpuSim),
+            _ => None,
+        }
+    }
+}
+
+/// How the scheduler picks a backend for each bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Heuristic per-bin choice (see [`Dispatch::candidates`]).
+    Auto,
+    /// Route everything to one backend (scalar fallback still applies
+    /// when it refuses).
+    Fixed(BackendId),
+}
+
+/// Per-pair DP size (cells) above which `Auto` prefers intra-pair
+/// wavefront parallelism over lane batching: ~2048², the scale where
+/// the tile queue saturates a pool while lane packing stops helping.
+pub const AUTO_WAVEFRONT_MIN_CELLS: u64 = 1 << 22;
+
+/// The engine registry plus selection policy.
+pub struct Dispatch {
+    engines: Vec<(BackendId, Box<dyn Engine>)>,
+    /// Selection policy applied per bin.
+    pub policy: Policy,
+}
+
+impl Dispatch {
+    /// The standard four-backend registry (scalar, AVX2-shaped SIMD,
+    /// wavefront, Titan-V-modeled GPU simulator).
+    pub fn standard(policy: Policy) -> Dispatch {
+        Dispatch {
+            engines: vec![
+                (BackendId::Scalar, Box::new(ScalarEngine) as Box<dyn Engine>),
+                (BackendId::Simd, Box::new(SimdEngine::avx2())),
+                (BackendId::Wavefront, Box::new(WavefrontEngine::default())),
+                (BackendId::GpuSim, Box::new(GpuSimEngine::titan_v())),
+            ],
+            policy,
+        }
+    }
+
+    /// A registry with only the scalar reference backend.
+    pub fn scalar_only() -> Dispatch {
+        Dispatch {
+            engines: vec![(BackendId::Scalar, Box::new(ScalarEngine) as Box<dyn Engine>)],
+            policy: Policy::Fixed(BackendId::Scalar),
+        }
+    }
+
+    /// Replaces or registers a backend implementation.
+    pub fn with_engine(mut self, id: BackendId, engine: Box<dyn Engine>) -> Dispatch {
+        if let Some(slot) = self.engines.iter_mut().find(|(eid, _)| *eid == id) {
+            slot.1 = engine;
+        } else {
+            self.engines.push((id, engine));
+        }
+        self
+    }
+
+    /// Looks up a registered backend.
+    pub fn engine(&self, id: BackendId) -> Option<&dyn Engine> {
+        self.engines
+            .iter()
+            .find(|(eid, _)| *eid == id)
+            .map(|(_, e)| e.as_ref())
+    }
+
+    /// Registered backends in registration order.
+    pub fn backends(&self) -> impl Iterator<Item = (BackendId, &dyn Engine)> {
+        self.engines.iter().map(|(id, e)| (*id, e.as_ref()))
+    }
+
+    /// Whether `id` must run exclusively (gets the whole thread budget
+    /// and is not sharded into the worker pool).
+    pub fn is_exclusive(&self, id: BackendId) -> bool {
+        id != BackendId::Scalar
+            && self
+                .engine(id)
+                .map(|e| !e.caps().batch_native)
+                .unwrap_or(false)
+    }
+
+    /// The ordered candidate chain for one bin: the policy's pick
+    /// first, the scalar reference last (deduplicated). `max_cells`
+    /// is the largest per-pair DP size in the bin; `align` selects the
+    /// traceback capability.
+    pub fn candidates(&self, spec: &SchemeSpec, max_cells: u64, align: bool) -> Vec<BackendId> {
+        let primary = match self.policy {
+            Policy::Fixed(id) => id,
+            Policy::Auto => self.auto_choice(spec, max_cells, align),
+        };
+        let mut chain = vec![primary];
+        if primary != BackendId::Scalar {
+            chain.push(BackendId::Scalar);
+        }
+        chain.retain(|id| self.engine(*id).is_some());
+        if chain.is_empty() {
+            // A registry without the requested backend nor scalar is a
+            // construction error; still, never return an empty chain.
+            chain.extend(self.engines.first().map(|(id, _)| *id));
+        }
+        chain
+    }
+
+    fn auto_choice(&self, spec: &SchemeSpec, max_cells: u64, align: bool) -> BackendId {
+        let caps_allow = |id: BackendId| {
+            self.engine(id)
+                .map(|e| {
+                    if align {
+                        e.caps().supports_align(spec)
+                    } else {
+                        e.caps().supports_score(spec)
+                    }
+                })
+                .unwrap_or(false)
+        };
+        if max_cells >= AUTO_WAVEFRONT_MIN_CELLS && caps_allow(BackendId::Wavefront) {
+            return BackendId::Wavefront;
+        }
+        if !align && caps_allow(BackendId::Simd) {
+            return BackendId::Simd;
+        }
+        BackendId::Scalar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::KindSpec;
+
+    #[test]
+    fn auto_routes_by_shape() {
+        let d = Dispatch::standard(Policy::Auto);
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        // Short-read bins: SIMD lanes.
+        assert_eq!(d.candidates(&spec, 150 * 150, false)[0], BackendId::Simd);
+        // Huge pairs: wavefront.
+        assert_eq!(
+            d.candidates(&spec, 5000 * 5000, false)[0],
+            BackendId::Wavefront
+        );
+        // Local kind: SIMD refuses by caps, scalar picked directly.
+        let local = spec.with_kind(KindSpec::Local);
+        assert_eq!(d.candidates(&local, 150 * 150, false)[0], BackendId::Scalar);
+        // Alignments never go to the score-only SIMD backend.
+        assert_eq!(d.candidates(&spec, 150 * 150, true)[0], BackendId::Scalar);
+    }
+
+    #[test]
+    fn fixed_policy_keeps_scalar_fallback() {
+        let d = Dispatch::standard(Policy::Fixed(BackendId::GpuSim));
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        assert_eq!(
+            d.candidates(&spec, 100, false),
+            vec![BackendId::GpuSim, BackendId::Scalar]
+        );
+        let s = Dispatch::standard(Policy::Fixed(BackendId::Scalar));
+        assert_eq!(s.candidates(&spec, 100, false), vec![BackendId::Scalar]);
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for id in [
+            BackendId::Scalar,
+            BackendId::Simd,
+            BackendId::Wavefront,
+            BackendId::GpuSim,
+        ] {
+            assert_eq!(BackendId::parse(id.name()), Some(id));
+        }
+        assert_eq!(BackendId::parse("tpu"), None);
+    }
+
+    #[test]
+    fn exclusive_marks_wavefront_only() {
+        let d = Dispatch::standard(Policy::Auto);
+        assert!(d.is_exclusive(BackendId::Wavefront));
+        assert!(!d.is_exclusive(BackendId::Scalar));
+        assert!(!d.is_exclusive(BackendId::Simd));
+        assert!(!d.is_exclusive(BackendId::GpuSim));
+    }
+}

@@ -1,0 +1,130 @@
+//! The [`Engine`] trait: one batch-execution contract every backend
+//! implements, plus the capability descriptor dispatch uses to route
+//! work.
+//!
+//! ## Trait contract
+//!
+//! * **Bit-exact**: a backend's scores must equal `Scheme::score` and
+//!   its alignments must equal `Scheme::align` (same ops, not merely
+//!   equally optimal) for every input it accepts. The scalar engine is
+//!   the reference; `tests/cross_engine.rs` enforces this.
+//! * **Order-stable**: results come back in input order.
+//! * **Honest refusal**: a backend that cannot run a request returns
+//!   [`EngineError::Unsupported`] instead of approximating — the
+//!   dispatch layer falls back to the next candidate (the scalar
+//!   engine accepts everything, so a batch always completes).
+//! * **Thread budget**: `threads` is the parallelism the caller grants.
+//!   Pool workers call engines with `threads = 1`; device-style
+//!   engines that parallelize *inside* one pair (wavefront) are run
+//!   exclusively and receive the whole budget.
+
+use crate::spec::{KindSpec, SchemeSpec};
+use anyseq_core::score::Score;
+use anyseq_core::Alignment;
+use anyseq_seq::Seq;
+
+/// Static capability flags a backend advertises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Caps {
+    /// Backend name (stable; used in stats and CLI flags).
+    pub name: &'static str,
+    /// Alignment kinds `score_batch` accepts.
+    pub score_kinds: &'static [KindSpec],
+    /// Alignment kinds `align_batch` accepts (empty ⇒ score-only).
+    pub align_kinds: &'static [KindSpec],
+    /// Alphabet the backend understands (all current backends share
+    /// the 4-letter DNA code + N).
+    pub alphabet: &'static str,
+    /// Advisory upper bound on `|q| + |s|` the backend handles
+    /// natively; longer pairs are still legal — backends fall back to
+    /// a scalar path internally — so dispatch does **not** consult
+    /// this for routing (`None` ⇒ unbounded). For the SIMD backend
+    /// the per-spec exact bound is `anyseq_simd::max_block_extent`.
+    pub max_native_extent: Option<usize>,
+    /// Whether one call amortizes setup across many pairs (true for
+    /// lane-packed SIMD and the GPU device queue). Batch-native
+    /// engines are sharded across the pool; the rest run exclusively
+    /// with the full thread budget.
+    pub batch_native: bool,
+}
+
+impl Caps {
+    /// Whether `score_batch` accepts this spec.
+    pub fn supports_score(&self, spec: &SchemeSpec) -> bool {
+        self.score_kinds.contains(&spec.kind)
+    }
+
+    /// Whether `align_batch` accepts this spec.
+    pub fn supports_align(&self, spec: &SchemeSpec) -> bool {
+        self.align_kinds.contains(&spec.kind)
+    }
+}
+
+/// Why a backend declined a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The request is outside this backend's capabilities.
+    Unsupported {
+        /// Declining backend.
+        backend: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Unsupported { backend, reason } => {
+                write!(f, "backend {backend} cannot run this batch: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl EngineError {
+    /// Convenience constructor.
+    pub fn unsupported(backend: &'static str, reason: impl Into<String>) -> EngineError {
+        EngineError::Unsupported {
+            backend,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// A batch-execution backend.
+pub trait Engine: Send + Sync {
+    /// Capability flags.
+    fn caps(&self) -> Caps;
+
+    /// Scores every pair, results in input order.
+    fn score_batch(
+        &self,
+        spec: &SchemeSpec,
+        pairs: &[(Seq, Seq)],
+        threads: usize,
+    ) -> Result<Vec<Score>, EngineError>;
+
+    /// Aligns every pair with traceback, results in input order.
+    fn align_batch(
+        &self,
+        spec: &SchemeSpec,
+        pairs: &[(Seq, Seq)],
+        threads: usize,
+    ) -> Result<Vec<Alignment>, EngineError>;
+}
+
+/// All four kinds — capability list for fully generic backends.
+pub const ALL_KINDS: &[KindSpec] = &[
+    KindSpec::Global,
+    KindSpec::Local,
+    KindSpec::SemiGlobal,
+    KindSpec::FreeEnd,
+];
+
+/// Global only (the inter-sequence SIMD batcher and the GPU
+/// simulator's device queue, whose border-tracked optimum excludes
+/// `Local`).
+pub const GLOBAL_ONLY: &[KindSpec] = &[KindSpec::Global];

@@ -1,0 +1,75 @@
+//! # anyseq-engine — unified multi-backend batch execution
+//!
+//! The AnySeq paper gets its speed from specializing one generic DP
+//! core into dedicated kernels per target; this crate turns that
+//! *collection of kernels* into one schedulable system:
+//!
+//! * [`Engine`] — the batch-execution contract (score/align a batch,
+//!   capability flags) with adapters for the scalar core, the
+//!   inter-sequence SIMD batcher, the tiled wavefront and the GPU
+//!   execution-model simulator ([`backends`]),
+//! * [`BatchScheduler`] — length-bins a batch to minimize SIMD lane
+//!   divergence and tile padding waste, shards bins across a worker
+//!   pool (std threads + a shared counter, no external deps) and
+//!   reassembles results in input order ([`scheduler`]),
+//! * [`Dispatch`] — the policy layer: auto or explicit backend
+//!   selection with graceful per-unit fallback, plus per-batch
+//!   statistics (cells, GCUPS, backend utilization — [`stats`]).
+//!
+//! ```
+//! use anyseq_engine::{BatchCfg, BatchScheduler, Dispatch, Policy, SchemeSpec};
+//! use anyseq_seq::Seq;
+//!
+//! let pairs = vec![
+//!     (Seq::from_ascii(b"ACGTACGT").unwrap(), Seq::from_ascii(b"ACGTTACGT").unwrap()),
+//!     (Seq::from_ascii(b"TTTT").unwrap(), Seq::from_ascii(b"TTAT").unwrap()),
+//! ];
+//! let spec = SchemeSpec::global_linear(2, -1, -1);
+//! let dispatch = Dispatch::standard(Policy::Auto);
+//! let run = BatchScheduler::new(BatchCfg::threads(2)).score_batch(&dispatch, &spec, &pairs);
+//! assert_eq!(run.results, vec![15, 5]);
+//! println!("{}", run.stats.summary());
+//! ```
+//!
+//! ## Adding a backend
+//!
+//! 1. Implement [`Engine`] for your substrate. Use
+//!    [`with_scheme!`]/[`with_global_scheme!`] to lower the runtime
+//!    [`SchemeSpec`] onto monomorphized kernels; return
+//!    [`EngineError::Unsupported`] for anything you cannot run
+//!    bit-exactly — never approximate.
+//! 2. Describe yourself honestly in [`Caps`]: supported kinds for
+//!    score/align, native extent, and whether one call amortizes
+//!    across pairs (`batch_native`; `false` means the scheduler runs
+//!    you exclusively with the whole thread budget).
+//! 3. Register it: `Dispatch::standard(policy).with_engine(id, Box::new(you))`.
+//!    The scalar reference stays last in every candidate chain, so a
+//!    refusal degrades gracefully instead of failing the batch.
+//! 4. Extend `tests/cross_engine.rs` — every backend must reproduce
+//!    `Scheme::score`/`Scheme::align` exactly (scores *and* CIGARs).
+
+pub mod backends;
+pub mod dispatch;
+#[allow(clippy::module_inception)]
+pub mod engine;
+pub mod scheduler;
+pub mod spec;
+pub mod stats;
+pub mod util;
+
+pub use backends::{GpuSimEngine, ScalarEngine, SimdEngine, SimdLanes, WavefrontEngine};
+pub use dispatch::{BackendId, Dispatch, Policy};
+pub use engine::{Caps, Engine, EngineError};
+pub use scheduler::{BatchCfg, BatchRun, BatchScheduler};
+pub use spec::{GapSpec, KindSpec, SchemeSpec};
+pub use stats::{BackendUse, BatchStats};
+
+/// Convenience re-exports for applications.
+pub mod prelude {
+    pub use crate::backends::{GpuSimEngine, ScalarEngine, SimdEngine, SimdLanes, WavefrontEngine};
+    pub use crate::dispatch::{BackendId, Dispatch, Policy};
+    pub use crate::engine::{Caps, Engine, EngineError};
+    pub use crate::scheduler::{BatchCfg, BatchRun, BatchScheduler};
+    pub use crate::spec::{GapSpec, KindSpec, SchemeSpec};
+    pub use crate::stats::{BackendUse, BatchStats};
+}

@@ -1,0 +1,470 @@
+//! Length-binned batch scheduling.
+//!
+//! ## Binning strategy
+//!
+//! Pairs are grouped by their dimensions rounded up to a quantum
+//! (default 16 bases): pairs in one bin have near-identical DP
+//! matrices, which is exactly what the inter-sequence SIMD backend
+//! needs for dense lane occupancy and what keeps tile padding waste
+//! low everywhere else. Within a bin, pairs are sorted by exact
+//! dimensions so equal-size runs sit adjacently — the SIMD bucketer
+//! then fills whole lane groups instead of leftovers.
+//!
+//! Bins are cut into bounded work units, ordered longest-first (LPT),
+//! and pulled by a pool of `threads` workers over a shared counter.
+//! Each worker runs the dispatch-selected backend with a thread budget
+//! of 1; backends that parallelize *inside* a pair (wavefront) are
+//! instead run exclusively with the whole budget. Results are written
+//! straight into their input positions, so reassembly is free and the
+//! output order is always the input order.
+
+use crate::dispatch::Dispatch;
+use crate::engine::{Engine, EngineError};
+use crate::spec::SchemeSpec;
+use crate::stats::{self, BatchStats};
+use crate::util::IndexedOut;
+use anyseq_core::score::Score;
+use anyseq_core::Alignment;
+use anyseq_seq::Seq;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchCfg {
+    /// Worker threads (also the budget handed to exclusive backends).
+    pub threads: usize,
+    /// Length rounding for bin keys, in bases.
+    pub bin_quantum: usize,
+    /// Maximum pairs per work unit.
+    pub chunk_pairs: usize,
+}
+
+impl Default for BatchCfg {
+    fn default() -> BatchCfg {
+        BatchCfg {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            bin_quantum: 16,
+            chunk_pairs: 512,
+        }
+    }
+}
+
+impl BatchCfg {
+    /// Default configuration with an explicit thread count.
+    pub fn threads(threads: usize) -> BatchCfg {
+        BatchCfg {
+            threads: threads.max(1),
+            ..BatchCfg::default()
+        }
+    }
+}
+
+/// The batch scheduler: bins, shards, dispatches, reassembles.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchScheduler {
+    /// Tuning knobs.
+    pub cfg: BatchCfg,
+}
+
+/// Results plus execution statistics for one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchRun<T> {
+    /// Per-pair results, in input order.
+    pub results: Vec<T>,
+    /// What ran where, and how fast.
+    pub stats: BatchStats,
+}
+
+/// One schedulable chunk of a bin.
+struct Unit {
+    /// Input positions of the unit's pairs.
+    indices: Vec<usize>,
+    /// Total DP cells in the unit.
+    cells: u64,
+    /// Largest single-pair DP size (drives backend choice).
+    max_cells: u64,
+}
+
+impl BatchScheduler {
+    /// Scheduler with the given config.
+    pub fn new(cfg: BatchCfg) -> BatchScheduler {
+        BatchScheduler { cfg }
+    }
+
+    /// Scores every pair through the dispatch policy.
+    pub fn score_batch(
+        &self,
+        dispatch: &Dispatch,
+        spec: &SchemeSpec,
+        pairs: &[(Seq, Seq)],
+    ) -> BatchRun<Score> {
+        self.run(dispatch, spec, pairs, false, |engine, unit, threads| {
+            engine.score_batch(spec, unit, threads)
+        })
+    }
+
+    /// Aligns (with traceback) every pair through the dispatch policy.
+    pub fn align_batch(
+        &self,
+        dispatch: &Dispatch,
+        spec: &SchemeSpec,
+        pairs: &[(Seq, Seq)],
+    ) -> BatchRun<Alignment> {
+        self.run(dispatch, spec, pairs, true, |engine, unit, threads| {
+            engine.align_batch(spec, unit, threads)
+        })
+    }
+
+    fn run<T, F>(
+        &self,
+        dispatch: &Dispatch,
+        spec: &SchemeSpec,
+        pairs: &[(Seq, Seq)],
+        align: bool,
+        exec: F,
+    ) -> BatchRun<T>
+    where
+        T: Send,
+        F: Fn(&dyn Engine, &[(Seq, Seq)], usize) -> Result<Vec<T>, EngineError> + Sync,
+    {
+        let started = Instant::now();
+        // Traceback recomputes ≈2× the cells of a score-only pass; use
+        // the shared convention so GCUPS here matches the bench's.
+        let cell_factor = if align {
+            stats::TRACEBACK_CELL_FACTOR
+        } else {
+            1
+        };
+        let mut batch_stats = BatchStats {
+            pairs: pairs.len() as u64,
+            cells: stats::pair_cells(pairs) * cell_factor,
+            ..BatchStats::default()
+        };
+        if pairs.is_empty() {
+            return BatchRun {
+                results: Vec::new(),
+                stats: batch_stats,
+            };
+        }
+
+        let (units, bins) = self.build_units(pairs);
+        batch_stats.bins = bins as u64;
+        batch_stats.units = units.len() as u64;
+
+        // Resolve each unit's candidate chain once; it drives both the
+        // pooled/exclusive classification and execution.
+        let chains: Vec<Vec<crate::dispatch::BackendId>> = units
+            .iter()
+            .map(|unit| dispatch.candidates(spec, unit.max_cells, align))
+            .collect();
+
+        // Split by execution mode: exclusive backends own the machine
+        // for their units; pooled units share the worker pool.
+        let mut pooled: Vec<(&Unit, &[crate::dispatch::BackendId])> = Vec::new();
+        let mut exclusive: Vec<(&Unit, &[crate::dispatch::BackendId])> = Vec::new();
+        for (unit, chain) in units.iter().zip(&chains) {
+            if dispatch.is_exclusive(chain[0]) {
+                exclusive.push((unit, chain));
+            } else {
+                pooled.push((unit, chain));
+            }
+        }
+        // Longest-processing-time-first keeps the pool tail short.
+        pooled.sort_by_key(|(unit, _)| std::cmp::Reverse(unit.cells));
+
+        let mut out = IndexedOut::new(pairs.len());
+        let writer = out.writer();
+
+        let run_unit = |unit: &Unit,
+                        chain: &[crate::dispatch::BackendId],
+                        threads: usize,
+                        local: &mut BatchStats| {
+            // Gather the unit's pairs contiguously just-in-time; only
+            // `threads` units are materialized at any moment, so peak
+            // extra memory is bounded by `threads * chunk_pairs` pairs
+            // rather than a full copy of the batch.
+            let unit_pairs: Vec<(Seq, Seq)> =
+                unit.indices.iter().map(|&k| pairs[k].clone()).collect();
+            for (k, id) in chain.iter().enumerate() {
+                let engine = dispatch
+                    .engine(*id)
+                    .expect("candidates only returns registered backends");
+                let t0 = Instant::now();
+                match exec(engine, &unit_pairs, threads) {
+                    Ok(values) => {
+                        // Hard check: the unsafe indexed writes below rely
+                        // on one value per pair even from foreign Engine
+                        // impls.
+                        assert_eq!(
+                            values.len(),
+                            unit.indices.len(),
+                            "{} returned {} results for {} pairs",
+                            engine.caps().name,
+                            values.len(),
+                            unit.indices.len()
+                        );
+                        for (slot, value) in unit.indices.iter().zip(values) {
+                            // SAFETY: units partition the input indices;
+                            // each slot is written exactly once.
+                            unsafe { writer.write(*slot, value) };
+                        }
+                        local.fallbacks += k as u64;
+                        // Busy time records granted capacity: an
+                        // exclusive backend holds `threads` workers'
+                        // worth of the machine for its wall time.
+                        local.record(
+                            engine.caps().name,
+                            unit.indices.len() as u64,
+                            unit.cells * cell_factor,
+                            t0.elapsed().as_secs_f64() * threads.max(1) as f64,
+                        );
+                        return;
+                    }
+                    Err(EngineError::Unsupported { .. }) => continue,
+                }
+            }
+            unreachable!("the scalar backend terminates every candidate chain");
+        };
+
+        // Pooled phase: shared-counter pull, thread budget 1 per call.
+        let pool_threads = self.cfg.threads.clamp(1, pooled.len().max(1));
+        if !pooled.is_empty() {
+            let next = AtomicUsize::new(0);
+            let pooled = &pooled;
+            let run_unit = &run_unit;
+            let worker_stats: Vec<BatchStats> = {
+                let next = &next;
+                std::thread::scope(|sc| {
+                    let handles: Vec<_> = (0..pool_threads)
+                        .map(|_| {
+                            sc.spawn(move || {
+                                let mut local = BatchStats::default();
+                                loop {
+                                    let k = next.fetch_add(1, Ordering::Relaxed);
+                                    if k >= pooled.len() {
+                                        break;
+                                    }
+                                    let (unit, chain) = pooled[k];
+                                    run_unit(unit, chain, 1, &mut local);
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("batch worker panicked"))
+                        .collect()
+                })
+            };
+            for local in &worker_stats {
+                batch_stats.merge(local);
+            }
+        }
+
+        // Exclusive phase: serial over units, full budget inside each.
+        let mut exclusive_stats = BatchStats::default();
+        for (unit, chain) in &exclusive {
+            run_unit(unit, chain, self.cfg.threads, &mut exclusive_stats);
+        }
+        batch_stats.merge(&exclusive_stats);
+
+        // SAFETY: pooled ∪ exclusive covers every unit, units partition
+        // all input indices, and all workers have been joined.
+        let results = unsafe { out.finish() };
+        // Which worker recorded first is a race; sort so the breakdown
+        // is deterministic across runs.
+        batch_stats.per_backend.sort_by_key(|b| b.backend);
+        batch_stats.wall_seconds = started.elapsed().as_secs_f64();
+        BatchRun {
+            results,
+            stats: batch_stats,
+        }
+    }
+
+    /// Bins pairs by quantized dimensions, sorts bins for lane
+    /// density, and cuts them into bounded units.
+    ///
+    /// The chunk size shrinks below `chunk_pairs` when the batch is
+    /// small relative to the pool, so a batch never collapses into
+    /// fewer units than there are workers (idle-core guard); a floor
+    /// of 32 pairs keeps SIMD lane groups dense.
+    fn build_units(&self, pairs: &[(Seq, Seq)]) -> (Vec<Unit>, usize) {
+        let quantum = self.cfg.bin_quantum.max(1);
+        let fill_chunk = pairs.len().div_ceil(self.cfg.threads.max(1)).max(32);
+        let chunk = self.cfg.chunk_pairs.max(1).min(fill_chunk);
+        let round = |len: usize| len.div_ceil(quantum);
+
+        let mut bins: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            bins.entry((round(q.len()), round(s.len())))
+                .or_default()
+                .push(k);
+        }
+        let bin_count = bins.len();
+
+        let mut units = Vec::new();
+        for indices in bins.into_values() {
+            let mut indices = indices;
+            // Exact-dimension order maximizes full SIMD lane groups.
+            indices.sort_by_key(|&k| (pairs[k].0.len(), pairs[k].1.len(), k));
+            for piece in indices.chunks(chunk) {
+                let per_pair = piece
+                    .iter()
+                    .map(|&k| stats::cells_for(&pairs[k].0, &pairs[k].1));
+                let cells = per_pair.clone().sum();
+                let max_cells = per_pair.max().unwrap_or(0);
+                units.push(Unit {
+                    indices: piece.to_vec(),
+                    cells,
+                    max_cells,
+                });
+            }
+        }
+        (units, bin_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{BackendId, Policy};
+    use crate::spec::KindSpec;
+    use anyseq_seq::genome::GenomeSim;
+    use anyseq_seq::readsim::{ReadSim, ReadSimProfile};
+
+    fn read_pairs(count: usize, seed: u64) -> Vec<(Seq, Seq)> {
+        let reference = GenomeSim::new(seed).generate(80_000);
+        let mut rs = ReadSim::new(ReadSimProfile::default(), seed ^ 0xbeef);
+        rs.simulate_pairs(&reference, count)
+            .into_iter()
+            .map(|p| (p.a, p.b))
+            .collect()
+    }
+
+    fn scheduler(threads: usize) -> BatchScheduler {
+        BatchScheduler::new(BatchCfg {
+            threads,
+            bin_quantum: 16,
+            chunk_pairs: 64,
+        })
+    }
+
+    #[test]
+    fn scores_match_scalar_in_input_order() {
+        let pairs = read_pairs(200, 1);
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        let dispatch = Dispatch::standard(Policy::Auto);
+        let run = scheduler(4).score_batch(&dispatch, &spec, &pairs);
+        assert_eq!(run.results.len(), pairs.len());
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(run.results[k], spec.score_scalar(q, s), "pair {k}");
+        }
+        assert_eq!(run.stats.pairs, 200);
+        assert!(run.stats.gcups() > 0.0);
+        assert!(run.stats.per_backend.iter().any(|b| b.backend == "simd"));
+    }
+
+    #[test]
+    fn alignments_match_scalar_cigars() {
+        let pairs = read_pairs(60, 2);
+        let spec = SchemeSpec::global_affine(2, -1, -2, -1);
+        let dispatch = Dispatch::standard(Policy::Auto);
+        let run = scheduler(4).align_batch(&dispatch, &spec, &pairs);
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            let reference = spec.align_scalar(q, s);
+            assert_eq!(run.results[k].score, reference.score, "pair {k}");
+            assert_eq!(run.results[k].cigar(), reference.cigar(), "pair {k}");
+        }
+    }
+
+    #[test]
+    fn fixed_unsupported_backend_falls_back() {
+        let pairs = read_pairs(40, 3);
+        // Local kind on the SIMD backend: every unit must fall back.
+        let spec = SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::Local);
+        let dispatch = Dispatch::standard(Policy::Fixed(BackendId::Simd));
+        let run = scheduler(2).score_batch(&dispatch, &spec, &pairs);
+        assert!(run.stats.fallbacks > 0);
+        assert!(run.stats.per_backend.iter().all(|b| b.backend == "scalar"));
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(run.results[k], spec.score_scalar(q, s), "pair {k}");
+        }
+    }
+
+    #[test]
+    fn large_pairs_take_the_exclusive_wavefront_path() {
+        let mut sim = GenomeSim::new(9);
+        let a = sim.generate(2600);
+        let b = sim.mutate(&a, 0.05);
+        let c = sim.generate(2400);
+        let d = sim.mutate(&c, 0.10);
+        let pairs = vec![(a, b), (c, d)];
+        let spec = SchemeSpec::global_affine(2, -1, -2, -1);
+        let dispatch = Dispatch::standard(Policy::Auto);
+        let run = scheduler(4).score_batch(&dispatch, &spec, &pairs);
+        assert!(run
+            .stats
+            .per_backend
+            .iter()
+            .any(|u| u.backend == "wavefront"));
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(run.results[k], spec.score_scalar(q, s), "pair {k}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_batches() {
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        let dispatch = Dispatch::standard(Policy::Auto);
+        let sched = scheduler(4);
+        let run = sched.score_batch(&dispatch, &spec, &[]);
+        assert!(run.results.is_empty());
+        assert_eq!(run.stats.pairs, 0);
+
+        let q = Seq::from_ascii(b"ACGT").unwrap();
+        let pairs = vec![(q.clone(), Seq::new()), (q.clone(), q)];
+        let run = sched.score_batch(&dispatch, &spec, &pairs);
+        assert_eq!(run.results, vec![-4, 8]);
+    }
+
+    #[test]
+    fn gpu_policy_scores_whole_batch_on_device() {
+        let pairs = read_pairs(30, 4);
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        let dispatch = Dispatch::standard(Policy::Fixed(BackendId::GpuSim));
+        let run = scheduler(2).score_batch(&dispatch, &spec, &pairs);
+        assert!(run
+            .stats
+            .per_backend
+            .iter()
+            .any(|b| b.backend == "gpu-sim" && b.pairs == 30));
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(run.results[k], spec.score_scalar(q, s), "pair {k}");
+        }
+    }
+
+    #[test]
+    fn binning_is_deterministic_and_covers_input() {
+        let pairs = read_pairs(150, 5);
+        let sched = scheduler(3);
+        let (units, bins) = sched.build_units(&pairs);
+        assert!(bins >= 1);
+        let mut seen: Vec<usize> = units.iter().flat_map(|u| u.indices.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..pairs.len()).collect::<Vec<_>>());
+        for unit in &units {
+            assert!(unit.indices.len() <= sched.cfg.chunk_pairs);
+            let cells: u64 = unit
+                .indices
+                .iter()
+                .map(|&k| (pairs[k].0.len() * pairs[k].1.len()) as u64)
+                .sum();
+            assert_eq!(unit.cells, cells);
+        }
+    }
+}

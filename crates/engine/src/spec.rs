@@ -1,0 +1,281 @@
+//! Runtime scheme description.
+//!
+//! The core library expresses alignment behaviour as *types*
+//! (`Scheme<K, G, S>`), which is what makes every combination compile
+//! into a dedicated kernel. A batch engine, however, must be chosen at
+//! *runtime* (CLI flags, service requests), so this module provides the
+//! value-level mirror [`SchemeSpec`] plus the [`with_scheme!`] /
+//! [`with_global_scheme!`] macros that lower a spec onto the
+//! monomorphized kernels — the runtime↔compile-time bridge every
+//! backend adapter uses.
+
+use anyseq_core::score::Score;
+use anyseq_core::Alignment;
+use anyseq_seq::Seq;
+
+/// Value-level alignment kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KindSpec {
+    /// Needleman–Wunsch: both sequences end to end.
+    Global,
+    /// Smith–Waterman: best-scoring subsequences.
+    Local,
+    /// Free end gaps on both sequence ends.
+    SemiGlobal,
+    /// Anchored start, free end.
+    FreeEnd,
+}
+
+impl KindSpec {
+    /// Stable lower-case name (CLI flag values).
+    pub fn name(self) -> &'static str {
+        match self {
+            KindSpec::Global => "global",
+            KindSpec::Local => "local",
+            KindSpec::SemiGlobal => "semiglobal",
+            KindSpec::FreeEnd => "free-end",
+        }
+    }
+
+    /// Parses a CLI-style name.
+    pub fn parse(text: &str) -> Option<KindSpec> {
+        match text {
+            "global" => Some(KindSpec::Global),
+            "local" => Some(KindSpec::Local),
+            "semiglobal" => Some(KindSpec::SemiGlobal),
+            "free-end" | "freeend" | "free_end" => Some(KindSpec::FreeEnd),
+            _ => None,
+        }
+    }
+}
+
+/// Value-level gap model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GapSpec {
+    /// One price per gapped base.
+    Linear {
+        /// Per-base gap score (≤ 0).
+        gap: i32,
+    },
+    /// Gotoh affine gaps.
+    Affine {
+        /// Gap-open score (≤ 0).
+        open: i32,
+        /// Gap-extension score (≤ 0).
+        extend: i32,
+    },
+}
+
+/// A fully value-level alignment scheme: what a request carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchemeSpec {
+    /// Alignment kind.
+    pub kind: KindSpec,
+    /// Match reward (simple substitution scoring).
+    pub match_score: i32,
+    /// Mismatch penalty (simple substitution scoring).
+    pub mismatch: i32,
+    /// Gap model.
+    pub gap: GapSpec,
+}
+
+impl SchemeSpec {
+    /// Global + linear gaps — the paper's §V default parameterization.
+    pub fn global_linear(match_score: i32, mismatch: i32, gap: i32) -> SchemeSpec {
+        SchemeSpec {
+            kind: KindSpec::Global,
+            match_score,
+            mismatch,
+            gap: GapSpec::Linear { gap },
+        }
+    }
+
+    /// Global + affine gaps.
+    pub fn global_affine(match_score: i32, mismatch: i32, open: i32, extend: i32) -> SchemeSpec {
+        SchemeSpec {
+            kind: KindSpec::Global,
+            match_score,
+            mismatch,
+            gap: GapSpec::Affine { open, extend },
+        }
+    }
+
+    /// Same spec with a different kind.
+    pub fn with_kind(mut self, kind: KindSpec) -> SchemeSpec {
+        self.kind = kind;
+        self
+    }
+
+    /// Reference scalar score for one pair (the oracle every backend
+    /// must reproduce bit-exactly).
+    pub fn score_scalar(&self, q: &Seq, s: &Seq) -> Score {
+        crate::with_scheme!(self, |scheme, _K| { scheme.score(q, s) })
+    }
+
+    /// Reference scalar alignment for one pair.
+    pub fn align_scalar(&self, q: &Seq, s: &Seq) -> Alignment {
+        crate::with_scheme!(self, |scheme, _K| { scheme.align(q, s) })
+    }
+}
+
+/// Lowers a [`SchemeSpec`] onto a concrete `Scheme<K, G, SimpleSubst>`.
+///
+/// `$body` is expanded once per kind × gap combination with `$scheme`
+/// bound to the monomorphized scheme value and `$kind` aliased to the
+/// kind type, so the body gets fully specialized kernels exactly like
+/// statically typed callers do.
+#[macro_export]
+macro_rules! with_scheme {
+    ($spec:expr, |$scheme:ident, $kind:ident| $body:block) => {{
+        let __spec: &$crate::spec::SchemeSpec = &$spec;
+        let __subst = ::anyseq_core::scoring::simple(__spec.match_score, __spec.mismatch);
+        match (__spec.kind, __spec.gap) {
+            ($crate::spec::KindSpec::Global, $crate::spec::GapSpec::Linear { gap }) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::Global;
+                let $scheme =
+                    ::anyseq_core::scheme::global(::anyseq_core::scoring::linear(__subst, gap));
+                $body
+            }
+            ($crate::spec::KindSpec::Global, $crate::spec::GapSpec::Affine { open, extend }) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::Global;
+                let $scheme = ::anyseq_core::scheme::global(::anyseq_core::scoring::affine(
+                    __subst, open, extend,
+                ));
+                $body
+            }
+            ($crate::spec::KindSpec::Local, $crate::spec::GapSpec::Linear { gap }) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::Local;
+                let $scheme =
+                    ::anyseq_core::scheme::local(::anyseq_core::scoring::linear(__subst, gap));
+                $body
+            }
+            ($crate::spec::KindSpec::Local, $crate::spec::GapSpec::Affine { open, extend }) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::Local;
+                let $scheme = ::anyseq_core::scheme::local(::anyseq_core::scoring::affine(
+                    __subst, open, extend,
+                ));
+                $body
+            }
+            ($crate::spec::KindSpec::SemiGlobal, $crate::spec::GapSpec::Linear { gap }) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::SemiGlobal;
+                let $scheme =
+                    ::anyseq_core::scheme::semiglobal(::anyseq_core::scoring::linear(__subst, gap));
+                $body
+            }
+            (
+                $crate::spec::KindSpec::SemiGlobal,
+                $crate::spec::GapSpec::Affine { open, extend },
+            ) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::SemiGlobal;
+                let $scheme = ::anyseq_core::scheme::semiglobal(::anyseq_core::scoring::affine(
+                    __subst, open, extend,
+                ));
+                $body
+            }
+            ($crate::spec::KindSpec::FreeEnd, $crate::spec::GapSpec::Linear { gap }) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::FreeEnd;
+                let $scheme =
+                    ::anyseq_core::scheme::free_end(::anyseq_core::scoring::linear(__subst, gap));
+                $body
+            }
+            ($crate::spec::KindSpec::FreeEnd, $crate::spec::GapSpec::Affine { open, extend }) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::FreeEnd;
+                let $scheme = ::anyseq_core::scheme::free_end(::anyseq_core::scoring::affine(
+                    __subst, open, extend,
+                ));
+                $body
+            }
+        }
+    }};
+}
+
+/// Like [`with_scheme!`] but only for [`KindSpec::Global`] specs; the
+/// fallback arm `$other` runs for every other kind (backends such as
+/// the inter-sequence SIMD batcher and the GPU simulator only implement
+/// corner-optimum kinds).
+#[macro_export]
+macro_rules! with_global_scheme {
+    ($spec:expr, |$scheme:ident| $body:block, $other:block) => {{
+        let __spec: &$crate::spec::SchemeSpec = &$spec;
+        let __subst = ::anyseq_core::scoring::simple(__spec.match_score, __spec.mismatch);
+        match (__spec.kind, __spec.gap) {
+            ($crate::spec::KindSpec::Global, $crate::spec::GapSpec::Linear { gap }) => {
+                let $scheme =
+                    ::anyseq_core::scheme::global(::anyseq_core::scoring::linear(__subst, gap));
+                $body
+            }
+            ($crate::spec::KindSpec::Global, $crate::spec::GapSpec::Affine { open, extend }) => {
+                let $scheme = ::anyseq_core::scheme::global(::anyseq_core::scoring::affine(
+                    __subst, open, extend,
+                ));
+                $body
+            }
+            _ => $other,
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_lowers_to_matching_scalar_scheme() {
+        let q = Seq::from_ascii(b"ACGTACGT").unwrap();
+        let s = Seq::from_ascii(b"ACGTTACGT").unwrap();
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        // The doc example score from the core crate.
+        assert_eq!(spec.score_scalar(&q, &s), 15);
+        assert_eq!(spec.align_scalar(&q, &s).score, 15);
+    }
+
+    #[test]
+    fn all_kind_gap_combinations_lower() {
+        let q = Seq::from_ascii(b"TTACGTACGTTT").unwrap();
+        let s = Seq::from_ascii(b"ACGTACG").unwrap();
+        for kind in [
+            KindSpec::Global,
+            KindSpec::Local,
+            KindSpec::SemiGlobal,
+            KindSpec::FreeEnd,
+        ] {
+            for gap in [
+                GapSpec::Linear { gap: -2 },
+                GapSpec::Affine {
+                    open: -2,
+                    extend: -1,
+                },
+            ] {
+                let spec = SchemeSpec {
+                    kind,
+                    match_score: 2,
+                    mismatch: -1,
+                    gap,
+                };
+                let aln = spec.align_scalar(&q, &s);
+                assert_eq!(aln.score, spec.score_scalar(&q, &s), "{kind:?} {gap:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            KindSpec::Global,
+            KindSpec::Local,
+            KindSpec::SemiGlobal,
+            KindSpec::FreeEnd,
+        ] {
+            assert_eq!(KindSpec::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(KindSpec::parse("bogus"), None);
+    }
+}

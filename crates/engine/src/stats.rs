@@ -1,0 +1,187 @@
+//! Cell-update accounting — the single definition of "cells" and GCUPS
+//! shared by the engine's batch statistics and the benchmark harness
+//! (`anyseq-bench` computes its `Measurement` through these functions,
+//! so both layers count work identically).
+
+use anyseq_seq::Seq;
+
+/// Cell multiplier for traceback (Hirschberg recomputes ≈2× the cells
+/// of a score-only pass — the convention the paper's Fig. 5 traceback
+/// rows use). Shared so the engine's `BatchStats` and the bench
+/// binaries count traceback work identically.
+pub const TRACEBACK_CELL_FACTOR: u64 = 2;
+
+/// DP cells relaxed by a score-only pass over one pair: `|q| · |s|`.
+#[inline]
+pub fn cells_for(q: &Seq, s: &Seq) -> u64 {
+    q.len() as u64 * s.len() as u64
+}
+
+/// DP cells relaxed by score-only passes over a whole batch.
+pub fn pair_cells(pairs: &[(Seq, Seq)]) -> u64 {
+    pairs.iter().map(|(q, s)| cells_for(q, s)).sum()
+}
+
+/// Giga cell updates per second — the paper's throughput metric.
+/// Returns 0 for degenerate timings so callers can't divide by zero.
+#[inline]
+pub fn gcups(cells: u64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        cells as f64 / seconds / 1e9
+    } else {
+        0.0
+    }
+}
+
+/// Work one backend performed inside a batch run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendUse {
+    /// Backend name (matches `Caps::name`).
+    pub backend: &'static str,
+    /// Pairs this backend scored/aligned.
+    pub pairs: u64,
+    /// DP cells this backend relaxed.
+    pub cells: u64,
+    /// Summed busy time across workers (can exceed wall time).
+    pub busy_seconds: f64,
+}
+
+impl BackendUse {
+    /// Backend-local throughput.
+    pub fn gcups(&self) -> f64 {
+        gcups(self.cells, self.busy_seconds)
+    }
+}
+
+/// Per-batch execution statistics reported by the scheduler.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchStats {
+    /// Pairs in the batch.
+    pub pairs: u64,
+    /// Total DP cells across the batch (score-only accounting).
+    pub cells: u64,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Length bins the batch was split into.
+    pub bins: u64,
+    /// Work units handed to the pool (chunks of bins).
+    pub units: u64,
+    /// Times a backend declined a unit and the next candidate ran.
+    pub fallbacks: u64,
+    /// Per-backend breakdown. The scheduler sorts this by backend
+    /// name before returning, so the order is deterministic across
+    /// runs regardless of which worker recorded first.
+    pub per_backend: Vec<BackendUse>,
+}
+
+impl BatchStats {
+    /// Whole-batch throughput over wall time.
+    pub fn gcups(&self) -> f64 {
+        gcups(self.cells, self.wall_seconds)
+    }
+
+    /// Fraction of the pool's capacity that was busy: total backend
+    /// busy time over `threads × wall`. 1.0 means perfect overlap.
+    pub fn utilization(&self, threads: usize) -> f64 {
+        let capacity = threads.max(1) as f64 * self.wall_seconds;
+        if capacity > 0.0 {
+            self.per_backend.iter().map(|b| b.busy_seconds).sum::<f64>() / capacity
+        } else {
+            0.0
+        }
+    }
+
+    /// Adds `cells`/`busy` work attributed to `backend`.
+    pub fn record(&mut self, backend: &'static str, pairs: u64, cells: u64, busy_seconds: f64) {
+        if let Some(b) = self.per_backend.iter_mut().find(|b| b.backend == backend) {
+            b.pairs += pairs;
+            b.cells += cells;
+            b.busy_seconds += busy_seconds;
+        } else {
+            self.per_backend.push(BackendUse {
+                backend,
+                pairs,
+                cells,
+                busy_seconds,
+            });
+        }
+    }
+
+    /// Merges another accumulator (used to combine per-worker stats).
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.fallbacks += other.fallbacks;
+        for b in &other.per_backend {
+            self.record(b.backend, b.pairs, b.cells, b.busy_seconds);
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let mut line = format!(
+            "{} pairs, {} bins, {} units, {:.3}s wall, {:.2} GCUPS",
+            self.pairs,
+            self.bins,
+            self.units,
+            self.wall_seconds,
+            self.gcups()
+        );
+        for b in &self.per_backend {
+            line.push_str(&format!(
+                "; {}: {} pairs {:.2} GCUPS",
+                b.backend,
+                b.pairs,
+                b.gcups()
+            ));
+        }
+        if self.fallbacks > 0 {
+            line.push_str(&format!("; {} fallbacks", self.fallbacks));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_accounting() {
+        let q = Seq::from_ascii(b"ACGT").unwrap();
+        let s = Seq::from_ascii(b"ACGTAC").unwrap();
+        assert_eq!(cells_for(&q, &s), 24);
+        assert_eq!(pair_cells(&[(q.clone(), s.clone()), (s, q)]), 48);
+    }
+
+    #[test]
+    fn gcups_guards_division() {
+        assert_eq!(gcups(1_000_000_000, 1.0), 1.0);
+        assert_eq!(gcups(1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn record_and_merge_accumulate() {
+        let mut a = BatchStats::default();
+        a.record("simd", 10, 1000, 0.5);
+        a.record("simd", 5, 500, 0.25);
+        let mut b = BatchStats {
+            fallbacks: 2,
+            ..BatchStats::default()
+        };
+        b.record("scalar", 1, 100, 0.1);
+        a.merge(&b);
+        assert_eq!(a.per_backend.len(), 2);
+        assert_eq!(a.per_backend[0].pairs, 15);
+        assert_eq!(a.fallbacks, 2);
+        assert!(a.summary().contains("fallbacks"));
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let mut s = BatchStats {
+            wall_seconds: 1.0,
+            ..Default::default()
+        };
+        s.record("scalar", 1, 1, 4.0);
+        assert!((s.utilization(4) - 1.0).abs() < 1e-9);
+    }
+}

@@ -109,8 +109,7 @@ impl SystolicArray {
         let n = q.len();
         let m = s.len();
         if n == 0 || m == 0 {
-            let out =
-                anyseq_core::pass::score_pass::<Global, G, S>(gap, subst, q, s, gap.open());
+            let out = anyseq_core::pass::score_pass::<Global, G, S>(gap, subst, q, s, gap.open());
             return FpgaRun {
                 score: out.score,
                 last_h: out.last_h,
@@ -152,7 +151,7 @@ impl SystolicArray {
                 own_e[r] = NEG_INF;
                 own_h_prev[r] = 0;
             }
-            let mut diag0 = if r0 == 0 { h_top[0] } else { h_top[0] };
+            let mut diag0 = h_top[0];
 
             // Streaming phase: cycle t pushes subject char t into PE 0;
             // PE r processes column t − r.
@@ -301,7 +300,12 @@ mod tests {
         let q = sim.generate(2000);
         let s = sim.mutate(&q, 0.05);
         let arr = SystolicArray::zcu104(128);
-        let lin = arr.score(&anyseq_core::scoring::LinearGap { gap: -1 }, &simple(2, -1), &q, &s);
+        let lin = arr.score(
+            &anyseq_core::scoring::LinearGap { gap: -1 },
+            &simple(2, -1),
+            &q,
+            &s,
+        );
         let aff = arr.score(
             &anyseq_core::scoring::AffineGap {
                 open: -2,
@@ -321,7 +325,12 @@ mod tests {
         let q = sim.generate(4096);
         let s = sim.generate(100_000);
         let arr = SystolicArray::zcu104(128);
-        let run = arr.score(&anyseq_core::scoring::LinearGap { gap: -1 }, &simple(2, -1), &q, &s);
+        let run = arr.score(
+            &anyseq_core::scoring::LinearGap { gap: -1 },
+            &simple(2, -1),
+            &q,
+            &s,
+        );
         let gcups = arr.gcups(&run.stats);
         let peak = arr.kpe as f64 * arr.clock_hz / 1e9; // 24 GCUPS
         assert!(

@@ -9,9 +9,7 @@ use crate::mem::MemTracker;
 use anyseq_core::alignment::Alignment;
 use anyseq_core::hirschberg::{align_with_pass, AlignConfig, HalfPass};
 use anyseq_core::kind::{AlignKind, Global, OptRegion};
-use anyseq_core::pass::{
-    init_left_f, init_left_h, init_top_e, init_top_h, score_pass, PassOutput,
-};
+use anyseq_core::pass::{init_left_f, init_left_h, init_top_e, init_top_h, score_pass, PassOutput};
 use anyseq_core::relax::BestCell;
 use anyseq_core::scheme::Scheme;
 use anyseq_core::score::Score;
@@ -407,8 +405,14 @@ mod tests {
         let subst = simple(2, -1);
         let cpu = score_pass::<SemiGlobal, _, _>(&gap, &subst, q.codes(), s.codes(), gap.open());
         let gpu = aligner(200, 64);
-        let out =
-            GpuAligner::pass::<SemiGlobal, _, _>(&gpu, &gap, &subst, q.codes(), s.codes(), gap.open());
+        let out = GpuAligner::pass::<SemiGlobal, _, _>(
+            &gpu,
+            &gap,
+            &subst,
+            q.codes(),
+            s.codes(),
+            gap.open(),
+        );
         assert_eq!(out.score, cpu.score);
         assert_eq!(out.end, cpu.end);
     }

@@ -54,6 +54,7 @@ pub struct GpuTileIo<'a> {
 
 /// Relaxes one tile with the striped block kernel, updating `io` in
 /// place and charging costs to `stats`.
+#[allow(clippy::too_many_arguments)]
 pub fn striped_tile_kernel<G, S>(
     device: &Device,
     shape: &KernelShape,
@@ -200,7 +201,11 @@ pub fn striped_tile_kernel<G, S>(
                 let (up_h, diag_h, up_e) = if r == 0 {
                     (pre_up, diag0, pre_e)
                 } else {
-                    (a_h[r - 1], b_h[r - 1], if G::AFFINE { a_e[r - 1] } else { 0 })
+                    (
+                        a_h[r - 1],
+                        b_h[r - 1],
+                        if G::AFFINE { a_e[r - 1] } else { 0 },
+                    )
                 };
                 let left_h = a_h[r];
 
@@ -287,7 +292,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn check_vs_scalar<G: GapModel + Copy>(gap: G, th: usize, tw: usize, threads: usize, seed: u64) {
+    fn check_vs_scalar<G: GapModel + Copy>(
+        gap: G,
+        th: usize,
+        tw: usize,
+        threads: usize,
+        seed: u64,
+    ) {
         let subst = simple(2, -1);
         let mut rng = StdRng::seed_from_u64(seed);
         let q: Vec<u8> = (0..th).map(|_| rng.gen_range(0..4)).collect();

@@ -67,11 +67,10 @@ pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<Record>, FastaError> {
     let mut records = Vec::new();
     let mut header: Option<(String, String)> = None;
     let mut body: Vec<u8> = Vec::new();
-    let mut line_no = 0usize;
 
     let flush = |header: &mut Option<(String, String)>,
-                     body: &mut Vec<u8>,
-                     records: &mut Vec<Record>|
+                 body: &mut Vec<u8>,
+                 records: &mut Vec<Record>|
      -> Result<(), FastaError> {
         if let Some((id, description)) = header.take() {
             let seq = Seq::from_ascii(body).map_err(|source| FastaError::Seq {
@@ -89,8 +88,8 @@ pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<Record>, FastaError> {
         Ok(())
     };
 
-    for line in reader.lines() {
-        line_no += 1;
+    for (line_idx, line) in reader.lines().enumerate() {
+        let line_no = line_idx + 1;
         let line = line?;
         let trimmed = line.trim_end();
         if trimmed.is_empty() || trimmed.starts_with(';') {
@@ -151,12 +150,11 @@ pub fn read_fastq<R: Read>(reader: R) -> Result<Vec<Record>, FastaError> {
         };
 
         need("sequence line", &mut line)?;
-        let seq = Seq::from_ascii(line.trim_end().as_bytes()).map_err(|source| {
-            FastaError::Seq {
+        let seq =
+            Seq::from_ascii(line.trim_end().as_bytes()).map_err(|source| FastaError::Seq {
                 record: id.clone(),
                 source,
-            }
-        })?;
+            })?;
 
         need("separator line", &mut line)?;
         if !line.trim_end().starts_with('+') {

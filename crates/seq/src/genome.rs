@@ -49,7 +49,10 @@ impl GenomeSim {
     pub fn with_repeats(mut self, tandem: f64, duplication: f64) -> GenomeSim {
         assert!((0.0..=1.0).contains(&tandem));
         assert!((0.0..=1.0).contains(&duplication));
-        assert!(tandem + duplication < 1.0, "repeat fractions must leave background");
+        assert!(
+            tandem + duplication < 1.0,
+            "repeat fractions must leave background"
+        );
         self.tandem_fraction = tandem;
         self.duplication_fraction = duplication;
         self
@@ -110,7 +113,7 @@ impl GenomeSim {
     /// Appends a (lightly mutated) copy of an earlier segment.
     fn emit_duplication(&mut self, codes: &mut Vec<u8>, remaining: usize) {
         let max_len = remaining.min(codes.len()).min(20_000);
-        let dup_len = self.rng.gen_range(500..=max_len.max(501).min(20_000));
+        let dup_len = self.rng.gen_range(500..=max_len.clamp(501, 20_000));
         let dup_len = dup_len.min(max_len);
         let start = self.rng.gen_range(0..=codes.len() - dup_len);
         let mut copy: Vec<u8> = codes[start..start + dup_len].to_vec();
@@ -191,7 +194,10 @@ mod tests {
     #[test]
     fn gc_content_tracks_parameter() {
         for gc in [0.2, 0.5, 0.8] {
-            let g = GenomeSim::new(7).with_gc(gc).with_repeats(0.0, 0.0).generate(200_000);
+            let g = GenomeSim::new(7)
+                .with_gc(gc)
+                .with_repeats(0.0, 0.0)
+                .generate(200_000);
             assert!(
                 (g.gc_content() - gc).abs() < 0.02,
                 "target {gc}, got {}",

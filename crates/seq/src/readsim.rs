@@ -73,7 +73,11 @@ impl ReadSim {
         let mut out = Vec::with_capacity(n + 4);
         let p = &self.profile;
         for (i, &base) in template.iter().enumerate() {
-            let t = if n <= 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+            let t = if n <= 1 {
+                0.0
+            } else {
+                i as f64 / (n - 1) as f64
+            };
             let sub_rate = p.sub_rate_start + t * (p.sub_rate_end - p.sub_rate_start);
             if self.rng.gen_bool(p.del_rate) {
                 continue; // base dropped

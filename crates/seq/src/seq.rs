@@ -176,7 +176,11 @@ impl fmt::Debug for Seq {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ascii = self.to_ascii();
         let shown = if ascii.len() > 48 {
-            format!("{}…({} bp)", String::from_utf8_lossy(&ascii[..48]), ascii.len())
+            format!(
+                "{}…({} bp)",
+                String::from_utf8_lossy(&ascii[..48]),
+                ascii.len()
+            )
         } else {
             String::from_utf8_lossy(&ascii).into_owned()
         };

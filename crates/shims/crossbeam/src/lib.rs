@@ -1,0 +1,108 @@
+//! Workspace-local subset of the `crossbeam` API.
+//!
+//! The build environment cannot reach crates.io, so this shim provides
+//! the one primitive the workspace uses: [`deque::Injector`], the
+//! shared FIFO work queue of the dynamic wavefront scheduler. The
+//! implementation is a mutexed `VecDeque` rather than the lock-free
+//! Chase–Lev structure — identical semantics, and the queue is far from
+//! being the bottleneck at tile granularity.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One item was taken.
+        Success(T),
+        /// Transient contention; try again.
+        Retry,
+    }
+
+    /// A shared FIFO injector queue (many producers, many consumers).
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends an item at the back.
+        pub fn push(&self, item: T) {
+            self.lock().push_back(item);
+        }
+
+        /// Takes an item from the front.
+        pub fn steal(&self) -> Steal<T> {
+            match self.lock().pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            match self.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Injector<T> {
+            Injector::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let q = Injector::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.steal(), Steal::Success(1));
+            assert_eq!(q.steal(), Steal::Success(2));
+            assert_eq!(q.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn concurrent_drain() {
+            let q = Injector::new();
+            for k in 0..1000 {
+                q.push(k);
+            }
+            let count = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|sc| {
+                for _ in 0..4 {
+                    sc.spawn(|| loop {
+                        match q.steal() {
+                            Steal::Success(_) => {
+                                count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            Steal::Retry => continue,
+                            Steal::Empty => break,
+                        }
+                    });
+                }
+            });
+            assert_eq!(count.into_inner(), 1000);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Workspace-local subset of the `parking_lot` API layered over
+//! `std::sync`.
+//!
+//! The build environment cannot reach crates.io, so this shim provides
+//! the pieces the workspace uses — [`Mutex`] with an infallible
+//! `lock()`, and [`Condvar`] with `wait_for` taking `&mut` guard —
+//! with `parking_lot` semantics (no poisoning: a poisoned std lock is
+//! transparently recovered).
+
+use std::ops::{Deref, DerefMut};
+use std::time::Duration;
+
+/// A mutex whose `lock` never returns a `Result` (parking_lot style).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    #[inline]
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Ignores poisoning.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            },
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    #[inline]
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable with the parking_lot calling convention
+/// (`&mut MutexGuard` instead of guard-by-value).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[inline]
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wakes one waiter.
+    #[inline]
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    #[inline]
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Blocks on the guard until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.replace_guard(guard, |inner| match self.inner.wait(inner) {
+            Ok(g) => (g, false),
+            Err(p) => (p.into_inner(), false),
+        });
+    }
+
+    /// Blocks on the guard until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let timed_out = self.replace_guard(guard, |inner| {
+            match self.inner.wait_timeout(inner, timeout) {
+                Ok((g, r)) => (g, r.timed_out()),
+                Err(p) => {
+                    let (g, r) = p.into_inner();
+                    (g, r.timed_out())
+                }
+            }
+        });
+        WaitTimeoutResult { timed_out }
+    }
+
+    /// Runs a std wait primitive that consumes the guard, writing the
+    /// reacquired guard back in place.
+    fn replace_guard<T, R>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        wait: impl FnOnce(std::sync::MutexGuard<'_, T>) -> (std::sync::MutexGuard<'_, T>, R),
+    ) -> R {
+        // While the guard is moved out, an unwind would let the caller
+        // drop `guard.inner` a second time (std's wait can panic, e.g.
+        // when a condvar is used with two mutexes). Abort instead of
+        // risking a double drop.
+        struct AbortOnUnwind;
+        impl Drop for AbortOnUnwind {
+            fn drop(&mut self) {
+                eprintln!("parking_lot shim: panic while a guard was detached; aborting");
+                std::process::abort();
+            }
+        }
+        // SAFETY: `inner` is moved out and a valid reacquired guard is
+        // written back before returning; if `wait` unwinds in between,
+        // the bomb above turns it into an abort rather than UB.
+        unsafe {
+            let taken = std::ptr::read(&guard.inner);
+            let bomb = AbortOnUnwind;
+            let (back, result) = wait(taken);
+            std::mem::forget(bomb);
+            std::ptr::write(&mut guard.inner, back);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn condvar_notifies_across_threads() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|sc| {
+            sc.spawn(|| {
+                let mut g = m.lock();
+                while !*g {
+                    cv.wait_for(&mut g, Duration::from_millis(1));
+                }
+                done.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        assert!(done.load(Ordering::SeqCst));
+    }
+}

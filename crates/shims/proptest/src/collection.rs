@@ -1,0 +1,27 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::{Rng, TestRng};
+use std::ops::Range;
+
+/// Strategy for `Vec<E::Value>` with a length drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<E: Strategy> {
+    element: E,
+    size: Range<usize>,
+}
+
+/// Generates vectors whose length is uniform in `size` and whose
+/// elements come from `element`.
+pub fn vec<E: Strategy>(element: E, size: Range<usize>) -> VecStrategy<E> {
+    assert!(size.start < size.end, "collection::vec: empty size range");
+    VecStrategy { element, size }
+}
+
+impl<E: Strategy> Strategy for VecStrategy<E> {
+    type Value = Vec<E::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<E::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,179 @@
+//! Workspace-local subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so this shim supplies
+//! the slice of proptest the workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! integer-range / tuple / `Just` / `prop_oneof!` /
+//! `prop::collection::vec` strategies, and `prop_assert*` macros.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case
+//! panics with the generating seed so it can be replayed. Generation is
+//! deterministic per test (fixed base seed + case index), which keeps
+//! CI stable.
+
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// How many random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of `proptest::prelude::prop` (module-path strategies).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0i32..1000, b in 0i32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]: one plain `#[test]` fn per
+/// property, looping over generated cases.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __run = || -> () { $body };
+                __run();
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between strategies of one type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($strat),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn byte_vec(max: usize) -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(0u8..4, 0..max)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_and_tuples(
+            v in byte_vec(30),
+            (a, b) in (1i32..6, -6i32..0),
+            pick in prop_oneof![Just(8usize), Just(64), Just(1 << 18)],
+            x in 0u64..1000,
+        ) {
+            prop_assert!(v.len() < 30);
+            prop_assert!(v.iter().all(|&c| c < 4));
+            prop_assert!((1..6).contains(&a));
+            prop_assert!((-6..0).contains(&b));
+            prop_assert!([8, 64, 1 << 18].contains(&pick));
+            prop_assert!(x < 1000);
+        }
+
+        #[test]
+        fn inclusive_ranges(y in -8i32..=0) {
+            prop_assert!((-8..=0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec(0u8..4, 0..50);
+        let a: Vec<Vec<u8>> = (0..10)
+            .map(|c| strat.generate(&mut crate::test_runner::TestRng::for_case("t", c)))
+            .collect();
+        let b: Vec<Vec<u8>> = (0..10)
+            .map(|c| strat.generate(&mut crate::test_runner::TestRng::for_case("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic per-case random source for the proptest shim.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::{Rng, RngCore};
+
+/// The generator handed to strategies: splitmix64 seeded from the test
+/// path and case number, so every run of the suite sees the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Generator for case `case` of the test identified by `path`.
+    pub fn for_case(path: &str, case: u32) -> TestRng {
+        // FNV-1a over the test path keeps distinct tests on distinct
+        // streams even at the same case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ case as u64),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -112,6 +112,7 @@ pub struct BlockBorders<const L: usize> {
 ///
 /// * `q_rows[r]` — the `L` query codes of tile-local row `r` (one per lane),
 /// * `s_cols[c]` — the `L` subject codes of tile-local column `c`.
+#[allow(clippy::needless_range_loop)]
 pub fn block_kernel<G, SS, const L: usize>(
     gap: &G,
     subst: &SS,
@@ -181,6 +182,7 @@ pub fn block_kernel<G, SS, const L: usize>(
 /// linear schemes), a running block maximum, and a ν floor mask — the
 /// redundant lane work a masked translation of the general variant
 /// carries. Results are identical; only the instruction count differs.
+#[allow(clippy::needless_range_loop)]
 pub fn block_kernel_masked<G, SS, const L: usize>(
     gap: &G,
     subst: &SS,
@@ -286,12 +288,8 @@ mod tests {
                 .map(|r| I16s::splat(to16(left_f_i32[r], 0)))
                 .collect(),
         };
-        let q_rows: Vec<[u8; L]> = (0..h)
-            .map(|r| std::array::from_fn(|l| qs[l][r]))
-            .collect();
-        let s_cols: Vec<[u8; L]> = (0..w)
-            .map(|c| std::array::from_fn(|l| ss[l][c]))
-            .collect();
+        let q_rows: Vec<[u8; L]> = (0..h).map(|r| std::array::from_fn(|l| qs[l][r])).collect();
+        let s_cols: Vec<[u8; L]> = (0..w).map(|c| std::array::from_fn(|l| ss[l][c])).collect();
         block_kernel(&gap, &subst, &q_rows, &s_cols, &mut borders);
 
         for l in 0..L {

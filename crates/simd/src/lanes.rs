@@ -9,6 +9,8 @@
 //! to one AVX512BW instruction (`vpaddsw`, `vpmaxsw`, ...), matching the
 //! paper's AVX2/AVX512 variants with 16-bit scores per lane.
 
+#![allow(clippy::needless_range_loop)] // lane loops mirror the vector ISA
+
 /// A SIMD block of `L` signed 16-bit scores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(align(64))]
@@ -73,9 +75,7 @@ impl<const L: usize> I16s<L> {
     #[inline(always)]
     pub fn shift_lanes_up(self, fill: i16) -> I16s<L> {
         let mut out = [fill; L];
-        for l in 1..L {
-            out[l] = self.0[l - 1];
-        }
+        out[1..L].copy_from_slice(&self.0[..(L - 1)]);
         I16s(out)
     }
 

@@ -61,16 +61,15 @@ where
     let compute = |scr: &mut Scratch<L>, tiles: &[TileId]| {
         // Full blocks of L interior-size tiles go down the vector path;
         // everything else (short batches, edge tiles) is scalar.
-        let (vec_tiles, scalar_tiles): (Vec<TileId>, Vec<TileId>) =
-            if tiles.len() == L {
-                tiles.iter().partition(|t| {
-                    let (_, th) = grid.rows(t.ti);
-                    let (_, tw) = grid.cols(t.tj);
-                    th == tile && tw == tile
-                })
-            } else {
-                (Vec::new(), tiles.to_vec())
-            };
+        let (vec_tiles, scalar_tiles): (Vec<TileId>, Vec<TileId>) = if tiles.len() == L {
+            tiles.iter().partition(|t| {
+                let (_, th) = grid.rows(t.ti);
+                let (_, tw) = grid.cols(t.tj);
+                th == tile && tw == tile
+            })
+        } else {
+            (Vec::new(), tiles.to_vec())
+        };
 
         if vec_tiles.len() == L {
             compute_block::<G, SS, L>(gap, subst, q, s, &grid, &borders, &vec_tiles, scr, tile);
@@ -109,6 +108,7 @@ where
     finalize::<Global, G>(gap, BestCell::empty(), n, m, tb, &last_h, last_e)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn compute_scalar<G: GapModel, SS: SimdSubst>(
     gap: &G,
     subst: &SS,
@@ -162,6 +162,7 @@ fn compute_scalar<G: GapModel, SS: SimdSubst>(
 }
 
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)]
 fn compute_block<G: GapModel, SS: SimdSubst, const L: usize>(
     gap: &G,
     subst: &SS,

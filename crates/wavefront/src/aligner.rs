@@ -22,14 +22,7 @@ pub struct TiledPass {
 }
 
 impl<G: GapModel, S: SubstScore> HalfPass<G, S> for TiledPass {
-    fn pass<K: AlignKind>(
-        &self,
-        gap: &G,
-        subst: &S,
-        q: &[u8],
-        s: &[u8],
-        tb: Score,
-    ) -> PassOutput {
+    fn pass<K: AlignKind>(&self, gap: &G, subst: &S, q: &[u8], s: &[u8], tb: Score) -> PassOutput {
         tiled_score_pass::<K, G, S>(gap, subst, q, s, tb, &self.cfg)
     }
 }
@@ -104,8 +97,7 @@ where
                         break;
                     }
                     let end = (start + CHUNK).min(pairs.len());
-                    for idx in start..end {
-                        let (q, s) = &pairs[idx];
+                    for (idx, (q, s)) in pairs.iter().enumerate().take(end).skip(start) {
                         let score = scheme.score(q, s);
                         // SAFETY: idx ranges are disjoint across workers.
                         unsafe { *out.0.add(idx) = score };

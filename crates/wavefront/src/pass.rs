@@ -265,7 +265,12 @@ mod tests {
                     gap.open(),
                     &cfg,
                 );
-                assert_eq!(par.score, scalar.score, "{} score", <$kind as AlignKind>::NAME);
+                assert_eq!(
+                    par.score,
+                    scalar.score,
+                    "{} score",
+                    <$kind as AlignKind>::NAME
+                );
                 assert_eq!(par.end, scalar.end, "{} end", <$kind as AlignKind>::NAME);
                 assert_eq!(par.last_h, scalar.last_h);
                 assert_eq!(par.last_e, scalar.last_e);
@@ -286,14 +291,8 @@ mod tests {
         let scalar = score_pass::<Global, _, _>(&gap, &subst, q.codes(), s.codes(), gap.open());
         let mut cfg = test_cfg(5, 128);
         cfg.static_schedule = true;
-        let par = tiled_score_pass::<Global, _, _>(
-            &gap,
-            &subst,
-            q.codes(),
-            s.codes(),
-            gap.open(),
-            &cfg,
-        );
+        let par =
+            tiled_score_pass::<Global, _, _>(&gap, &subst, q.codes(), s.codes(), gap.open(), &cfg);
         assert_eq!(par.score, scalar.score);
     }
 

@@ -250,13 +250,7 @@ mod tests {
     #[test]
     fn scratches_returned_per_worker() {
         let grid = TileGrid::new(64, 64, 8);
-        let scratches = run_dynamic(
-            &grid,
-            4,
-            1,
-            || 0usize,
-            |count, tiles| *count += tiles.len(),
-        );
+        let scratches = run_dynamic(&grid, 4, 1, || 0usize, |count, tiles| *count += tiles.len());
         assert_eq!(scratches.len(), 4);
         assert_eq!(scratches.iter().sum::<usize>(), grid.total());
     }

@@ -22,21 +22,25 @@ fn main() {
 
     // Transition/transversion-aware scoring (A<->G, C<->T cheaper):
     let mut table = [[-2i32; 5]; 5];
-    for b in 0..4 {
-        table[b][b] = 2;
+    for (b, row) in table.iter_mut().enumerate().take(4) {
+        row[b] = 2;
     }
     table[0][2] = -1; // A->G transition
     table[2][0] = -1;
     table[1][3] = -1; // C->T transition
     table[3][1] = -1;
-    for k in 0..5 {
-        table[4][k] = -1;
-        table[k][4] = -1;
+    for row in table.iter_mut() {
+        row[4] = -1;
     }
+    table[4] = [-1; 5];
     let titv = MatrixSubst { table };
     let scheme = global(affine(titv, -3, -1));
     let aln = scheme.align(&q, &s);
-    println!("transition-aware: score {}, cigar {}", aln.score, aln.cigar());
+    println!(
+        "transition-aware: score {}, cigar {}",
+        aln.score,
+        aln.cigar()
+    );
 
     // Gap model comparison on a sequence with one long insertion:
     let a = Seq::from_ascii(b"ACGTACGTACGTACGT").unwrap();
@@ -50,9 +54,6 @@ fn main() {
     println!("linear gaps: {} ({})", lin.score, lin.cigar());
     println!("affine gaps: {} ({})", aff.score, aff.cigar());
     // Affine pricing concentrates the insertion into one run:
-    let aff_runs = aff
-        .cigar()
-        .matches('D')
-        .count();
+    let aff_runs = aff.cigar().matches('D').count();
     assert_eq!(aff_runs, 1, "affine should produce one deletion run");
 }

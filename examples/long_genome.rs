@@ -8,17 +8,16 @@
 
 use anyseq::prelude::*;
 use anyseq::simd::simd_tiled_score_pass;
-use anyseq_core::kind::Global;
-use anyseq_wavefront::pass::tiled_score_pass;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let len: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(200_000);
-    let threads: usize = args
-        .get(2)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8));
+    let threads: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8)
+    });
 
     println!("simulating a {len} bp genome pair (2% divergence)...");
     let mut sim = GenomeSim::new(2024);

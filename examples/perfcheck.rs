@@ -5,8 +5,8 @@
 //! Run: `cargo run --release --example perfcheck`
 
 use anyseq_core::kind::Global;
-use anyseq_core::prelude::*;
 use anyseq_core::pass::score_pass;
+use anyseq_core::prelude::*;
 use anyseq_seq::genome::GenomeSim;
 use anyseq_simd::simd_tiled_score_pass;
 use anyseq_wavefront::pass::{tiled_score_pass, ParallelCfg};
@@ -18,24 +18,63 @@ fn main() {
     let s = sim.mutate(&q, 0.05);
     let cells = (q.len() * s.len()) as f64;
     let gap = LinearGap { gap: -1 };
-    let aff = AffineGap { open: -2, extend: -1 };
+    let aff = AffineGap {
+        open: -2,
+        extend: -1,
+    };
     let subst = simple(2, -1);
-    let cfg1 = ParallelCfg { threads: 1, tile: 512, min_parallel_area: 0, static_schedule: false };
-    let cfg8 = ParallelCfg { threads: 8, tile: 512, min_parallel_area: 0, static_schedule: false };
+    let cfg1 = ParallelCfg {
+        threads: 1,
+        tile: 512,
+        min_parallel_area: 0,
+        static_schedule: false,
+    };
+    let cfg8 = ParallelCfg {
+        threads: 8,
+        tile: 512,
+        min_parallel_area: 0,
+        static_schedule: false,
+    };
 
     macro_rules! t {
         ($name:expr, $e:expr) => {{
             let t0 = Instant::now();
             let v = $e;
             let dt = t0.elapsed().as_secs_f64();
-            println!("{:<28} {:>7.2} GCUPS (score {})", $name, cells / dt / 1e9, v);
+            println!(
+                "{:<28} {:>7.2} GCUPS (score {})",
+                $name,
+                cells / dt / 1e9,
+                v
+            );
         }};
     }
-    t!("scalar 1t linear", score_pass::<Global,_,_>(&gap, &subst, q.codes(), s.codes(), 0).score);
-    t!("scalar 1t affine", score_pass::<Global,_,_>(&aff, &subst, q.codes(), s.codes(), -2).score);
-    t!("tiled 8t linear", tiled_score_pass::<Global,_,_>(&gap, &subst, q.codes(), s.codes(), 0, &cfg8).score);
-    t!("simd16 1t linear", simd_tiled_score_pass::<_,_,16>(&gap, &subst, q.codes(), s.codes(), 0, &cfg1).score);
-    t!("simd16 8t linear", simd_tiled_score_pass::<_,_,16>(&gap, &subst, q.codes(), s.codes(), 0, &cfg8).score);
-    t!("simd32 8t linear", simd_tiled_score_pass::<_,_,32>(&gap, &subst, q.codes(), s.codes(), 0, &cfg8).score);
-    t!("simd16 8t affine", simd_tiled_score_pass::<_,_,16>(&aff, &subst, q.codes(), s.codes(), -2, &cfg8).score);
+    t!(
+        "scalar 1t linear",
+        score_pass::<Global, _, _>(&gap, &subst, q.codes(), s.codes(), 0).score
+    );
+    t!(
+        "scalar 1t affine",
+        score_pass::<Global, _, _>(&aff, &subst, q.codes(), s.codes(), -2).score
+    );
+    t!(
+        "tiled 8t linear",
+        tiled_score_pass::<Global, _, _>(&gap, &subst, q.codes(), s.codes(), 0, &cfg8).score
+    );
+    t!(
+        "simd16 1t linear",
+        simd_tiled_score_pass::<_, _, 16>(&gap, &subst, q.codes(), s.codes(), 0, &cfg1).score
+    );
+    t!(
+        "simd16 8t linear",
+        simd_tiled_score_pass::<_, _, 16>(&gap, &subst, q.codes(), s.codes(), 0, &cfg8).score
+    );
+    t!(
+        "simd32 8t linear",
+        simd_tiled_score_pass::<_, _, 32>(&gap, &subst, q.codes(), s.codes(), 0, &cfg8).score
+    );
+    t!(
+        "simd16 8t affine",
+        simd_tiled_score_pass::<_, _, 16>(&aff, &subst, q.codes(), s.codes(), -2, &cfg8).score
+    );
 }

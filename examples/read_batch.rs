@@ -1,8 +1,10 @@
-//! Short-read batch scoring: the paper's use case (ii).
+//! Short-read batch scoring: the paper's use case (ii), driven through
+//! the `anyseq-engine` batch subsystem.
 //!
 //! Simulates Illumina-style 150 bp read pairs (Mason-like) and scores
-//! them with the scalar batch engine and the inter-sequence SIMD engine
-//! (one whole alignment per 16-bit lane).
+//! them three ways — the raw scalar and SIMD batch entry points, then
+//! the engine's `BatchScheduler` with auto dispatch (length binning,
+//! worker pool, per-backend stats) — asserting bit-identical results.
 //!
 //! Run: `cargo run --release --example read_batch [pairs] [threads]`
 
@@ -13,10 +15,11 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let count: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(50_000);
-    let threads: usize = args
-        .get(2)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8));
+    let threads: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8)
+    });
 
     println!("simulating {count} read pairs from a 2 Mbp reference...");
     let reference = GenomeSim::new(7).generate(2_000_000);
@@ -41,11 +44,18 @@ fn main() {
     let t0 = Instant::now();
     let simd = score_batch_simd::<_, _, 16>(&scheme, &pairs, threads);
     let dt = t0.elapsed().as_secs_f64();
-    println!(
-        "SIMD batch    (16 lanes):   {:.2} GCUPS",
-        cells / dt / 1e9
-    );
+    println!("SIMD batch    (16 lanes):   {:.2} GCUPS", cells / dt / 1e9);
     assert_eq!(scalar, simd, "engines must agree bit-exactly");
+
+    // The same batch through the engine subsystem: one SchemeSpec, one
+    // dispatch policy, scheduling and backend choice handled for you.
+    let spec = SchemeSpec::global_linear(2, -1, -1);
+    let dispatch = Dispatch::standard(Policy::Auto);
+    let scheduler = BatchScheduler::new(BatchCfg::threads(threads));
+    let run = scheduler.score_batch(&dispatch, &spec, &pairs);
+    println!("engine batch  (auto):       {:.2} GCUPS", run.stats.gcups());
+    println!("  {}", run.stats.summary());
+    assert_eq!(scalar, run.results, "the engine must agree bit-exactly");
 
     let mean: f64 = scalar.iter().map(|&v| v as f64).sum::<f64>() / scalar.len() as f64;
     println!("mean pair score: {mean:.1} (max possible 300)");

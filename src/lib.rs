@@ -17,6 +17,7 @@
 
 pub use anyseq_baselines as baselines;
 pub use anyseq_core as core;
+pub use anyseq_engine as engine;
 pub use anyseq_fpga_sim as fpga;
 pub use anyseq_gpu_sim as gpu;
 pub use anyseq_seq as seq;
@@ -26,6 +27,7 @@ pub use anyseq_wavefront as wavefront;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use anyseq_core::prelude::*;
+    pub use anyseq_engine::prelude::*;
     pub use anyseq_seq::prelude::*;
     pub use anyseq_wavefront::{score_batch_parallel, ParallelCfg, ParallelExt};
 }

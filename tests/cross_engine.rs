@@ -9,7 +9,11 @@ use anyseq::prelude::*;
 use anyseq::simd::{score_batch_simd, simd_tiled_score_pass};
 use anyseq_baselines::{NvbioLike, ParasailLike, SeqAnLike};
 use anyseq_core::kind::Global;
+use anyseq_engine::{
+    BackendId, BatchCfg, BatchScheduler, Dispatch, GapSpec, KindSpec, Policy, SchemeSpec,
+};
 use anyseq_wavefront::pass::{tiled_score_pass, ParallelCfg};
+use proptest::prelude::*;
 
 fn genome_pair(len: usize, divergence: f64, seed: u64) -> (Seq, Seq) {
     let mut sim = GenomeSim::new(seed);
@@ -59,7 +63,11 @@ fn every_backend_agrees_on_global_scores() {
                 "simd seed={seed}"
             );
             let gpu = GpuAligner::new(Device::titan_v()).with_tile(256);
-            assert_eq!(gpu.score(&scheme, &q, &s).score, expected, "gpu seed={seed}");
+            assert_eq!(
+                gpu.score(&scheme, &q, &s).score,
+                expected,
+                "gpu seed={seed}"
+            );
             let fpga = SystolicArray::zcu104(64);
             assert_eq!(
                 fpga.score(scheme.gap(), scheme.subst(), &q, &s).score,
@@ -71,9 +79,17 @@ fn every_backend_agrees_on_global_scores() {
             assert_eq!(seqan.score(&scheme, &q, &s), expected, "seqan seed={seed}");
             let mut parasail = ParasailLike::new(4);
             parasail.tile = 128;
-            assert_eq!(parasail.score(&scheme, &q, &s), expected, "parasail seed={seed}");
+            assert_eq!(
+                parasail.score(&scheme, &q, &s),
+                expected,
+                "parasail seed={seed}"
+            );
             let nvbio = NvbioLike::new(Device::titan_v());
-            assert_eq!(nvbio.score(&scheme, &q, &s).score, expected, "nvbio seed={seed}");
+            assert_eq!(
+                nvbio.score(&scheme, &q, &s).score,
+                expected,
+                "nvbio seed={seed}"
+            );
         }
     }
 }
@@ -99,7 +115,10 @@ fn every_traceback_backend_is_optimal_and_valid() {
     check("gpu", gpu.align(&scheme, &q, &s).0);
     check("seqan-like", SeqAnLike::new(4).align(&scheme, &q, &s));
     check("parasail-like", ParasailLike::new(4).align(&scheme, &q, &s));
-    check("nvbio-like", NvbioLike::new(Device::titan_v()).align(&scheme, &q, &s).0);
+    check(
+        "nvbio-like",
+        NvbioLike::new(Device::titan_v()).align(&scheme, &q, &s).0,
+    );
 }
 
 #[test]
@@ -145,6 +164,178 @@ fn all_kinds_cross_checked_on_the_facade() {
     ] {
         assert_eq!(aln.score, score, "{name}");
     }
+}
+
+// ------------------------------------------------------------------
+// anyseq-engine: the BatchScheduler must be a drop-in replacement for
+// sequential Scheme::align/score on every backend — same scores, same
+// CIGARs, input order — for arbitrary batch shapes, including the
+// fallback path of backends that refuse a request.
+// ------------------------------------------------------------------
+
+/// Random ragged batch from (seeded) dimensions.
+fn random_batch(lens: &[(usize, usize)], seed: u64) -> Vec<(Seq, Seq)> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    lens.iter()
+        .map(|&(n, m)| {
+            (
+                Seq::from_codes((0..n).map(|_| rng.gen_range(0..4)).collect()).unwrap(),
+                Seq::from_codes((0..m).map(|_| rng.gen_range(0..4)).collect()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn scheduler_for(threads: usize, chunk: usize) -> BatchScheduler {
+    BatchScheduler::new(BatchCfg {
+        threads,
+        bin_quantum: 16,
+        chunk_pairs: chunk,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batch_scheduler_scores_equal_sequential_on_every_backend(
+        lens in prop::collection::vec((1usize..220, 1usize..220), 1..30),
+        seed in 0u64..1000,
+        threads in 1usize..5,
+        chunk in prop_oneof![Just(3usize), Just(16), Just(512)],
+        affine_gaps in prop_oneof![Just(false), Just(true)],
+    ) {
+        let pairs = random_batch(&lens, seed);
+        let spec = if affine_gaps {
+            SchemeSpec::global_affine(2, -1, -2, -1)
+        } else {
+            SchemeSpec::global_linear(2, -1, -1)
+        };
+        let expected: Vec<i32> = pairs.iter().map(|(q, s)| spec.score_scalar(q, s)).collect();
+        let sched = scheduler_for(threads, chunk);
+        for policy in [
+            Policy::Auto,
+            Policy::Fixed(BackendId::Scalar),
+            Policy::Fixed(BackendId::Simd),
+            Policy::Fixed(BackendId::Wavefront),
+            Policy::Fixed(BackendId::GpuSim),
+        ] {
+            let dispatch = Dispatch::standard(policy);
+            let run = sched.score_batch(&dispatch, &spec, &pairs);
+            prop_assert_eq!(&run.results, &expected, "policy {:?}", policy);
+            prop_assert_eq!(run.stats.pairs as usize, pairs.len());
+        }
+    }
+
+    #[test]
+    fn batch_scheduler_alignments_equal_sequential(
+        lens in prop::collection::vec((1usize..150, 1usize..150), 1..16),
+        seed in 0u64..1000,
+        threads in 1usize..4,
+        kind in prop_oneof![
+            Just(KindSpec::Global),
+            Just(KindSpec::Local),
+            Just(KindSpec::SemiGlobal),
+            Just(KindSpec::FreeEnd),
+        ],
+    ) {
+        let pairs = random_batch(&lens, seed ^ 0xa11a);
+        let spec = SchemeSpec {
+            kind,
+            match_score: 2,
+            mismatch: -1,
+            gap: GapSpec::Affine { open: -2, extend: -1 },
+        };
+        let sched = scheduler_for(threads, 8);
+        for policy in [Policy::Auto, Policy::Fixed(BackendId::GpuSim)] {
+            let dispatch = Dispatch::standard(policy);
+            let run = sched.align_batch(&dispatch, &spec, &pairs);
+            for (k, (q, s)) in pairs.iter().enumerate() {
+                let reference = spec.align_scalar(q, s);
+                prop_assert_eq!(run.results[k].score, reference.score,
+                    "{:?} policy {:?} pair {}", kind, policy, k);
+                prop_assert_eq!(run.results[k].cigar(), reference.cigar(),
+                    "{:?} policy {:?} pair {}", kind, policy, k);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scheduler_fallback_path_stays_oracle_identical(
+        lens in prop::collection::vec((1usize..180, 1usize..180), 1..20),
+        seed in 0u64..1000,
+        kind in prop_oneof![
+            Just(KindSpec::Local),
+            Just(KindSpec::SemiGlobal),
+            Just(KindSpec::FreeEnd),
+        ],
+    ) {
+        // SIMD and the GPU simulator cannot run these kinds: every unit
+        // must fall back to scalar, results unchanged.
+        let pairs = random_batch(&lens, seed ^ 0xfa11);
+        let spec = SchemeSpec {
+            kind,
+            match_score: 2,
+            mismatch: -1,
+            gap: GapSpec::Linear { gap: -1 },
+        };
+        let expected: Vec<i32> = pairs.iter().map(|(q, s)| spec.score_scalar(q, s)).collect();
+        let sched = scheduler_for(2, 16);
+        for backend in [BackendId::Simd, BackendId::GpuSim] {
+            let dispatch = Dispatch::standard(Policy::Fixed(backend));
+            let run = sched.score_batch(&dispatch, &spec, &pairs);
+            prop_assert_eq!(&run.results, &expected, "backend {:?}", backend);
+            prop_assert!(run.stats.fallbacks > 0, "expected fallbacks for {:?}", backend);
+            prop_assert!(
+                run.stats.per_backend.iter().all(|b| b.backend == "scalar"),
+                "only scalar should have run for {:?}", backend
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_scheduler_mixes_pooled_and_exclusive_phases() {
+    // Small reads (pooled SIMD units) plus pairs past the wavefront
+    // threshold (exclusive units) in one batch: both phases must fill
+    // their slots, in input order.
+    let mut pairs = random_batch(&[(150, 150); 40], 5);
+    let mut sim = GenomeSim::new(77);
+    let big_a = sim.generate(2200);
+    let big_b = sim.mutate(&big_a, 0.06);
+    pairs.insert(7, (big_a.clone(), big_b.clone()));
+    pairs.push((big_b, big_a));
+
+    let spec = SchemeSpec::global_linear(2, -1, -1);
+    let dispatch = Dispatch::standard(Policy::Auto);
+    let run = scheduler_for(3, 32).score_batch(&dispatch, &spec, &pairs);
+    for (k, (q, s)) in pairs.iter().enumerate() {
+        assert_eq!(run.results[k], spec.score_scalar(q, s), "pair {k}");
+    }
+    let names: Vec<&str> = run.stats.per_backend.iter().map(|b| b.backend).collect();
+    assert!(names.contains(&"simd"), "pooled SIMD phase ran: {names:?}");
+    assert!(
+        names.contains(&"wavefront"),
+        "exclusive wavefront phase ran: {names:?}"
+    );
+}
+
+#[test]
+fn batch_scheduler_stats_account_all_cells() {
+    let pairs = random_batch(&[(100, 120), (64, 64), (150, 150), (1, 1)], 9);
+    let spec = SchemeSpec::global_linear(2, -1, -1);
+    let dispatch = Dispatch::standard(Policy::Auto);
+    let run = scheduler_for(2, 2).score_batch(&dispatch, &spec, &pairs);
+    let expected_cells: u64 = pairs.iter().map(|(q, s)| (q.len() * s.len()) as u64).sum();
+    assert_eq!(run.stats.cells, expected_cells);
+    let backend_cells: u64 = run.stats.per_backend.iter().map(|b| b.cells).sum();
+    assert_eq!(
+        backend_cells, expected_cells,
+        "every cell attributed to a backend"
+    );
+    assert!(run.stats.gcups() > 0.0);
 }
 
 #[test]
