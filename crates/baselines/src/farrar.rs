@@ -1,5 +1,5 @@
 //! Farrar's striped intra-sequence SIMD Smith–Waterman — the layout used
-//! by the SSW library (paper refs [15], [28]).
+//! by the SSW library (paper refs \[15\], \[28\]).
 //!
 //! The query is laid out *striped* across vector lanes (lane `l` of
 //! vector `i` holds query position `i + l·segLen`), which keeps the inner

@@ -12,7 +12,7 @@
 //!   recurrence, minor-diagonal tile interior,
 //! * [`nvbio::NvbioLike`] — GPU kernel without phasing/coalescing,
 //! * [`farrar`] — the striped intra-sequence SIMD layout of SSW
-//!   (paper refs [15], [28]) as an extra short-read baseline.
+//!   (paper refs \[15\], \[28\]) as an extra short-read baseline.
 
 pub mod farrar;
 pub mod nvbio;

@@ -1,7 +1,7 @@
 //! NVBio-like GPU baseline.
 //!
 //! NVBio's DP kernels predate the striping/phasing refinements of the
-//! paper's GPU mapping; the paper measures AnySeq "outperform[ing] NVBio
+//! paper's GPU mapping; the paper measures AnySeq "outperform\[ing\] NVBio
 //! for both score-only computation and alignment reconstruction by a
 //! factor of up to 1.1". This baseline runs on the same GPU simulator
 //! with the refinements disabled: unphased diagonal loops (divergence on

@@ -7,7 +7,7 @@
 //!    gaps, even if Go = 0"* — this baseline always runs the affine
 //!    recurrence (linear requests become `open = 0`),
 //! 2. it (like AnySeq's preliminary version) uses a **static wavefront**
-//!    along diagonals: "Our preliminary version [18] and Parasail rely on
+//!    along diagonals: "Our preliminary version \[18\] and Parasail rely on
 //!    the latter strategy. This also explains the low Parasail
 //!    performance in Figure 5 part a)" — tiles run behind a barrier per
 //!    anti-diagonal with fixed round-robin assignment,

@@ -1,15 +1,23 @@
 //! Batch-throughput workload over the `anyseq-engine` subsystem:
 //! per-backend GCUPS on a Mason-like short-read batch, single-thread
-//! versus multi-thread, plus the engine's own per-batch statistics
-//! (utilization, fallbacks) — the scaling evidence the ROADMAP's
-//! batching milestone asks for.
+//! versus multi-thread, in **both** execution modes — score-only and
+//! alignment (banded SIMD traceback) — plus the engine's own per-batch
+//! statistics (utilization, fallbacks, band telemetry).
 //!
 //! Run: `cargo run --release -p anyseq-bench --bin batch_throughput \
 //!       [pairs] [threads] [repeats]`
+//!
+//! Report format (documented in `docs/ARCHITECTURE.md`): one section
+//! per mode, opened by an unambiguous `== mode: … ==` header so saved
+//! reports can never mix the two up. Alignment-mode cells are counted
+//! with the shared `TRACEBACK_CELL_FACTOR` convention, so GCUPS are
+//! comparable across the engine's stats, this bench and the paper's
+//! traceback rows. JSON keys are `<mode>.<backend>_<threads>t`.
 
-use anyseq_bench::gcups::measure_batch_gcups;
+use anyseq_bench::gcups::measure_gcups;
 use anyseq_bench::report::{dump_json, Table};
 use anyseq_bench::workloads::read_batch;
+use anyseq_engine::stats::{pair_cells, TRACEBACK_CELL_FACTOR};
 use anyseq_engine::{BackendId, BatchCfg, BatchScheduler, Dispatch, Policy, SchemeSpec};
 use std::collections::BTreeMap;
 
@@ -26,70 +34,95 @@ fn main() {
     println!("simulating {pairs_n} read pairs...");
     let pairs = read_batch(pairs_n, 7);
     let spec = SchemeSpec::global_linear(2, -1, -1);
-
-    let mut table = Table::new(vec!["backend", "threads", "GCUPS", "scaling", "util%"]);
     let mut json: BTreeMap<String, f64> = BTreeMap::new();
-    let mut expected = None;
+    // One reference for BOTH modes: alignment scores must equal
+    // score-only scores, backend by backend, mode by mode.
+    let mut expected_scores: Option<Vec<i32>> = None;
 
-    for backend in [BackendId::Scalar, BackendId::Simd, BackendId::GpuSim] {
-        let dispatch = Dispatch::standard(Policy::Fixed(backend));
-        let mut single = None;
-        for t in [1usize, threads] {
-            let scheduler = BatchScheduler::new(BatchCfg::threads(t));
-            let mut last_stats = None;
-            let m = measure_batch_gcups(&pairs, repeats, || {
-                let run = scheduler.score_batch(&dispatch, &spec, &pairs);
-                match &expected {
-                    None => expected = Some(run.results.clone()),
-                    Some(reference) => assert_eq!(
-                        reference,
-                        &run.results,
-                        "{} results diverged from the reference",
-                        backend.name()
-                    ),
+    for (mode, align) in [("score", false), ("align", true)] {
+        println!(
+            "\n== mode: {} ==",
+            if align {
+                "alignment (banded traceback, cells ×2)"
+            } else {
+                "score-only"
+            }
+        );
+        let cells = pair_cells(&pairs) * if align { TRACEBACK_CELL_FACTOR } else { 1 };
+        let mut table = Table::new(vec!["backend", "threads", "GCUPS", "scaling", "util%"]);
+
+        for backend in [BackendId::Scalar, BackendId::Simd, BackendId::GpuSim] {
+            let dispatch = Dispatch::standard(Policy::Fixed(backend));
+            let mut single = None;
+            for t in [1usize, threads] {
+                let scheduler = BatchScheduler::new(BatchCfg::threads(t));
+                let mut last_stats = None;
+                let m = measure_gcups(cells, repeats, || {
+                    let (scores, stats) = if align {
+                        let run = scheduler.align_batch(&dispatch, &spec, &pairs);
+                        (run.results.iter().map(|a| a.score).collect(), run.stats)
+                    } else {
+                        let run = scheduler.score_batch(&dispatch, &spec, &pairs);
+                        (run.results.clone(), run.stats)
+                    };
+                    // Scores must agree across every backend and mode;
+                    // alignment CIGARs may break ties differently.
+                    match &expected_scores {
+                        None => expected_scores = Some(scores),
+                        Some(reference) => assert_eq!(
+                            reference,
+                            &scores,
+                            "{} {mode} results diverged from the reference",
+                            backend.name()
+                        ),
+                    }
+                    last_stats = Some(stats);
+                });
+                let stats = last_stats.expect("at least one repeat ran");
+                let scaling = match (t, single) {
+                    (1, _) => {
+                        single = Some(m.gcups);
+                        "1.00x".to_string()
+                    }
+                    (_, Some(base)) if base > 0.0 => format!("{:.2}x", m.gcups / base),
+                    _ => "-".to_string(),
+                };
+                table.row(vec![
+                    backend.name().to_string(),
+                    t.to_string(),
+                    format!("{:.3}", m.gcups),
+                    scaling,
+                    format!("{:.0}", 100.0 * stats.utilization(t)),
+                ]);
+                json.insert(format!("{mode}.{}_{t}t", backend.name()), m.gcups);
+                if t == threads && !stats.counters.is_empty() {
+                    println!("[{} band telemetry] {}", backend.name(), stats.summary());
                 }
-                last_stats = Some(run.stats);
-            });
-            let stats = last_stats.expect("at least one repeat ran");
-            let scaling = match (t, single) {
-                (1, _) => {
-                    single = Some(m.gcups);
-                    "1.00x".to_string()
+                if t == 1 && t == threads {
+                    break; // single-core machine: one row is the whole story
                 }
-                (_, Some(base)) if base > 0.0 => format!("{:.2}x", m.gcups / base),
-                _ => "-".to_string(),
-            };
-            table.row(vec![
-                backend.name().to_string(),
-                t.to_string(),
-                format!("{:.3}", m.gcups),
-                scaling,
-                format!("{:.0}", 100.0 * stats.utilization(t)),
-            ]);
-            json.insert(format!("{}_{t}t", backend.name()), m.gcups);
-            if t == 1 && t == threads {
-                break; // single-core machine: one row is the whole story
             }
         }
+        println!("{}", table.render());
     }
 
-    println!("{}", table.render());
     println!(
-        "(median of {repeats} runs over {} pairs; results cross-checked between backends)",
+        "(median of {repeats} runs over {} pairs; scores cross-checked between backends and modes)",
         pairs.len()
     );
     if threads > 1 {
-        let s1 = json.get("simd_1t").copied().unwrap_or(0.0);
-        let sn = json
-            .get(&format!("simd_{threads}t"))
-            .copied()
-            .unwrap_or(0.0);
-        if s1 > 0.0 {
-            println!(
-                "simd {}-thread scaling over 1-thread: {:.2}x",
-                threads,
-                sn / s1
-            );
+        for mode in ["score", "align"] {
+            let s1 = json.get(&format!("{mode}.simd_1t")).copied().unwrap_or(0.0);
+            let sn = json
+                .get(&format!("{mode}.simd_{threads}t"))
+                .copied()
+                .unwrap_or(0.0);
+            if s1 > 0.0 {
+                println!(
+                    "simd {mode} {threads}-thread scaling over 1-thread: {:.2}x",
+                    sn / s1
+                );
+            }
         }
     }
     dump_json("batch_throughput", &json);

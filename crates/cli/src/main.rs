@@ -8,15 +8,18 @@
 //!              [--type KIND] [--match N] [--mismatch N]
 //!              [--gap N | --open N --extend N]
 //!              [--backend auto|scalar|simd|wavefront|gpu-sim]
-//!              [--threads N] [--align] [--seed N] [--quiet]
+//!              [--threads N] [--alignments] [--seed N] [--quiet]
 //! anyseq simulate --length N [--gc F] [--seed N]    # emit a FASTA genome
 //! ```
 //!
 //! `batch` drives the `anyseq-engine` subsystem: pairs are length-
 //! binned, sharded over a worker pool, dispatched to the selected
 //! backend (with scalar fallback) and printed in input order; the
-//! execution summary (per-backend GCUPS, utilization, fallbacks) goes
-//! to stderr.
+//! execution summary (per-backend GCUPS, utilization, fallbacks and
+//! backend counters such as the SIMD traceback's band telemetry) goes
+//! to stderr. With `--alignments` (alias `--align`), short-read
+//! global batches stay on the SIMD lanes end to end: scores and
+//! CIGARs come from the banded lane-packed traceback.
 
 use anyseq_core::kind::{Global, Local, SemiGlobal};
 use anyseq_core::prelude::*;
@@ -39,7 +42,7 @@ fn usage() -> ! {
          \x20              [--type KIND] [--match N] [--mismatch N]\n\
          \x20              [--gap N | --open N --extend N]\n\
          \x20              [--backend auto|scalar|simd|wavefront|gpu-sim]\n\
-         \x20              [--threads N] [--align] [--seed N] [--quiet]\n\
+         \x20              [--threads N] [--alignments] [--seed N] [--quiet]\n\
          \x20 anyseq simulate --length N [--gc F] [--seed N]"
     );
     exit(2)
@@ -220,7 +223,7 @@ fn cmd_batch(args: &[String]) {
             exit(0);
         }
     };
-    let stats = if flags.contains_key("align") {
+    let stats = if flags.contains_key("align") || flags.contains_key("alignments") {
         let run = scheduler.align_batch(&dispatch, &spec, &pairs);
         for (k, aln) in run.results.iter().enumerate() {
             emit(format_args!("{k}\t{}\t{}", aln.score, aln.cigar()));

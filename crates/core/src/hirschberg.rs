@@ -1,5 +1,5 @@
 //! Linear-space traceback: Hirschberg divide-and-conquer with
-//! Myers–Miller affine-gap boundary handling (paper §III-A, ref. [24]:
+//! Myers–Miller affine-gap boundary handling (paper §III-A, ref. \[24\]:
 //! "the traceback procedure can be implemented in linear space ... that
 //! recursively determines optimal midpoints of the DP matrix (at the cost
 //! of at most doubling the amount of computed DP cells)").

@@ -1,10 +1,9 @@
-//! [`Engine`](crate::Engine) adapters over the workspace's execution
-//! substrates.
+//! [`Engine`] adapters over the workspace's execution substrates.
 //!
 //! | backend     | scores | alignments | kinds       | shape                         |
 //! |-------------|--------|------------|-------------|-------------------------------|
 //! | `scalar`    | ✓      | ✓          | all four    | per-pair scalar kernels       |
-//! | `simd`      | ✓      | —          | global      | one alignment per 16-bit lane |
+//! | `simd`      | ✓      | ✓          | global      | one alignment per 16-bit lane |
 //! | `wavefront` | ✓      | ✓          | all four    | tiled intra-pair parallelism  |
 //! | `gpu-sim`   | ✓      | ✓          | global      | device queue, modeled cycles  |
 //!
@@ -21,8 +20,9 @@ use anyseq_core::score::Score;
 use anyseq_core::Alignment;
 use anyseq_gpu_sim::{Device, GpuAligner, KernelShape};
 use anyseq_seq::Seq;
-use anyseq_simd::score_batch_simd;
+use anyseq_simd::{align_batch_simd, score_batch_simd, BandCfg, TraceStats};
 use anyseq_wavefront::{ParallelCfg, ParallelExt};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Pairs handed to one pool chunk when an adapter parallelizes
 /// internally.
@@ -75,25 +75,57 @@ impl Engine for ScalarEngine {
 // ------------------------------------------------------------------ simd
 
 /// Lane widths the SIMD batcher supports (16-bit score lanes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SimdLanes {
     /// 128-bit registers.
     L8,
     /// 256-bit registers (AVX2).
+    #[default]
     L16,
     /// 512-bit registers (AVX512).
     L32,
 }
 
-/// Inter-sequence SIMD batch scoring: one whole alignment per vector
-/// lane, pairs bucketed by matrix dimensions (`anyseq_simd::batch`).
-/// Score-only and global-only; oversized pairs take the internal
-/// scalar fallback, so acceptance is still unconditional for global
-/// specs.
-#[derive(Debug, Clone, Copy)]
+/// Inter-sequence SIMD batching: one whole alignment per vector lane,
+/// pairs bucketed by matrix dimensions (`anyseq_simd::batch`). Scores
+/// *and* banded-traceback alignments, global-only; oversized pairs and
+/// band overflows take the internal scalar fallback, so acceptance is
+/// still unconditional for global specs.
+///
+/// Band telemetry from the traceback path accumulates in internal
+/// atomic counters, drained by the scheduler into
+/// `BatchStats::counters` after every unit.
+#[derive(Debug, Default)]
 pub struct SimdEngine {
     /// Vector width to run with.
     pub lanes: SimdLanes,
+    /// Adaptive-band tuning for the traceback path.
+    pub band: BandCfg,
+    counters: SimdCounters,
+}
+
+/// Drainable telemetry for [`SimdEngine`] (see
+/// [`anyseq_simd::TraceStats`] for the per-run struct these sum).
+#[derive(Debug, Default)]
+struct SimdCounters {
+    lane_pairs: AtomicU64,
+    scalar_pairs: AtomicU64,
+    band_widenings: AtomicU64,
+    band_overflows: AtomicU64,
+    band_cells: AtomicU64,
+}
+
+impl SimdCounters {
+    fn add(&self, t: &TraceStats) {
+        self.lane_pairs.fetch_add(t.lane_pairs, Ordering::Relaxed);
+        self.scalar_pairs
+            .fetch_add(t.scalar_pairs, Ordering::Relaxed);
+        self.band_widenings
+            .fetch_add(t.band_widenings, Ordering::Relaxed);
+        self.band_overflows
+            .fetch_add(t.band_overflows, Ordering::Relaxed);
+        self.band_cells.fetch_add(t.band_cells, Ordering::Relaxed);
+    }
 }
 
 impl SimdEngine {
@@ -101,6 +133,7 @@ impl SimdEngine {
     pub fn avx2() -> SimdEngine {
         SimdEngine {
             lanes: SimdLanes::L16,
+            ..SimdEngine::default()
         }
     }
 
@@ -108,7 +141,14 @@ impl SimdEngine {
     pub fn avx512() -> SimdEngine {
         SimdEngine {
             lanes: SimdLanes::L32,
+            ..SimdEngine::default()
         }
+    }
+
+    /// Same engine with a custom traceback band configuration.
+    pub fn with_band(mut self, band: BandCfg) -> SimdEngine {
+        self.band = band;
+        self
     }
 }
 
@@ -117,7 +157,7 @@ impl Engine for SimdEngine {
         Caps {
             name: "simd",
             score_kinds: GLOBAL_ONLY,
-            align_kinds: &[],
+            align_kinds: GLOBAL_ONLY,
             alphabet: "dna4+n",
             // The 16-bit differential budget under the default ±2
             // scoring; per-spec the exact bound is
@@ -158,14 +198,53 @@ impl Engine for SimdEngine {
     fn align_batch(
         &self,
         spec: &SchemeSpec,
-        _pairs: &[(Seq, Seq)],
-        _threads: usize,
+        pairs: &[(Seq, Seq)],
+        threads: usize,
     ) -> Result<Vec<Alignment>, EngineError> {
-        let _ = spec;
-        Err(EngineError::unsupported(
-            "simd",
-            "score-only backend (no traceback); dispatch falls back for alignments",
-        ))
+        with_global_scheme!(
+            spec,
+            |scheme| {
+                let (alns, trace) = match self.lanes {
+                    SimdLanes::L8 => {
+                        align_batch_simd::<_, _, 8>(&scheme, pairs, threads, self.band)
+                    }
+                    SimdLanes::L16 => {
+                        align_batch_simd::<_, _, 16>(&scheme, pairs, threads, self.band)
+                    }
+                    SimdLanes::L32 => {
+                        align_batch_simd::<_, _, 32>(&scheme, pairs, threads, self.band)
+                    }
+                };
+                self.counters.add(&trace);
+                Ok(alns)
+            },
+            {
+                Err(EngineError::unsupported(
+                    "simd",
+                    format!(
+                        "banded lane traceback tracks corner optima only; kind {} needs another \
+                         backend",
+                        spec.kind.name()
+                    ),
+                ))
+            }
+        )
+    }
+
+    fn drain_counters(&self) -> Vec<(&'static str, u64)> {
+        [
+            ("simd.lane_pairs", &self.counters.lane_pairs),
+            ("simd.scalar_pairs", &self.counters.scalar_pairs),
+            ("simd.band_widenings", &self.counters.band_widenings),
+            ("simd.band_overflows", &self.counters.band_overflows),
+            ("simd.band_cells", &self.counters.band_cells),
+        ]
+        .into_iter()
+        .filter_map(|(name, cell)| {
+            let v = cell.swap(0, Ordering::Relaxed);
+            (v != 0).then_some((name, v))
+        })
+        .collect()
     }
 }
 
@@ -380,6 +459,32 @@ mod tests {
     }
 
     #[test]
+    fn simd_alignments_carry_exact_scores_and_replay() {
+        use anyseq_core::kind::Global;
+        let pairs = read_pairs(40, 13);
+        let spec = SchemeSpec::global_affine(2, -1, -2, -1);
+        let engine = SimdEngine::avx2();
+        let got = engine.align_batch(&spec, &pairs, 4).unwrap();
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            let reference = spec.align_scalar(q, s);
+            assert_eq!(got[k].score, reference.score, "pair {k}");
+            crate::with_scheme!(&spec, |scheme, _K| {
+                got[k]
+                    .validate::<Global, _, _>(q, s, scheme.gap(), scheme.subst())
+                    .unwrap_or_else(|e| panic!("pair {k}: {e}"));
+            });
+        }
+        let counters = engine.drain_counters();
+        assert!(
+            counters
+                .iter()
+                .any(|&(n, v)| n == "simd.lane_pairs" && v > 0),
+            "lane traceback must have run: {counters:?}"
+        );
+        assert!(engine.drain_counters().is_empty(), "drain resets");
+    }
+
+    #[test]
     fn restricted_backends_refuse_unsupported_kinds() {
         let pairs = read_pairs(4, 7);
         let spec = SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::Local);
@@ -387,9 +492,13 @@ mod tests {
         assert!(GpuSimEngine::titan_v()
             .score_batch(&spec, &pairs, 1)
             .is_err());
+        // Traceback is global-only on the SIMD lanes…
+        assert!(SimdEngine::avx2().align_batch(&spec, &pairs, 1).is_err());
+        // …but global alignment requests are accepted since the banded
+        // traceback landed.
         assert!(SimdEngine::avx2()
             .align_batch(&SchemeSpec::global_linear(2, -1, -1), &pairs, 1)
-            .is_err());
+            .is_ok());
         // The generic engines accept all kinds.
         assert!(ScalarEngine.score_batch(&spec, &pairs, 1).is_ok());
         assert!(WavefrontEngine::default()
@@ -403,9 +512,12 @@ mod tests {
             &ScalarEngine.caps(),
             &SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::Local)
         ));
-        assert!(!SimdEngine::avx2()
+        assert!(SimdEngine::avx2()
             .caps()
             .supports_align(&SchemeSpec::global_linear(2, -1, -1)));
+        assert!(!SimdEngine::avx2()
+            .caps()
+            .supports_align(&SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::Local)));
         assert!(SimdEngine::avx2().caps().batch_native);
         assert!(!WavefrontEngine::default().caps().batch_native);
     }

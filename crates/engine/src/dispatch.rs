@@ -17,7 +17,7 @@ use crate::spec::SchemeSpec;
 pub enum BackendId {
     /// Per-pair scalar kernels (reference; always available).
     Scalar,
-    /// Inter-sequence SIMD lanes (score-only, global).
+    /// Inter-sequence SIMD lanes (scores + banded traceback, global).
     Simd,
     /// Tiled wavefront (intra-pair threading).
     Wavefront,
@@ -64,6 +64,20 @@ pub enum Policy {
 pub const AUTO_WAVEFRONT_MIN_CELLS: u64 = 1 << 22;
 
 /// The engine registry plus selection policy.
+///
+/// ```
+/// use anyseq_engine::{BackendId, Dispatch, Policy, SchemeSpec};
+///
+/// let dispatch = Dispatch::standard(Policy::Auto);
+/// let spec = SchemeSpec::global_linear(2, -1, -1);
+/// // Short-read alignment batches stay on the SIMD lanes end to end
+/// // (banded traceback), with the scalar reference closing the chain.
+/// let chain = dispatch.candidates(&spec, 150 * 150, true);
+/// assert_eq!(chain, vec![BackendId::Simd, BackendId::Scalar]);
+/// // Huge pairs go to the intra-pair wavefront instead.
+/// let chain = dispatch.candidates(&spec, 5000 * 5000, true);
+/// assert_eq!(chain[0], BackendId::Wavefront);
+/// ```
 pub struct Dispatch {
     engines: Vec<(BackendId, Box<dyn Engine>)>,
     /// Selection policy applied per bin.
@@ -163,7 +177,11 @@ impl Dispatch {
         if max_cells >= AUTO_WAVEFRONT_MIN_CELLS && caps_allow(BackendId::Wavefront) {
             return BackendId::Wavefront;
         }
-        if !align && caps_allow(BackendId::Simd) {
+        // Score *and* alignment requests ride the lanes: the banded
+        // traceback keeps short-read bins vectorized end to end, and
+        // band overflows are rescued inside the backend without
+        // leaving the chain.
+        if caps_allow(BackendId::Simd) {
             return BackendId::Simd;
         }
         BackendId::Scalar
@@ -189,8 +207,16 @@ mod tests {
         // Local kind: SIMD refuses by caps, scalar picked directly.
         let local = spec.with_kind(KindSpec::Local);
         assert_eq!(d.candidates(&local, 150 * 150, false)[0], BackendId::Scalar);
-        // Alignments never go to the score-only SIMD backend.
-        assert_eq!(d.candidates(&spec, 150 * 150, true)[0], BackendId::Scalar);
+        // Alignment requests for short-read global bins also stay on
+        // the SIMD lanes (banded traceback)…
+        assert_eq!(d.candidates(&spec, 150 * 150, true)[0], BackendId::Simd);
+        // …but non-global kinds still fall through to scalar.
+        assert_eq!(d.candidates(&local, 150 * 150, true)[0], BackendId::Scalar);
+        // Huge alignment bins prefer intra-pair wavefront parallelism.
+        assert_eq!(
+            d.candidates(&spec, 5000 * 5000, true)[0],
+            BackendId::Wavefront
+        );
     }
 
     #[test]

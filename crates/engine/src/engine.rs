@@ -4,10 +4,13 @@
 //!
 //! ## Trait contract
 //!
-//! * **Bit-exact**: a backend's scores must equal `Scheme::score` and
-//!   its alignments must equal `Scheme::align` (same ops, not merely
-//!   equally optimal) for every input it accepts. The scalar engine is
-//!   the reference; `tests/cross_engine.rs` enforces this.
+//! * **Bit-exact**: a backend's scores must equal `Scheme::score` for
+//!   every input it accepts, and every alignment it returns must carry
+//!   that exact score with an operation sequence that replays to it
+//!   (`Alignment::validate`). Tie-breaks in the traceback may differ
+//!   between backends — equally optimal paths are interchangeable;
+//!   wrong scores or non-replaying CIGARs are not. The scalar engine
+//!   is the reference; `tests/cross_engine.rs` enforces this.
 //! * **Order-stable**: results come back in input order.
 //! * **Honest refusal**: a backend that cannot run a request returns
 //!   [`EngineError::Unsupported`] instead of approximating — the
@@ -100,6 +103,19 @@ pub trait Engine: Send + Sync {
     fn caps(&self) -> Caps;
 
     /// Scores every pair, results in input order.
+    ///
+    /// ```
+    /// use anyseq_engine::{Engine, ScalarEngine, SchemeSpec};
+    /// use anyseq_seq::Seq;
+    ///
+    /// let spec = SchemeSpec::global_linear(2, -1, -1);
+    /// let pairs = vec![(
+    ///     Seq::from_ascii(b"ACGTACGT").unwrap(),
+    ///     Seq::from_ascii(b"ACGTTACGT").unwrap(),
+    /// )];
+    /// let scores = ScalarEngine.score_batch(&spec, &pairs, 1).unwrap();
+    /// assert_eq!(scores, vec![15]);
+    /// ```
     fn score_batch(
         &self,
         spec: &SchemeSpec,
@@ -108,12 +124,28 @@ pub trait Engine: Send + Sync {
     ) -> Result<Vec<Score>, EngineError>;
 
     /// Aligns every pair with traceback, results in input order.
+    ///
+    /// Scores must equal `Scheme::align`; the operation sequence must
+    /// replay to exactly that score (`Alignment::validate`), though
+    /// tie-breaks may differ from the scalar Hirschberg traceback.
     fn align_batch(
         &self,
         spec: &SchemeSpec,
         pairs: &[(Seq, Seq)],
         threads: usize,
     ) -> Result<Vec<Alignment>, EngineError>;
+
+    /// Returns and resets backend-internal execution counters
+    /// accumulated since the last drain (e.g. the SIMD backend's
+    /// band-width/overflow telemetry). The scheduler drains after
+    /// every unit and merges the values into `BatchStats::counters`
+    /// under the returned names; counters are additive across drains.
+    ///
+    /// The default implementation reports nothing — counters are an
+    /// optional part of the contract.
+    fn drain_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// All four kinds — capability list for fully generic backends.

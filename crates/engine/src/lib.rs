@@ -46,7 +46,15 @@
 //!    The scalar reference stays last in every candidate chain, so a
 //!    refusal degrades gracefully instead of failing the batch.
 //! 4. Extend `tests/cross_engine.rs` — every backend must reproduce
-//!    `Scheme::score`/`Scheme::align` exactly (scores *and* CIGARs).
+//!    `Scheme::score` exactly, and every alignment it returns must
+//!    carry that exact score with ops that replay to it
+//!    (`Alignment::validate`); traceback tie-breaks may differ from
+//!    the scalar reference.
+//!
+//! The full walkthrough (with the dispatch flow and the SIMD banded
+//! traceback design) lives in `docs/ARCHITECTURE.md`.
+
+#![deny(missing_docs)]
 
 pub mod backends;
 pub mod dispatch;

@@ -213,6 +213,12 @@ impl BatchScheduler {
                             unsafe { writer.write(*slot, value) };
                         }
                         local.fallbacks += k as u64;
+                        // Backend-internal telemetry (e.g. the SIMD
+                        // traceback's band counters) rides along with
+                        // the unit that produced it.
+                        for (name, value) in engine.drain_counters() {
+                            local.record_counter(name, value);
+                        }
                         // Busy time records granted capacity: an
                         // exclusive backend holds `threads` workers'
                         // worth of the machine for its wall time.
@@ -370,16 +376,36 @@ mod tests {
     }
 
     #[test]
-    fn alignments_match_scalar_cigars() {
+    fn alignments_match_scalar_scores_and_replay() {
+        use anyseq_core::kind::Global;
         let pairs = read_pairs(60, 2);
         let spec = SchemeSpec::global_affine(2, -1, -2, -1);
         let dispatch = Dispatch::standard(Policy::Auto);
         let run = scheduler(4).align_batch(&dispatch, &spec, &pairs);
         for (k, (q, s)) in pairs.iter().enumerate() {
-            let reference = spec.align_scalar(q, s);
-            assert_eq!(run.results[k].score, reference.score, "pair {k}");
-            assert_eq!(run.results[k].cigar(), reference.cigar(), "pair {k}");
+            assert_eq!(
+                run.results[k].score,
+                spec.align_scalar(q, s).score,
+                "pair {k}"
+            );
+            crate::with_scheme!(&spec, |scheme, _K| {
+                run.results[k]
+                    .validate::<Global, _, _>(q, s, scheme.gap(), scheme.subst())
+                    .unwrap_or_else(|e| panic!("pair {k}: {e}"));
+            });
         }
+        // Short-read alignment batches now stay on the SIMD lanes: no
+        // dispatch-level fallbacks, and the band telemetry shows up.
+        assert_eq!(run.stats.fallbacks, 0);
+        assert!(run.stats.per_backend.iter().any(|b| b.backend == "simd"));
+        assert!(
+            run.stats
+                .counters
+                .get("simd.lane_pairs")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! (`Scheme<K, G, S>`), which is what makes every combination compile
 //! into a dedicated kernel. A batch engine, however, must be chosen at
 //! *runtime* (CLI flags, service requests), so this module provides the
-//! value-level mirror [`SchemeSpec`] plus the [`with_scheme!`] /
-//! [`with_global_scheme!`] macros that lower a spec onto the
+//! value-level mirror [`SchemeSpec`] plus the
+//! [`with_scheme!`](crate::with_scheme) /
+//! [`with_global_scheme!`](crate::with_global_scheme) macros that
+//! lower a spec onto the
 //! monomorphized kernels — the runtime↔compile-time bridge every
 //! backend adapter uses.
 
@@ -197,7 +199,8 @@ macro_rules! with_scheme {
     }};
 }
 
-/// Like [`with_scheme!`] but only for [`KindSpec::Global`] specs; the
+/// Like [`with_scheme!`](crate::with_scheme) but only for
+/// [`KindSpec::Global`] specs; the
 /// fallback arm `$other` runs for every other kind (backends such as
 /// the inter-sequence SIMD batcher and the GPU simulator only implement
 /// corner-optimum kinds).

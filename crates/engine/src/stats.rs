@@ -4,6 +4,7 @@
 //! so both layers count work identically).
 
 use anyseq_seq::Seq;
+use std::collections::BTreeMap;
 
 /// Cell multiplier for traceback (Hirschberg recomputes ≈2× the cells
 /// of a score-only pass — the convention the paper's Fig. 5 traceback
@@ -72,6 +73,12 @@ pub struct BatchStats {
     /// name before returning, so the order is deterministic across
     /// runs regardless of which worker recorded first.
     pub per_backend: Vec<BackendUse>,
+    /// Named backend-internal counters, drained from each engine after
+    /// every unit (`Engine::drain_counters`) and summed here — e.g.
+    /// the SIMD traceback's `simd.band_overflows` /
+    /// `simd.band_widenings` band telemetry. The `BTreeMap` keeps the
+    /// report order deterministic.
+    pub counters: BTreeMap<&'static str, u64>,
 }
 
 impl BatchStats {
@@ -107,11 +114,19 @@ impl BatchStats {
         }
     }
 
+    /// Adds a named backend-internal counter (additive).
+    pub fn record_counter(&mut self, name: &'static str, value: u64) {
+        *self.counters.entry(name).or_insert(0) += value;
+    }
+
     /// Merges another accumulator (used to combine per-worker stats).
     pub fn merge(&mut self, other: &BatchStats) {
         self.fallbacks += other.fallbacks;
         for b in &other.per_backend {
             self.record(b.backend, b.pairs, b.cells, b.busy_seconds);
+        }
+        for (&name, &value) in &other.counters {
+            self.record_counter(name, value);
         }
     }
 
@@ -135,6 +150,9 @@ impl BatchStats {
         }
         if self.fallbacks > 0 {
             line.push_str(&format!("; {} fallbacks", self.fallbacks));
+        }
+        for (name, value) in &self.counters {
+            line.push_str(&format!("; {name}={value}"));
         }
         line
     }
@@ -168,11 +186,15 @@ mod tests {
             ..BatchStats::default()
         };
         b.record("scalar", 1, 100, 0.1);
+        b.record_counter("simd.band_overflows", 3);
+        a.record_counter("simd.band_overflows", 1);
         a.merge(&b);
         assert_eq!(a.per_backend.len(), 2);
         assert_eq!(a.per_backend[0].pairs, 15);
         assert_eq!(a.fallbacks, 2);
+        assert_eq!(a.counters["simd.band_overflows"], 4);
         assert!(a.summary().contains("fallbacks"));
+        assert!(a.summary().contains("simd.band_overflows=4"));
     }
 
     #[test]

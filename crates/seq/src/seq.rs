@@ -198,7 +198,7 @@ impl std::ops::Index<usize> for Seq {
 
 /// Zero-copy reversed view over a sequence's codes.
 ///
-/// The Hirschberg traceback (paper §III-A, ref. [24]) aligns *reversed*
+/// The Hirschberg traceback (paper §III-A, ref. \[24\]) aligns *reversed*
 /// suffixes in its backward pass; AnySeq implements this by "reversing the
 /// indexing in the sequence accessor function" (§III-C). `RevView` is that
 /// accessor: no bytes are copied, the index arithmetic is inlined away.

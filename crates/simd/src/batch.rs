@@ -18,6 +18,44 @@ use anyseq_seq::Seq;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// A batch split into full `L`-lane groups of equal-dimension pairs
+/// plus the indices that must take the in-backend scalar path
+/// (leftovers, empty sequences, pairs past the 16-bit extent budget).
+/// Shared by the score and traceback paths so both fill lanes the
+/// same way.
+pub struct LaneGroups<const L: usize> {
+    /// Input indices of each full lane group (equal `(|q|, |s|)`).
+    pub groups: Vec<[usize; L]>,
+    /// Input indices handled by per-pair scalar kernels.
+    pub scalar_idx: Vec<usize>,
+}
+
+impl<const L: usize> LaneGroups<L> {
+    /// Buckets `pairs` by matrix dimensions and cuts each bucket into
+    /// full lane groups; everything else goes scalar.
+    pub fn build(pairs: &[(Seq, Seq)], extent_budget: usize) -> LaneGroups<L> {
+        let mut buckets: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        let mut scalar_idx: Vec<usize> = Vec::new();
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            let (n, m) = (q.len(), s.len());
+            if n == 0 || m == 0 || n + m > extent_budget {
+                scalar_idx.push(k);
+            } else {
+                buckets.entry((n, m)).or_default().push(k);
+            }
+        }
+        let mut groups: Vec<[usize; L]> = Vec::new();
+        for idx in buckets.into_values() {
+            let full = idx.len() / L * L;
+            for chunk in idx[..full].chunks_exact(L) {
+                groups.push(std::array::from_fn(|l| chunk[l]));
+            }
+            scalar_idx.extend_from_slice(&idx[full..]);
+        }
+        LaneGroups { groups, scalar_idx }
+    }
+}
+
 /// Scores a batch of independent pairs with `L`-lane SIMD and
 /// `threads`-way parallelism; returns one global score per pair, in
 /// input order (bit-identical to `scheme.score`).
@@ -33,28 +71,7 @@ where
     let gap = *scheme.gap();
     let subst = *scheme.subst();
     let extent_budget = max_block_extent(&gap, &subst);
-
-    // Bucket by dimensions.
-    let mut buckets: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
-    let mut scalar_idx: Vec<usize> = Vec::new();
-    for (k, (q, s)) in pairs.iter().enumerate() {
-        let (n, m) = (q.len(), s.len());
-        if n == 0 || m == 0 || n + m > extent_budget {
-            scalar_idx.push(k);
-        } else {
-            buckets.entry((n, m)).or_default().push(k);
-        }
-    }
-
-    // Work items: one per full lane group, plus leftovers scalar.
-    let mut groups: Vec<[usize; L]> = Vec::new();
-    for idx in buckets.into_values() {
-        let full = idx.len() / L * L;
-        for chunk in idx[..full].chunks_exact(L) {
-            groups.push(std::array::from_fn(|l| chunk[l]));
-        }
-        scalar_idx.extend_from_slice(&idx[full..]);
-    }
+    let LaneGroups { groups, scalar_idx } = LaneGroups::<L>::build(pairs, extent_budget);
 
     let mut scores = vec![0 as Score; pairs.len()];
     struct Out(*mut Score);

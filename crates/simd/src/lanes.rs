@@ -90,6 +90,27 @@ impl<const L: usize> I16s<L> {
         any
     }
 
+    /// Bit mask of lanes where `self == rhs` (bit `l` set for lane `l`;
+    /// `vpcmpeqw` + `movemask` in SSE terms). `L` must be ≤ 32.
+    #[inline(always)]
+    pub fn eq_mask(self, rhs: I16s<L>) -> u32 {
+        let mut mask = 0u32;
+        for l in 0..L {
+            mask |= ((self.0[l] == rhs.0[l]) as u32) << l;
+        }
+        mask
+    }
+
+    /// Bit mask of lanes where `self >= rhs`.
+    #[inline(always)]
+    pub fn ge_mask(self, rhs: I16s<L>) -> u32 {
+        let mut mask = 0u32;
+        for l in 0..L {
+            mask |= ((self.0[l] >= rhs.0[l]) as u32) << l;
+        }
+        mask
+    }
+
     /// Horizontal maximum over all lanes.
     #[inline]
     pub fn hmax(self) -> i16 {
@@ -141,6 +162,15 @@ mod tests {
         let x = [1u8, 2, 3, 4];
         let y = [1u8, 9, 3, 9];
         assert_eq!(select_eq(&x, &y, 2, -1).0, [2, -1, 2, -1]);
+    }
+
+    #[test]
+    fn lane_masks() {
+        let a = I16s::<4>([1, 5, 3, -2]);
+        let b = I16s::<4>([1, 4, 3, 7]);
+        assert_eq!(a.eq_mask(b), 0b0101);
+        assert_eq!(a.ge_mask(b), 0b0111);
+        assert_eq!(a.ge_mask(a), 0b1111);
     }
 
     #[test]

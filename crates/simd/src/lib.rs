@@ -9,7 +9,12 @@
 //!   are filled with independent tiles popped from the dynamic wavefront
 //!   queue (paper Fig. 3), scalar fallback when fewer than `L` are ready,
 //! * [`score_batch_simd`] — short-read inter-sequence: one whole
-//!   alignment per lane, bucketed by matrix dimensions.
+//!   alignment per lane, bucketed by matrix dimensions,
+//! * [`align_batch_simd`] — inter-sequence with full tracebacks: a
+//!   banded DP records 2 packed direction bits per lane per cell
+//!   (plus affine extend bits), the band widens adaptively until each
+//!   lane's corner matches its exact score, and lanes decode into
+//!   per-pair CIGARs ([`traceback`]).
 //!
 //! Scores inside a block are 16-bit *differences to the block's incoming
 //! corner* (paper: "only differences to the global score are relevant"),
@@ -19,11 +24,13 @@ pub mod batch;
 pub mod kernel;
 pub mod lanes;
 pub mod tiled;
+pub mod traceback;
 
-pub use batch::score_batch_simd;
+pub use batch::{score_batch_simd, LaneGroups};
 pub use kernel::{max_block_extent, BlockBorders, SimdSubst, SENT16};
 pub use lanes::I16s;
 pub use tiled::{simd_tiled_score_pass, SimdPass};
+pub use traceback::{align_batch_simd, BandCfg, TraceStats};
 
 // Internal aliases for the stripe buffers shared with the wavefront
 // border store.

@@ -1,0 +1,661 @@
+//! Lane-packed banded traceback for the inter-sequence SIMD backend.
+//!
+//! The score path ([`crate::batch`]) keeps one whole alignment per
+//! 16-bit vector lane; this module extends that shape to full
+//! tracebacks so a short-read batch can produce CIGARs without ever
+//! leaving the vector unit. Three ideas combine:
+//!
+//! * **Packed per-lane direction store** — each banded DP cell records
+//!   2 direction bits per lane (`up`/`left` set ⇒ gap, both clear ⇒
+//!   diagonal) plus, for affine schemes, one `E`-extend and one
+//!   `F`-extend bit. Bits for all lanes of one cell live in a single
+//!   `u32` bit-plane, so the store costs 4 `u32`s per band cell
+//!   regardless of lane count (L ≤ 32).
+//! * **Adaptive band** — directions are only recorded inside a
+//!   diagonal band `j − i ∈ [dlo, dhi]` around the alignment corridor.
+//!   The group's banded corner score is checked lane-by-lane against
+//!   the exact score from the full-width score kernel; any mismatch
+//!   means a lane's optimal path escaped the band, and the group is
+//!   re-run with the band width doubled (up to [`BandCfg::max`]).
+//!   Lanes that still overflow fall back to the scalar
+//!   `Scheme::align` — bit-exactness is never traded for speed.
+//! * **Exactness by construction** — a lane is only decoded when its
+//!   banded corner equals the exact score, so the decoded path
+//!   realizes precisely that score and the CIGAR replays to it
+//!   (`Alignment::validate` enforces this in the cross-engine suite).
+//!
+//! Tie-breaking prefers diagonal over `E` (vertical) over `F`
+//! (horizontal), and gap *extension* over gap *open* on equal values.
+//! The latter is what keeps affine CIGARs consistent: an open step is
+//! only ever taken when it is strictly better, which (with
+//! `open ≤ 0`) implies the cell above/left is not itself gap-preferring,
+//! so two DP gap runs can never silently merge into one CIGAR run.
+
+use crate::batch::LaneGroups;
+use crate::kernel::{
+    block_kernel, from16, max_block_extent, to16, BlockBorders, SimdSubst, SENT16,
+};
+use crate::lanes::I16s;
+use anyseq_core::alignment::{AlignOp, Alignment};
+use anyseq_core::kind::Global;
+use anyseq_core::pass::{init_left_f, init_left_h, init_top_e, init_top_h};
+use anyseq_core::scheme::Scheme;
+use anyseq_core::score::Score;
+use anyseq_core::scoring::GapModel;
+use anyseq_seq::Seq;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Adaptive-band tuning for the SIMD traceback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandCfg {
+    /// Initial band half-width (diagonals each side of the corridor).
+    pub initial: usize,
+    /// Maximum half-width before a lane falls back to scalar traceback.
+    pub max: usize,
+}
+
+impl Default for BandCfg {
+    fn default() -> BandCfg {
+        // 16 diagonals absorb Illumina-profile indels outright; 256
+        // saturates a whole short-read matrix, so overflow fallbacks
+        // only occur for long, structurally divergent pairs.
+        BandCfg {
+            initial: 16,
+            max: 256,
+        }
+    }
+}
+
+/// Execution counters for one [`align_batch_simd`] run — the
+/// band-width/overflow telemetry the engine layer threads into
+/// `BatchStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Pairs aligned inside full SIMD lane groups.
+    pub lane_pairs: u64,
+    /// Leftover/oversized pairs aligned by the in-backend scalar path.
+    pub scalar_pairs: u64,
+    /// Banded passes that were re-run with a doubled band width.
+    pub band_widenings: u64,
+    /// Pairs whose optimal path escaped the maximum band and were
+    /// rescued by scalar traceback.
+    pub band_overflows: u64,
+    /// Vector DP cells relaxed across all banded passes (retries
+    /// included) — `rows × band width × lanes` per pass.
+    pub band_cells: u64,
+    /// Widest band (in diagonals) any lane group ended up using.
+    /// Direct-API telemetry only: the engine's additive
+    /// `drain_counters` channel cannot carry max semantics, so this
+    /// field intentionally does not flow into `BatchStats::counters`.
+    pub max_band: u64,
+}
+
+impl TraceStats {
+    /// Accumulates another run's counters (sums; `max_band` by max).
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.lane_pairs += other.lane_pairs;
+        self.scalar_pairs += other.scalar_pairs;
+        self.band_widenings += other.band_widenings;
+        self.band_overflows += other.band_overflows;
+        self.band_cells += other.band_cells;
+        self.max_band = self.max_band.max(other.max_band);
+    }
+}
+
+/// Packed per-lane direction bit-planes over the band cells of one
+/// lane group: index `(i − 1) · band_width + p` for DP row `i ∈ 1..=n`
+/// and band position `p` (diagonal `j − i = dlo + p`).
+struct DirStore {
+    /// Lane bit set ⇒ `H` came from `E` (vertical gap wins).
+    up: Vec<u32>,
+    /// Lane bit set ⇒ `H` came from `F` (horizontal gap wins).
+    left: Vec<u32>,
+    /// Lane bit set ⇒ `E` extended (else it opened). Affine only.
+    e_ext: Vec<u32>,
+    /// Lane bit set ⇒ `F` extended (else it opened). Affine only.
+    f_ext: Vec<u32>,
+}
+
+impl DirStore {
+    fn new(cells: usize, affine: bool) -> DirStore {
+        DirStore {
+            up: vec![0; cells],
+            left: vec![0; cells],
+            e_ext: if affine { vec![0; cells] } else { Vec::new() },
+            f_ext: if affine { vec![0; cells] } else { Vec::new() },
+        }
+    }
+}
+
+/// The diagonal band `j − i ∈ [dlo, dhi]` for an `n × m` problem at
+/// half-width `w`, clamped to the matrix.
+fn band_range(n: usize, m: usize, w: usize) -> (isize, isize) {
+    let (n, m, w) = (n as isize, m as isize, w as isize);
+    let skew = m - n;
+    let dlo = (skew.min(0) - w).max(-n);
+    let dhi = (skew.max(0) + w).min(m);
+    (dlo, dhi)
+}
+
+/// Relaxes one lane group over the band, recording packed directions.
+/// Returns the corner `H(n, m)` differentials (base 0) per lane.
+///
+/// Cells outside the band (or the matrix) read as the saturating
+/// sentinel, exactly like the full-width kernel's −∞ stripes, so a
+/// path that would profit from leaving the band simply scores lower
+/// than the exact optimum — which the caller detects by comparison.
+#[allow(clippy::too_many_arguments)]
+fn banded_group_kernel<G, SS, const L: usize>(
+    gap: &G,
+    subst: &SS,
+    q_rows: &[[u8; L]],
+    s_cols: &[[u8; L]],
+    dlo: isize,
+    dhi: isize,
+    store: &mut DirStore,
+) -> I16s<L>
+where
+    G: GapModel,
+    SS: SimdSubst,
+{
+    let n = q_rows.len();
+    let m = s_cols.len();
+    let bw = (dhi - dlo + 1) as usize;
+    let sent = I16s::<L>::splat(SENT16);
+    let ext = gap.extend() as i16;
+    let openext = (gap.open() + gap.extend()) as i16;
+
+    // Lane-uniform global init stripes (differential base 0).
+    let top_h = init_top_h::<Global, G>(gap, m);
+    let top_e = init_top_e::<Global, G>(gap, m);
+    let left_h = init_left_h::<Global, G>(gap, n, gap.open());
+    let left_f = init_left_f::<G>(n);
+    debug_assert!(left_f.iter().all(|&v| v <= SENT16 as Score));
+
+    // Row 0: band position p holds column j = dlo + p.
+    let mut h = vec![sent; bw];
+    let mut e = vec![sent; bw];
+    for p in 0..bw {
+        let j = dlo + p as isize;
+        if (0..=m as isize).contains(&j) {
+            h[p] = I16s::splat(to16(top_h[j as usize], 0));
+            if G::AFFINE && j >= 1 {
+                e[p] = I16s::splat(to16(top_e[j as usize - 1], 0));
+            }
+        }
+    }
+
+    for i in 1..=n {
+        let qc = &q_rows[i - 1];
+        let row_base = (i - 1) * bw;
+        let mut f = sent;
+        // In the sliding band layout, position p at row i is column
+        // j = i + dlo + p; relative to row i−1 the same p is the
+        // diagonal neighbour, p+1 is the vertical neighbour and the
+        // freshly written p−1 is the horizontal neighbour.
+        for p in 0..bw {
+            let j = i as isize + dlo + p as isize;
+            if j < 0 || j > m as isize {
+                h[p] = sent;
+                if G::AFFINE {
+                    e[p] = sent;
+                }
+                continue;
+            }
+            if j == 0 {
+                h[p] = I16s::splat(to16(left_h[i - 1], 0));
+                if G::AFFINE {
+                    e[p] = sent;
+                }
+                f = sent;
+                continue;
+            }
+            let j = j as usize;
+            let diag = h[p];
+            let up = if p + 1 < bw { h[p + 1] } else { sent };
+            let left = if p > 0 { h[p - 1] } else { sent };
+
+            let (ecur, e_ext_mask) = if G::AFFINE {
+                let extend = if p + 1 < bw { e[p + 1] } else { sent }.sat_adds(ext);
+                let open = up.sat_adds(openext);
+                (extend.max(open), extend.ge_mask(open))
+            } else {
+                (up.sat_adds(ext), 0)
+            };
+            let (fcur, f_ext_mask) = if G::AFFINE {
+                let extend = f.sat_adds(ext);
+                let open = left.sat_adds(openext);
+                (extend.max(open), extend.ge_mask(open))
+            } else {
+                (left.sat_adds(ext), 0)
+            };
+            let dval = diag.sat_add(subst.lanes_score(qc, &s_cols[j - 1]));
+            let hval = dval.max(ecur).max(fcur);
+
+            let diag_mask = dval.eq_mask(hval);
+            let up_mask = ecur.eq_mask(hval) & !diag_mask;
+            let left_mask = fcur.eq_mask(hval) & !diag_mask & !up_mask;
+            store.up[row_base + p] = up_mask;
+            store.left[row_base + p] = left_mask;
+            if G::AFFINE {
+                store.e_ext[row_base + p] = e_ext_mask;
+                store.f_ext[row_base + p] = f_ext_mask;
+                e[p] = ecur;
+            }
+            f = fcur;
+            h[p] = hval;
+        }
+    }
+
+    let corner = (m as isize - n as isize - dlo) as usize;
+    h[corner]
+}
+
+/// Walks one lane's packed directions from `(n, m)` back to the
+/// origin, emitting ops front-to-back after the final reverse.
+#[allow(clippy::too_many_arguments)] // one DP coordinate frame, one call site
+fn decode_lane(
+    store: &DirStore,
+    n: usize,
+    m: usize,
+    dlo: isize,
+    bw: usize,
+    lane: usize,
+    q: &Seq,
+    s: &Seq,
+    affine: bool,
+) -> Vec<AlignOp> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        M,
+        E,
+        F,
+    }
+    let bit = 1u32 << lane;
+    let mut ops = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    let mut st = St::M;
+    while i > 0 || j > 0 {
+        // Boundary stripes carry no directions: the rest of the path
+        // runs along the matrix edge as one gap run (its score is the
+        // init stripe's, which is exactly `gap(len)`).
+        if i == 0 {
+            ops.extend(std::iter::repeat_n(AlignOp::GapQ, j));
+            break;
+        }
+        if j == 0 {
+            ops.extend(std::iter::repeat_n(AlignOp::GapS, i));
+            break;
+        }
+        let idx = (i - 1) * bw + (j as isize - i as isize - dlo) as usize;
+        match st {
+            St::M => {
+                if store.up[idx] & bit != 0 {
+                    if affine {
+                        st = St::E;
+                    } else {
+                        ops.push(AlignOp::GapS);
+                        i -= 1;
+                    }
+                } else if store.left[idx] & bit != 0 {
+                    if affine {
+                        st = St::F;
+                    } else {
+                        ops.push(AlignOp::GapQ);
+                        j -= 1;
+                    }
+                } else {
+                    ops.push(if q[i - 1] == s[j - 1] {
+                        AlignOp::Match
+                    } else {
+                        AlignOp::Mismatch
+                    });
+                    i -= 1;
+                    j -= 1;
+                }
+            }
+            St::E => {
+                ops.push(AlignOp::GapS);
+                if store.e_ext[idx] & bit == 0 {
+                    st = St::M;
+                }
+                i -= 1;
+            }
+            St::F => {
+                ops.push(AlignOp::GapQ);
+                if store.f_ext[idx] & bit == 0 {
+                    st = St::M;
+                }
+                j -= 1;
+            }
+        }
+    }
+    ops.reverse();
+    ops
+}
+
+/// Aligns `L` equal-dimension pairs in one banded vector pass,
+/// widening the band until every lane's corner matches its exact
+/// score. Returns `None` for lanes that still overflow at
+/// [`BandCfg::max`] (the caller rescues those with scalar traceback).
+fn align_lane_group<G, SS, const L: usize>(
+    gap: &G,
+    subst: &SS,
+    pairs: &[(Seq, Seq)],
+    lanes: &[usize; L],
+    band: BandCfg,
+    stats: &mut TraceStats,
+) -> [Option<Alignment>; L]
+where
+    G: GapModel,
+    SS: SimdSubst,
+{
+    let n = pairs[lanes[0]].0.len();
+    let m = pairs[lanes[0]].1.len();
+    debug_assert!(lanes
+        .iter()
+        .all(|&k| pairs[k].0.len() == n && pairs[k].1.len() == m));
+
+    let q_rows: Vec<[u8; L]> = (0..n)
+        .map(|r| std::array::from_fn(|l| pairs[lanes[l]].0[r]))
+        .collect();
+    let s_cols: Vec<[u8; L]> = (0..m)
+        .map(|c| std::array::from_fn(|l| pairs[lanes[l]].1[c]))
+        .collect();
+
+    // Exact corner scores from the full-width score kernel: the
+    // oracle every banded lane must reproduce before it is decoded.
+    let top_h = init_top_h::<Global, G>(gap, m);
+    let top_e = init_top_e::<Global, G>(gap, m);
+    let left_h = init_left_h::<Global, G>(gap, n, gap.open());
+    let left_f = init_left_f::<G>(n);
+    let mut borders = BlockBorders::<L> {
+        top_h: top_h.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
+        top_e: top_e.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
+        left_h: left_h.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
+        left_f: left_f.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
+    };
+    block_kernel(gap, subst, &q_rows, &s_cols, &mut borders);
+    let exact = borders.top_h[m];
+
+    let mut w = band.initial.max(1);
+    loop {
+        let (dlo, dhi) = band_range(n, m, w);
+        let bw = (dhi - dlo + 1) as usize;
+        let mut store = DirStore::new(n * bw, G::AFFINE);
+        let banded = banded_group_kernel(gap, subst, &q_rows, &s_cols, dlo, dhi, &mut store);
+        stats.band_cells += (n * bw * L) as u64;
+        stats.max_band = stats.max_band.max(bw as u64);
+
+        let in_band = banded.eq_mask(exact);
+        let full_matrix = dlo <= -(n as isize) && dhi >= m as isize;
+        let all = if L == 32 { u32::MAX } else { (1u32 << L) - 1 };
+        if in_band & all == all || full_matrix || w >= band.max {
+            debug_assert!(!full_matrix || in_band & all == all);
+            return std::array::from_fn(|l| {
+                if in_band & (1 << l) == 0 {
+                    stats.band_overflows += 1;
+                    return None;
+                }
+                stats.lane_pairs += 1;
+                let (q, s) = &pairs[lanes[l]];
+                let ops = decode_lane(&store, n, m, dlo, bw, l, q, s, G::AFFINE);
+                Some(Alignment {
+                    score: from16(exact.0[l], 0),
+                    ops,
+                    q_start: 0,
+                    q_end: n,
+                    s_start: 0,
+                    s_end: m,
+                })
+            });
+        }
+        stats.band_widenings += 1;
+        w = (w * 2).min(band.max);
+    }
+}
+
+/// Aligns a batch of independent pairs with `L`-lane SIMD banded
+/// traceback and `threads`-way parallelism; returns one global
+/// [`Alignment`] per pair, in input order, plus the run's band
+/// telemetry. Scores are bit-identical to `scheme.align`; CIGARs are
+/// guaranteed to replay to that score (ties may be broken differently
+/// than the scalar Hirschberg traceback).
+///
+/// Pairs that cannot ride a full lane group (leftovers, empty or
+/// oversized sequences) and lanes whose optimal path escapes the
+/// maximum band are aligned by the scalar `Scheme::align` inside this
+/// call — the result is complete either way.
+pub fn align_batch_simd<G, SS, const L: usize>(
+    scheme: &Scheme<Global, G, SS>,
+    pairs: &[(Seq, Seq)],
+    threads: usize,
+    band: BandCfg,
+) -> (Vec<Alignment>, TraceStats)
+where
+    G: GapModel,
+    SS: SimdSubst,
+{
+    let gap = *scheme.gap();
+    let subst = *scheme.subst();
+    let extent_budget = max_block_extent(&gap, &subst);
+    let LaneGroups { groups, scalar_idx } = LaneGroups::<L>::build(pairs, extent_budget);
+
+    let mut results: Vec<Alignment> = vec![Alignment::empty(0); pairs.len()];
+    struct Out(*mut Alignment);
+    unsafe impl Send for Out {}
+    unsafe impl Sync for Out {}
+    let out = Out(results.as_mut_ptr());
+    let next_group = AtomicUsize::new(0);
+    let next_scalar = AtomicUsize::new(0);
+    let threads = threads.max(1);
+    let total = Mutex::new(TraceStats::default());
+
+    {
+        let out = &out;
+        let groups = &groups;
+        let scalar_idx = &scalar_idx;
+        let next_group = &next_group;
+        let next_scalar = &next_scalar;
+        let total = &total;
+        let gap = &gap;
+        let subst = &subst;
+        std::thread::scope(|sc| {
+            for _ in 0..threads {
+                sc.spawn(move || {
+                    let mut local = TraceStats::default();
+                    loop {
+                        let g = next_group.fetch_add(1, Ordering::Relaxed);
+                        if g >= groups.len() {
+                            break;
+                        }
+                        let lanes = &groups[g];
+                        let alns = align_lane_group::<G, SS, L>(
+                            gap, subst, pairs, lanes, band, &mut local,
+                        );
+                        for (l, aln) in alns.into_iter().enumerate() {
+                            let idx = lanes[l];
+                            let aln = aln.unwrap_or_else(|| {
+                                // Band overflow: scalar rescue for this
+                                // lane only (already counted).
+                                let (q, s) = &pairs[idx];
+                                scheme.align(q, s)
+                            });
+                            // SAFETY: each pair index is written exactly once.
+                            unsafe { *out.0.add(idx) = aln };
+                        }
+                    }
+                    loop {
+                        let k = next_scalar.fetch_add(1, Ordering::Relaxed);
+                        if k >= scalar_idx.len() {
+                            break;
+                        }
+                        let idx = scalar_idx[k];
+                        let (q, s) = &pairs[idx];
+                        local.scalar_pairs += 1;
+                        // SAFETY: scalar indices are disjoint from groups.
+                        unsafe { *out.0.add(idx) = scheme.align(q, s) };
+                    }
+                    total.lock().unwrap().merge(&local);
+                });
+            }
+        });
+    }
+    let stats = *total.lock().unwrap();
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyseq_core::prelude::{affine, global, linear, simple};
+    use anyseq_seq::genome::GenomeSim;
+    use anyseq_seq::readsim::{ReadSim, ReadSimProfile};
+
+    fn read_pairs(count: usize, seed: u64) -> Vec<(Seq, Seq)> {
+        let mut sim = GenomeSim::new(seed);
+        let reference = sim.generate(100_000);
+        let mut rs = ReadSim::new(ReadSimProfile::default(), seed ^ 0xabcd);
+        rs.simulate_pairs(&reference, count)
+            .into_iter()
+            .map(|p| (p.a, p.b))
+            .collect()
+    }
+
+    fn check_all<G: GapModel, SS: SimdSubst>(
+        scheme: &Scheme<Global, G, SS>,
+        pairs: &[(Seq, Seq)],
+        alns: &[Alignment],
+    ) {
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(alns[k].score, scheme.score(q, s), "pair {k} score");
+            alns[k]
+                .validate::<Global, _, _>(q, s, scheme.gap(), scheme.subst())
+                .unwrap_or_else(|e| panic!("pair {k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn banded_traceback_matches_scalar_linear() {
+        let pairs = read_pairs(300, 3);
+        let scheme = global(linear(simple(2, -1), -1));
+        let (alns, stats) = align_batch_simd::<_, _, 16>(&scheme, &pairs, 8, BandCfg::default());
+        check_all(&scheme, &pairs, &alns);
+        assert!(stats.lane_pairs > 0, "lane groups must carry the batch");
+        assert_eq!(stats.band_overflows, 0, "default band fits read indels");
+    }
+
+    #[test]
+    fn banded_traceback_matches_scalar_affine() {
+        let pairs = read_pairs(300, 5);
+        let scheme = global(affine(simple(2, -1), -2, -1));
+        let (alns, stats) = align_batch_simd::<_, _, 8>(&scheme, &pairs, 4, BandCfg::default());
+        check_all(&scheme, &pairs, &alns);
+        assert!(stats.lane_pairs > 0);
+    }
+
+    #[test]
+    fn zero_open_affine_ties_stay_consistent() {
+        // open = 0 maximizes open/extend ties in the E/F recurrences —
+        // the adversarial case for gap-run bookkeeping.
+        let pairs = read_pairs(200, 9);
+        let scheme = global(affine(simple(2, -1), 0, -1));
+        let (alns, _) = align_batch_simd::<_, _, 16>(&scheme, &pairs, 4, BandCfg::default());
+        check_all(&scheme, &pairs, &alns);
+    }
+
+    #[test]
+    fn empty_and_tiny_pairs_take_the_scalar_path() {
+        let scheme = global(linear(simple(2, -1), -1));
+        let (alns, _) = align_batch_simd::<_, _, 8>(&scheme, &[], 4, BandCfg::default());
+        assert!(alns.is_empty());
+
+        let a = Seq::from_ascii(b"ACGT").unwrap();
+        let empty = Seq::new();
+        let pairs = vec![
+            (a.clone(), a.clone()),
+            (a.clone(), empty.clone()),
+            (empty, a.clone()),
+        ];
+        let (alns, stats) = align_batch_simd::<_, _, 8>(&scheme, &pairs, 2, BandCfg::default());
+        check_all(&scheme, &pairs, &alns);
+        assert_eq!(alns[0].cigar(), "4=");
+        assert_eq!(alns[1].cigar(), "4I");
+        assert_eq!(alns[2].cigar(), "4D");
+        assert_eq!(stats.scalar_pairs, 3, "degenerate pairs go scalar");
+    }
+
+    #[test]
+    fn identical_equal_length_pairs_fill_lanes() {
+        let a = GenomeSim::new(17).generate(150);
+        let pairs: Vec<(Seq, Seq)> = (0..32).map(|_| (a.clone(), a.clone())).collect();
+        let scheme = global(affine(simple(2, -1), -2, -1));
+        let (alns, stats) = align_batch_simd::<_, _, 16>(&scheme, &pairs, 2, BandCfg::default());
+        check_all(&scheme, &pairs, &alns);
+        for aln in &alns {
+            assert_eq!(aln.cigar(), "150=");
+        }
+        assert_eq!(stats.lane_pairs, 32);
+        assert_eq!(stats.scalar_pairs, 0);
+    }
+
+    #[test]
+    fn band_overflow_falls_back_to_scalar() {
+        // A 50-base block swap pushes the optimal path ~50 diagonals
+        // off the corridor; a band capped at 4 cannot contain it.
+        let mut sim = GenomeSim::new(23);
+        let head = sim.generate(50);
+        let tail = sim.generate(100);
+        let mut q_codes = head.codes().to_vec();
+        q_codes.extend_from_slice(tail.codes());
+        let mut s_codes = tail.codes().to_vec();
+        s_codes.extend_from_slice(head.codes());
+        let q = Seq::from_codes(q_codes).unwrap();
+        let s = Seq::from_codes(s_codes).unwrap();
+        let pairs: Vec<(Seq, Seq)> = (0..8).map(|_| (q.clone(), s.clone())).collect();
+
+        let scheme = global(linear(simple(2, -3), -1));
+        let tiny = BandCfg { initial: 2, max: 4 };
+        let (alns, stats) = align_batch_simd::<_, _, 8>(&scheme, &pairs, 2, tiny);
+        check_all(&scheme, &pairs, &alns);
+        assert_eq!(stats.band_overflows, 8, "every lane must overflow");
+        assert!(
+            stats.band_widenings > 0,
+            "the band widened before giving up"
+        );
+        assert!(
+            stats.max_band <= 2 * 4 + 1,
+            "the cap bounds the widest band: {}",
+            stats.max_band
+        );
+
+        // The default band contains the same paths without fallback —
+        // after adaptively widening past its initial width.
+        let (alns, stats) = align_batch_simd::<_, _, 8>(&scheme, &pairs, 2, BandCfg::default());
+        check_all(&scheme, &pairs, &alns);
+        assert_eq!(stats.band_overflows, 0);
+        assert!(
+            stats.max_band > 2 * BandCfg::default().initial as u64 + 1,
+            "a 50-diagonal excursion forces widening: {}",
+            stats.max_band
+        );
+    }
+
+    #[test]
+    fn mixed_buckets_and_leftovers_cover_input() {
+        let mut pairs = read_pairs(100, 7);
+        let mut extra = read_pairs(37, 8);
+        for (q, _) in extra.iter_mut() {
+            *q = q.subseq(0..q.len().min(100));
+        }
+        pairs.extend(extra);
+        let scheme = global(affine(simple(2, -1), -2, -1));
+        let (alns, stats) = align_batch_simd::<_, _, 16>(&scheme, &pairs, 6, BandCfg::default());
+        check_all(&scheme, &pairs, &alns);
+        assert_eq!(
+            stats.lane_pairs + stats.scalar_pairs + stats.band_overflows,
+            pairs.len() as u64
+        );
+    }
+}

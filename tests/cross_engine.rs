@@ -10,7 +10,7 @@ use anyseq::simd::{score_batch_simd, simd_tiled_score_pass};
 use anyseq_baselines::{NvbioLike, ParasailLike, SeqAnLike};
 use anyseq_core::kind::Global;
 use anyseq_engine::{
-    BackendId, BatchCfg, BatchScheduler, Dispatch, GapSpec, KindSpec, Policy, SchemeSpec,
+    BackendId, BatchCfg, BatchScheduler, Dispatch, Engine, GapSpec, KindSpec, Policy, SchemeSpec,
 };
 use anyseq_wavefront::pass::{tiled_score_pass, ParallelCfg};
 use proptest::prelude::*;
@@ -196,6 +196,17 @@ fn scheduler_for(threads: usize, chunk: usize) -> BatchScheduler {
     })
 }
 
+/// The engine contract's alignment check: the reported score must be
+/// the scalar optimum and the operation sequence must replay to
+/// exactly that score (CIGAR tie-breaks may differ between backends).
+fn assert_replays(spec: &SchemeSpec, q: &Seq, s: &Seq, aln: &Alignment, ctx: &str) {
+    assert_eq!(aln.score, spec.score_scalar(q, s), "{ctx}: score");
+    anyseq_engine::with_scheme!(spec, |scheme, K| {
+        aln.validate::<K, _, _>(q, s, scheme.gap(), scheme.subst())
+            .unwrap_or_else(|e| panic!("{ctx}: {e} (cigar {})", aln.cigar()));
+    });
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -249,16 +260,47 @@ proptest! {
             gap: GapSpec::Affine { open: -2, extend: -1 },
         };
         let sched = scheduler_for(threads, 8);
-        for policy in [Policy::Auto, Policy::Fixed(BackendId::GpuSim)] {
+        for policy in [
+            Policy::Auto,
+            Policy::Fixed(BackendId::Simd),
+            Policy::Fixed(BackendId::GpuSim),
+        ] {
             let dispatch = Dispatch::standard(policy);
             let run = sched.align_batch(&dispatch, &spec, &pairs);
             for (k, (q, s)) in pairs.iter().enumerate() {
-                let reference = spec.align_scalar(q, s);
-                prop_assert_eq!(run.results[k].score, reference.score,
-                    "{:?} policy {:?} pair {}", kind, policy, k);
-                prop_assert_eq!(run.results[k].cigar(), reference.cigar(),
-                    "{:?} policy {:?} pair {}", kind, policy, k);
+                assert_replays(
+                    &spec,
+                    q,
+                    s,
+                    &run.results[k],
+                    &format!("{kind:?} policy {policy:?} pair {k}"),
+                );
             }
+        }
+    }
+
+    #[test]
+    fn simd_lane_cigars_replay_to_the_reported_score(
+        lens in prop::collection::vec((1usize..200, 1usize..200), 1..24),
+        seed in 0u64..1000,
+        threads in 1usize..5,
+        affine_gaps in prop_oneof![Just(false), Just(true)],
+    ) {
+        // The SIMD backend directly: every pair of a randomized ragged
+        // batch must come back with the exact scalar score and a CIGAR
+        // that replays to it — full lane groups, leftovers, and band
+        // overflows (random pairs with skewed lengths push paths far
+        // off the corridor) all included.
+        let pairs = random_batch(&lens, seed ^ 0x51d);
+        let spec = if affine_gaps {
+            SchemeSpec::global_affine(2, -1, -2, -1)
+        } else {
+            SchemeSpec::global_linear(2, -1, -1)
+        };
+        let engine = anyseq_engine::SimdEngine::avx2();
+        let alns = engine.align_batch(&spec, &pairs, threads).unwrap();
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_replays(&spec, q, s, &alns[k], &format!("simd lane pair {k}"));
         }
     }
 
@@ -319,6 +361,63 @@ fn batch_scheduler_mixes_pooled_and_exclusive_phases() {
     assert!(
         names.contains(&"wavefront"),
         "exclusive wavefront phase ran: {names:?}"
+    );
+}
+
+#[test]
+fn auto_alignment_batches_stay_on_the_simd_path() {
+    // The acceptance bar for the lane-packed traceback: a short-read
+    // alignment batch under `Policy::Auto` runs on the SIMD backend
+    // without any dispatch-level fallback, and the band telemetry
+    // confirms the lanes (not the in-backend scalar rescue) did the
+    // work.
+    let reference = GenomeSim::new(41).generate(150_000);
+    let mut rs = ReadSim::new(ReadSimProfile::default(), 43);
+    let pairs: Vec<(Seq, Seq)> = rs
+        .simulate_pairs(&reference, 300)
+        .into_iter()
+        .map(|p| (p.a, p.b))
+        .collect();
+    let spec = SchemeSpec::global_affine(2, -1, -2, -1);
+    let dispatch = Dispatch::standard(Policy::Auto);
+    let run = scheduler_for(4, 64).align_batch(&dispatch, &spec, &pairs);
+
+    for (k, (q, s)) in pairs.iter().enumerate() {
+        assert_replays(
+            &spec,
+            q,
+            s,
+            &run.results[k],
+            &format!("auto align pair {k}"),
+        );
+    }
+    assert_eq!(run.stats.fallbacks, 0, "no unit left the SIMD path");
+    let simd = run
+        .stats
+        .per_backend
+        .iter()
+        .find(|b| b.backend == "simd")
+        .expect("SIMD backend must have executed the batch");
+    assert_eq!(simd.pairs, pairs.len() as u64);
+    let lane_pairs = run
+        .stats
+        .counters
+        .get("simd.lane_pairs")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        lane_pairs > 0,
+        "lane traceback must carry the bulk: {:?}",
+        run.stats.counters
+    );
+    assert_eq!(
+        run.stats
+            .counters
+            .get("simd.band_overflows")
+            .copied()
+            .unwrap_or(0),
+        0,
+        "Illumina-profile reads fit the default band"
     );
 }
 
