@@ -64,7 +64,7 @@ impl NvbioLike {
         G: GapModel,
         S: SubstScore,
     {
-        self.inner.align(scheme, q, s)
+        self.inner.align(scheme, q.codes(), s.codes())
     }
 }
 

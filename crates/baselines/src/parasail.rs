@@ -77,8 +77,8 @@ impl ParasailLike {
             self,
             &aff,
             scheme.subst(),
-            q,
-            s,
+            q.codes(),
+            s.codes(),
             &AlignConfig::default(),
         )
     }

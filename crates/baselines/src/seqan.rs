@@ -93,8 +93,8 @@ impl SeqAnLike {
             self,
             scheme.gap(),
             scheme.subst(),
-            q,
-            s,
+            q.codes(),
+            s.codes(),
             &AlignConfig {
                 cutoff_area: 1 << 20,
             },

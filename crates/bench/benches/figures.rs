@@ -60,7 +60,8 @@ fn bench_fig5a_row(c: &mut Criterion) {
 
 fn bench_fig5b_row(c: &mut Criterion) {
     let batch = read_batch(2000, 7);
-    let cells: u64 = batch.iter().map(|(q, s)| (q.len() * s.len()) as u64).sum();
+    let view = anyseq_seq::BatchView::from_pairs(&batch);
+    let cells: u64 = view.total_cells();
     let lin = global(linear(simple(2, -1), -1));
     let threads = 8;
 
@@ -73,10 +74,10 @@ fn bench_fig5b_row(c: &mut Criterion) {
         b.iter(|| score_batch_parallel(&lin, &batch, threads))
     });
     group.bench_function("anyseq_avx2_batch", |b| {
-        b.iter(|| score_batch_simd::<_, _, 16>(&lin, &batch, threads))
+        b.iter(|| score_batch_simd::<_, _, 16>(&lin, view.refs(), threads))
     });
     group.bench_function("anyseq_avx512_batch", |b| {
-        b.iter(|| score_batch_simd::<_, _, 32>(&lin, &batch, threads))
+        b.iter(|| score_batch_simd::<_, _, 32>(&lin, view.refs(), threads))
     });
     group.finish();
 }

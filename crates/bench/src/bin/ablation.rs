@@ -91,7 +91,15 @@ fn main() {
             let pass = TiledPass { cfg: pcfg };
             let m = measure_gcups(2 * cells, 3, || {
                 std::hint::black_box(
-                    align_with_pass::<Global, _, _, _>(&pass, &gap, &subst, q, s, &cfg).score,
+                    align_with_pass::<Global, _, _, _>(
+                        &pass,
+                        &gap,
+                        &subst,
+                        q.codes(),
+                        s.codes(),
+                        &cfg,
+                    )
+                    .score,
                 );
             });
             t.row(vec![format!("1<<{shift}"), format!("{:.2}", m.gcups)]);

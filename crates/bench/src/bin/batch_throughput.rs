@@ -2,23 +2,42 @@
 //! per-backend GCUPS on a Mason-like short-read batch, single-thread
 //! versus multi-thread, in **both** execution modes — score-only and
 //! alignment (banded SIMD traceback) — plus the engine's own per-batch
-//! statistics (utilization, fallbacks, band telemetry).
+//! statistics (utilization, fallbacks, band telemetry, copy counters).
 //!
 //! Run: `cargo run --release -p anyseq-bench --bin batch_throughput \
-//!       [pairs] [threads] [repeats]`
+//!       [pairs] [threads] [repeats] [long_len]`
+//!
+//! `long_len > 0` appends a long-genome section: one `long_len` bp
+//! pair (2% divergence) scored and aligned through `Policy::Auto`
+//! (exclusive wavefront bin) — the workload the zero-copy gather was
+//! built for. JSON keys: `long.score_gcups` / `long.align_gcups`.
 //!
 //! Report format (documented in `docs/ARCHITECTURE.md`): one section
 //! per mode, opened by an unambiguous `== mode: … ==` header so saved
 //! reports can never mix the two up. Alignment-mode cells are counted
 //! with the shared `TRACEBACK_CELL_FACTOR` convention, so GCUPS are
 //! comparable across the engine's stats, this bench and the paper's
-//! traceback rows. JSON keys are `<mode>.<backend>_<threads>t`.
+//! traceback rows. JSON keys are `<mode>.<backend>_<threads>t`, plus
+//! per mode:
+//!
+//! * `<mode>.bytes_copied` — sequence bytes copied below the batch
+//!   view (scheduler gather + SIMD lane transpose) on the final
+//!   full-thread run, summed across backends. The gather contribution
+//!   (`sched.bytes_copied`) must be 0 — the zero-copy contract.
+//! * `<mode>.peak_batch_mb` — estimated peak batch memory: pair bytes
+//!   resident (borrowed, not cloned) plus the worst-case in-flight
+//!   lane-transpose buffers (`threads × lanes × (max |q| + max |s|)`).
 
 use anyseq_bench::gcups::measure_gcups;
 use anyseq_bench::report::{dump_json, Table};
 use anyseq_bench::workloads::read_batch;
-use anyseq_engine::stats::{pair_cells, TRACEBACK_CELL_FACTOR};
-use anyseq_engine::{BackendId, BatchCfg, BatchScheduler, Dispatch, Policy, SchemeSpec};
+use anyseq_engine::stats::TRACEBACK_CELL_FACTOR;
+use anyseq_engine::{
+    BackendId, BatchCfg, BatchScheduler, Dispatch, Policy, SchemeSpec, SimdLanes,
+    SCHED_BYTES_COPIED,
+};
+use anyseq_seq::genome::GenomeSim;
+use anyseq_seq::BatchView;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -30,14 +49,44 @@ fn main() {
             .unwrap_or(8)
     });
     let repeats: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let long_len: usize = args.get(4).and_then(|a| a.parse().ok()).unwrap_or(0);
 
     println!("simulating {pairs_n} read pairs...");
     let pairs = read_batch(pairs_n, 7);
+    let view = BatchView::from_pairs(&pairs);
     let spec = SchemeSpec::global_linear(2, -1, -1);
     let mut json: BTreeMap<String, f64> = BTreeMap::new();
     // One reference for BOTH modes: alignment scores must equal
     // score-only scores, backend by backend, mode by mode.
     let mut expected_scores: Option<Vec<i32>> = None;
+
+    // Peak-memory estimate: the batch itself stays resident (borrowed
+    // by the view, never cloned by the scheduler); the only transient
+    // sequence buffers are the SIMD lane transposes — at most one per
+    // worker in flight.
+    let resident_mb = view.resident_bytes() as f64 / 1e6;
+    let max_extent = view
+        .iter()
+        .map(|p| (p.q.len() + p.s.len()) as u64)
+        .max()
+        .unwrap_or(0);
+    // Lane count of the standard dispatch's SIMD backend, for the
+    // transpose-buffer term of the memory estimate.
+    let simd_lanes = SimdLanes::default().count() as u64;
+    let transpose_mb = (threads as u64 * simd_lanes * max_extent) as f64 / 1e6;
+    // Align mode additionally keeps one DirStore per in-flight lane
+    // group: 4 u32 bit-planes (16 bytes) per band cell at the default
+    // initial band width (adaptive widening can grow this).
+    let max_q = view.iter().map(|p| p.q.len() as u64).max().unwrap_or(0);
+    let band_width = 2 * anyseq_simd::BandCfg::default().initial as u64 + 1;
+    let dirstore_mb = (threads as u64 * max_q * band_width * 16) as f64 / 1e6;
+    let peak_score_mb = resident_mb + transpose_mb;
+    let peak_align_mb = peak_score_mb + dirstore_mb;
+    println!(
+        "peak batch memory (est.): score {peak_score_mb:.1} MB / align {peak_align_mb:.1} MB \
+         ({resident_mb:.1} resident + {transpose_mb:.1} transpose buffers \
+         + {dirstore_mb:.1} align direction store)"
+    );
 
     for (mode, align) in [("score", false), ("align", true)] {
         println!(
@@ -48,8 +97,9 @@ fn main() {
                 "score-only"
             }
         );
-        let cells = pair_cells(&pairs) * if align { TRACEBACK_CELL_FACTOR } else { 1 };
+        let cells = view.total_cells() * if align { TRACEBACK_CELL_FACTOR } else { 1 };
         let mut table = Table::new(vec!["backend", "threads", "GCUPS", "scaling", "util%"]);
+        let mut mode_bytes_copied = 0u64;
 
         for backend in [BackendId::Scalar, BackendId::Simd, BackendId::GpuSim] {
             let dispatch = Dispatch::standard(Policy::Fixed(backend));
@@ -59,10 +109,10 @@ fn main() {
                 let mut last_stats = None;
                 let m = measure_gcups(cells, repeats, || {
                     let (scores, stats) = if align {
-                        let run = scheduler.align_batch(&dispatch, &spec, &pairs);
+                        let run = scheduler.align_batch(&dispatch, &spec, &view);
                         (run.results.iter().map(|a| a.score).collect(), run.stats)
                     } else {
-                        let run = scheduler.score_batch(&dispatch, &spec, &pairs);
+                        let run = scheduler.score_batch(&dispatch, &spec, &view);
                         (run.results.clone(), run.stats)
                     };
                     // Scores must agree across every backend and mode;
@@ -79,6 +129,16 @@ fn main() {
                     last_stats = Some(stats);
                 });
                 let stats = last_stats.expect("at least one repeat ran");
+                // The scheduler gather must never clone sequence bytes.
+                assert_eq!(
+                    stats.counters.get(SCHED_BYTES_COPIED).copied(),
+                    Some(0),
+                    "{} {mode}: gather copied sequence bytes",
+                    backend.name()
+                );
+                if t == threads {
+                    mode_bytes_copied += stats.bytes_copied();
+                }
                 let scaling = match (t, single) {
                     (1, _) => {
                         single = Some(m.gcups);
@@ -96,7 +156,7 @@ fn main() {
                 ]);
                 json.insert(format!("{mode}.{}_{t}t", backend.name()), m.gcups);
                 if t == threads && !stats.counters.is_empty() {
-                    println!("[{} band telemetry] {}", backend.name(), stats.summary());
+                    println!("[{} counters] {}", backend.name(), stats.summary());
                 }
                 if t == 1 && t == threads {
                     break; // single-core machine: one row is the whole story
@@ -104,6 +164,12 @@ fn main() {
             }
         }
         println!("{}", table.render());
+        println!("{mode}.bytes_copied = {mode_bytes_copied} (lane transposes only; gather = 0)");
+        json.insert(format!("{mode}.bytes_copied"), mode_bytes_copied as f64);
+        json.insert(
+            format!("{mode}.peak_batch_mb"),
+            if align { peak_align_mb } else { peak_score_mb },
+        );
     }
 
     println!(
@@ -125,5 +191,35 @@ fn main() {
             }
         }
     }
+
+    // Optional long-genome bin: one huge pair through Auto dispatch —
+    // the exclusive-wavefront workload whose gather used to deep-clone
+    // both genomes per unit.
+    if long_len > 0 {
+        println!("\n== mode: long-genome ({long_len} bp pair, auto dispatch) ==");
+        let mut sim = GenomeSim::new(2024);
+        let a = sim.generate(long_len);
+        let b = sim.mutate(&a, 0.02);
+        let long_pairs = vec![(a, b)];
+        let long_view = BatchView::from_pairs(&long_pairs);
+        let dispatch = Dispatch::standard(Policy::Auto);
+        let scheduler = BatchScheduler::new(BatchCfg::threads(threads));
+        let spec = SchemeSpec::global_affine(2, -1, -2, -1);
+
+        let score_run = scheduler.score_batch(&dispatch, &spec, &long_view);
+        println!("score: {}", score_run.stats.summary());
+        json.insert("long.score_gcups".into(), score_run.stats.gcups());
+
+        let align_run = scheduler.align_batch(&dispatch, &spec, &long_view);
+        println!("align: {}", align_run.stats.summary());
+        json.insert("long.align_gcups".into(), align_run.stats.gcups());
+        assert_eq!(
+            align_run.stats.counters.get(SCHED_BYTES_COPIED).copied(),
+            Some(0),
+            "long-genome gather copied sequence bytes"
+        );
+        assert_eq!(align_run.results[0].score, score_run.results[0]);
+    }
+
     dump_json("batch_throughput", &json);
 }

@@ -23,7 +23,7 @@ use anyseq_core::scheme::Scheme;
 use anyseq_engine::stats::TRACEBACK_CELL_FACTOR;
 use anyseq_fpga_sim::SystolicArray;
 use anyseq_gpu_sim::{Device, GpuAligner};
-use anyseq_seq::Seq;
+use anyseq_seq::{BatchView, Seq};
 use anyseq_simd::{simd_tiled_score_pass, SimdPass};
 use anyseq_wavefront::pass::{tiled_score_pass, ParallelCfg};
 use anyseq_wavefront::{score_batch_parallel, TiledPass};
@@ -210,8 +210,8 @@ fn part_a(cfg: &Cfg) {
                                 &pass,
                                 lin.gap(),
                                 lin.subst(),
-                                q,
-                                s,
+                                q.codes(),
+                                s.codes(),
                                 &AlignConfig::default(),
                             )
                             .score,
@@ -241,8 +241,8 @@ fn part_a(cfg: &Cfg) {
                                 &pass,
                                 aff.gap(),
                                 aff.subst(),
-                                q,
-                                s,
+                                q.codes(),
+                                s.codes(),
                                 &AlignConfig::default(),
                             )
                             .score,
@@ -277,8 +277,8 @@ fn part_a(cfg: &Cfg) {
                                         &pass,
                                         lin.gap(),
                                         lin.subst(),
-                                        q,
-                                        s,
+                                        q.codes(),
+                                        s.codes(),
                                         &AlignConfig::default(),
                                     )
                                     .score,
@@ -308,8 +308,8 @@ fn part_a(cfg: &Cfg) {
                                         &pass,
                                         aff.gap(),
                                         aff.subst(),
-                                        q,
-                                        s,
+                                        q.codes(),
+                                        s.codes(),
                                         &AlignConfig::default(),
                                     )
                                     .score,
@@ -335,11 +335,11 @@ fn part_a(cfg: &Cfg) {
                 r.stats.gcups(&gpu.device)
             }
             (Output::Traceback, GapKind::Linear) => {
-                let (_, st) = gpu.align(&lin, q, s);
+                let (_, st) = gpu.align(&lin, q.codes(), s.codes());
                 st.gcups(&gpu.device)
             }
             (Output::Traceback, GapKind::Affine) => {
-                let (_, st) = gpu.align(&aff, q, s);
+                let (_, st) = gpu.align(&aff, q.codes(), s.codes());
                 st.gcups(&gpu.device)
             }
         });
@@ -492,12 +492,14 @@ fn part_b(cfg: &Cfg) {
         cfg.pairs, cfg.threads
     );
     let batch = read_batch(cfg.pairs, 23);
+    let batch_view = BatchView::from_pairs(&batch);
     let cells: u64 = batch.iter().map(|(q, s)| (q.len() * s.len()) as u64).sum();
     let lin = lin_scheme();
     let aff = aff_scheme();
     let mut json = BTreeMap::new();
     // A reduced batch keeps the GPU functional simulation affordable.
     let sim_batch: Vec<_> = batch.iter().take(cfg.pairs.min(3000)).cloned().collect();
+    let sim_view = BatchView::from_pairs(&sim_batch);
 
     for gapk in [GapKind::Linear, GapKind::Affine] {
         let title = format!(
@@ -524,14 +526,14 @@ fn part_b(cfg: &Cfg) {
             GapKind::Linear => {
                 std::hint::black_box(anyseq_simd::score_batch_simd::<_, _, 16>(
                     &lin,
-                    &batch,
+                    batch_view.refs(),
                     cfg.threads,
                 ));
             }
             GapKind::Affine => {
                 std::hint::black_box(anyseq_simd::score_batch_simd::<_, _, 16>(
                     &aff,
-                    &batch,
+                    batch_view.refs(),
                     cfg.threads,
                 ));
             }
@@ -541,14 +543,14 @@ fn part_b(cfg: &Cfg) {
             GapKind::Linear => {
                 std::hint::black_box(anyseq_simd::score_batch_simd::<_, _, 32>(
                     &lin,
-                    &batch,
+                    batch_view.refs(),
                     cfg.threads,
                 ));
             }
             GapKind::Affine => {
                 std::hint::black_box(anyseq_simd::score_batch_simd::<_, _, 32>(
                     &aff,
-                    &batch,
+                    batch_view.refs(),
                     cfg.threads,
                 ));
             }
@@ -558,11 +560,11 @@ fn part_b(cfg: &Cfg) {
         let gpu = GpuAligner::new(Device::titan_v());
         let anyseq_gpu = match gapk {
             GapKind::Linear => {
-                let (_, st) = gpu.score_batch(&lin, &sim_batch);
+                let (_, st) = gpu.score_batch(&lin, sim_view.refs());
                 st.gcups(&gpu.device)
             }
             GapKind::Affine => {
-                let (_, st) = gpu.score_batch(&aff, &sim_batch);
+                let (_, st) = gpu.score_batch(&aff, sim_view.refs());
                 st.gcups(&gpu.device)
             }
         };
@@ -603,11 +605,11 @@ fn part_b(cfg: &Cfg) {
         let nvbio = NvbioLike::new(Device::titan_v());
         let nv = match gapk {
             GapKind::Linear => {
-                let (_, st) = nvbio.aligner().score_batch(&lin, &sim_batch);
+                let (_, st) = nvbio.aligner().score_batch(&lin, sim_view.refs());
                 st.gcups(&nvbio.aligner().device)
             }
             GapKind::Affine => {
-                let (_, st) = nvbio.aligner().score_batch(&aff, &sim_batch);
+                let (_, st) = nvbio.aligner().score_batch(&aff, sim_view.refs());
                 st.gcups(&nvbio.aligner().device)
             }
         };

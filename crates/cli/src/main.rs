@@ -8,13 +8,18 @@
 //!              [--type KIND] [--match N] [--mismatch N]
 //!              [--gap N | --open N --extend N]
 //!              [--backend auto|scalar|simd|wavefront|gpu-sim]
-//!              [--threads N] [--alignments] [--seed N] [--quiet]
+//!              [--auto-crossover CELLS] [--threads N] [--alignments]
+//!              [--seed N] [--quiet]
 //! anyseq simulate --length N [--gc F] [--seed N]    # emit a FASTA genome
 //! ```
 //!
 //! `batch` drives the `anyseq-engine` subsystem: pairs are length-
 //! binned, sharded over a worker pool, dispatched to the selected
-//! backend (with scalar fallback) and printed in input order; the
+//! backend (with scalar fallback) and printed in input order. Inputs
+//! are ingested once into a `SeqStore` arena and dispatched as a
+//! borrowed zero-copy `BatchView`; `--auto-crossover CELLS` tunes the
+//! per-pair DP size at which `auto` dispatch switches from the SIMD
+//! lanes to the exclusive wavefront. The
 //! execution summary (per-backend GCUPS, utilization, fallbacks and
 //! backend counters such as the SIMD traceback's band telemetry) goes
 //! to stderr. With `--alignments` (alias `--align`), short-read
@@ -24,11 +29,11 @@
 use anyseq_core::kind::{Global, Local, SemiGlobal};
 use anyseq_core::prelude::*;
 use anyseq_engine::{
-    BackendId, BatchCfg, BatchScheduler, Dispatch, GapSpec, KindSpec, Policy, SchemeSpec,
+    BackendId, BatchCfg, BatchScheduler, DispatchPolicy, GapSpec, KindSpec, Policy, SchemeSpec,
 };
 use anyseq_seq::fasta;
 use anyseq_seq::genome::GenomeSim;
-use anyseq_seq::Seq;
+use anyseq_seq::{Seq, SeqId, SeqStore};
 use anyseq_wavefront::{ParallelCfg, ParallelExt};
 use std::collections::HashMap;
 use std::process::exit;
@@ -42,7 +47,8 @@ fn usage() -> ! {
          \x20              [--type KIND] [--match N] [--mismatch N]\n\
          \x20              [--gap N | --open N --extend N]\n\
          \x20              [--backend auto|scalar|simd|wavefront|gpu-sim]\n\
-         \x20              [--threads N] [--alignments] [--seed N] [--quiet]\n\
+         \x20              [--auto-crossover CELLS] [--threads N] [--alignments]\n\
+         \x20              [--seed N] [--quiet]\n\
          \x20 anyseq simulate --length N [--gc F] [--seed N]"
     );
     exit(2)
@@ -110,10 +116,13 @@ fn numeric_flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str
     }
 }
 
-/// Assembles the batch input: an interleaved pair file, two matched
-/// files, or a simulated read set.
-fn batch_pairs(flags: &HashMap<String, String>) -> Vec<(Seq, Seq)> {
+/// Assembles the batch input into a `SeqStore` arena (the single
+/// ingest copy — dispatch below is zero-copy): an interleaved pair
+/// file, two matched files, or a simulated read set.
+fn batch_store(flags: &HashMap<String, String>) -> (SeqStore, Vec<(SeqId, SeqId)>) {
     let seed: u64 = numeric_flag(flags, "seed", 42);
+    let mut store = SeqStore::new();
+    let mut ids: Vec<(SeqId, SeqId)> = Vec::new();
     if let Some(path) = flags.get("pairs") {
         let records = load_records(path);
         if !records.len().is_multiple_of(2) {
@@ -124,11 +133,9 @@ fn batch_pairs(flags: &HashMap<String, String>) -> Vec<(Seq, Seq)> {
             exit(1);
         }
         let mut records = records.into_iter();
-        let mut pairs = Vec::new();
         while let (Some(q), Some(s)) = (records.next(), records.next()) {
-            pairs.push((q.seq, s.seq));
+            ids.push((store.push(&q.seq), store.push(&s.seq)));
         }
-        pairs
     } else if let (Some(qp), Some(sp)) = (flags.get("query"), flags.get("subject")) {
         let queries = load_records(qp);
         let subjects = load_records(sp);
@@ -140,11 +147,9 @@ fn batch_pairs(flags: &HashMap<String, String>) -> Vec<(Seq, Seq)> {
             );
             exit(1);
         }
-        queries
-            .into_iter()
-            .zip(subjects)
-            .map(|(q, s)| (q.seq, s.seq))
-            .collect()
+        for (q, s) in queries.into_iter().zip(subjects) {
+            ids.push((store.push(&q.seq), store.push(&s.seq)));
+        }
     } else if flags.contains_key("simulate") {
         let count: usize = numeric_flag(flags, "simulate", 0);
         let reference = GenomeSim::new(seed).generate(2_000_000.min(count.max(1) * 400));
@@ -152,18 +157,19 @@ fn batch_pairs(flags: &HashMap<String, String>) -> Vec<(Seq, Seq)> {
             anyseq_seq::readsim::ReadSimProfile::default(),
             seed ^ 0x5eed,
         );
-        sim.simulate_pairs(&reference, count)
-            .into_iter()
-            .map(|p| (p.a, p.b))
-            .collect()
+        for p in sim.simulate_pairs(&reference, count) {
+            ids.push((store.push(&p.a), store.push(&p.b)));
+        }
     } else {
         usage()
     }
+    (store, ids)
 }
 
 fn cmd_batch(args: &[String]) {
     let flags = parse_flags(args);
-    let pairs = batch_pairs(&flags);
+    let (store, ids) = batch_store(&flags);
+    let view = store.view(&ids);
     let ma: i32 = numeric_flag(&flags, "match", 2);
     let mi: i32 = numeric_flag(&flags, "mismatch", -1);
     let gap = if flags.contains_key("gap") {
@@ -210,7 +216,15 @@ fn cmd_batch(args: &[String]) {
             }
         },
     };
-    let dispatch = Dispatch::standard(policy);
+    let mut policy_cfg = DispatchPolicy::new(policy);
+    if flags.contains_key("auto-crossover") {
+        policy_cfg = policy_cfg.auto_crossover(numeric_flag(
+            &flags,
+            "auto-crossover",
+            policy_cfg.auto_crossover,
+        ));
+    }
+    let dispatch = policy_cfg.standard();
     let scheduler = BatchScheduler::new(BatchCfg::threads(threads));
 
     let stdout = std::io::stdout();
@@ -224,13 +238,13 @@ fn cmd_batch(args: &[String]) {
         }
     };
     let stats = if flags.contains_key("align") || flags.contains_key("alignments") {
-        let run = scheduler.align_batch(&dispatch, &spec, &pairs);
+        let run = scheduler.align_batch(&dispatch, &spec, &view);
         for (k, aln) in run.results.iter().enumerate() {
             emit(format_args!("{k}\t{}\t{}", aln.score, aln.cigar()));
         }
         run.stats
     } else {
-        let run = scheduler.score_batch(&dispatch, &spec, &pairs);
+        let run = scheduler.score_batch(&dispatch, &spec, &view);
         for (k, score) in run.results.iter().enumerate() {
             emit(format_args!("{k}\t{score}"));
         }

@@ -33,7 +33,6 @@ use crate::kind::{AlignKind, Extension, FreeEnd, Global, Local, OptRegion, SemiG
 use crate::pass::{score_pass, PassOutput};
 use crate::score::Score;
 use crate::scoring::{GapModel, SubstScore};
-use anyseq_seq::Seq;
 
 /// Traceback configuration.
 #[derive(Debug, Clone, Copy)]
@@ -203,8 +202,8 @@ pub fn align_global<G, S, P>(
     pass: &P,
     gap: &G,
     subst: &S,
-    q: &Seq,
-    s: &Seq,
+    q: &[u8],
+    s: &[u8],
     cfg: &AlignConfig,
 ) -> Alignment
 where
@@ -217,8 +216,8 @@ where
         pass,
         gap,
         subst,
-        q.codes(),
-        s.codes(),
+        q,
+        s,
         gap.open(),
         gap.open(),
         cfg,
@@ -245,8 +244,8 @@ pub fn align_local<G, S, P>(
     pass: &P,
     gap: &G,
     subst: &S,
-    q: &Seq,
-    s: &Seq,
+    q: &[u8],
+    s: &[u8],
     cfg: &AlignConfig,
 ) -> Alignment
 where
@@ -254,13 +253,13 @@ where
     S: SubstScore,
     P: HalfPass<G, S>,
 {
-    let fwd = pass.pass::<Local>(gap, subst, q.codes(), s.codes(), gap.open());
+    let fwd = pass.pass::<Local>(gap, subst, q, s, gap.open());
     if fwd.score <= 0 {
         return Alignment::empty(0);
     }
     let (ie, je) = fwd.end;
-    let rq = reversed(&q.codes()[..ie]);
-    let rs = reversed(&s.codes()[..je]);
+    let rq = reversed(&q[..ie]);
+    let rs = reversed(&s[..je]);
     let rev = pass.pass::<Extension>(gap, subst, &rq, &rs, gap.open());
     debug_assert_eq!(
         rev.score, fwd.score,
@@ -274,8 +273,8 @@ where
         pass,
         gap,
         subst,
-        &q.codes()[is..ie],
-        &s.codes()[js..je],
+        &q[is..ie],
+        &s[js..je],
         gap.open(),
         gap.open(),
         cfg,
@@ -302,8 +301,8 @@ pub fn align_semiglobal<G, S, P>(
     pass: &P,
     gap: &G,
     subst: &S,
-    q: &Seq,
-    s: &Seq,
+    q: &[u8],
+    s: &[u8],
     cfg: &AlignConfig,
 ) -> Alignment
 where
@@ -311,15 +310,15 @@ where
     S: SubstScore,
     P: HalfPass<G, S>,
 {
-    let fwd = pass.pass::<SemiGlobal>(gap, subst, q.codes(), s.codes(), gap.open());
+    let fwd = pass.pass::<SemiGlobal>(gap, subst, q, s, gap.open());
     let (ie, je) = fwd.end;
     if ie == 0 || je == 0 {
         // The optimum sits on an initialization border: everything is a
         // free end gap, the aligned core is empty.
         return Alignment::empty(fwd.score);
     }
-    let rq = reversed(&q.codes()[..ie]);
-    let rs = reversed(&s.codes()[..je]);
+    let rq = reversed(&q[..ie]);
+    let rs = reversed(&s[..je]);
     let rev = pass.pass::<FreeEnd>(gap, subst, &rq, &rs, gap.open());
     debug_assert_eq!(
         rev.score, fwd.score,
@@ -337,8 +336,8 @@ where
         pass,
         gap,
         subst,
-        &q.codes()[is..ie],
-        &s.codes()[js..je],
+        &q[is..ie],
+        &s[js..je],
         gap.open(),
         gap.open(),
         cfg,
@@ -361,8 +360,8 @@ pub fn align_free_end<G, S, P>(
     pass: &P,
     gap: &G,
     subst: &S,
-    q: &Seq,
-    s: &Seq,
+    q: &[u8],
+    s: &[u8],
     cfg: &AlignConfig,
 ) -> Alignment
 where
@@ -370,15 +369,15 @@ where
     S: SubstScore,
     P: HalfPass<G, S>,
 {
-    let fwd = pass.pass::<FreeEnd>(gap, subst, q.codes(), s.codes(), gap.open());
+    let fwd = pass.pass::<FreeEnd>(gap, subst, q, s, gap.open());
     let (ie, je) = fwd.end;
     let mut ops = Vec::new();
     let score = diff(
         pass,
         gap,
         subst,
-        &q.codes()[..ie],
-        &s.codes()[..je],
+        &q[..ie],
+        &s[..je],
         gap.open(),
         gap.open(),
         cfg,
@@ -401,8 +400,8 @@ pub fn align_extension<G, S, P>(
     pass: &P,
     gap: &G,
     subst: &S,
-    q: &Seq,
-    s: &Seq,
+    q: &[u8],
+    s: &[u8],
     cfg: &AlignConfig,
 ) -> Alignment
 where
@@ -410,15 +409,15 @@ where
     S: SubstScore,
     P: HalfPass<G, S>,
 {
-    let fwd = pass.pass::<Extension>(gap, subst, q.codes(), s.codes(), gap.open());
+    let fwd = pass.pass::<Extension>(gap, subst, q, s, gap.open());
     let (ie, je) = fwd.end;
     let mut ops = Vec::new();
     let score = diff(
         pass,
         gap,
         subst,
-        &q.codes()[..ie],
-        &s.codes()[..je],
+        &q[..ie],
+        &s[..je],
         gap.open(),
         gap.open(),
         cfg,
@@ -439,7 +438,7 @@ where
 /// compile-time constants, so each monomorphized instance contains
 /// exactly one flow — the paper's "exchange several functions ... at
 /// compile time" by function composition.
-pub fn align<K, G, S>(gap: &G, subst: &S, q: &Seq, s: &Seq, cfg: &AlignConfig) -> Alignment
+pub fn align<K, G, S>(gap: &G, subst: &S, q: &[u8], s: &[u8], cfg: &AlignConfig) -> Alignment
 where
     K: AlignKind,
     G: GapModel,
@@ -454,8 +453,8 @@ pub fn align_with_pass<K, G, S, P>(
     pass: &P,
     gap: &G,
     subst: &S,
-    q: &Seq,
-    s: &Seq,
+    q: &[u8],
+    s: &[u8],
     cfg: &AlignConfig,
 ) -> Alignment
 where
@@ -487,6 +486,7 @@ where
 mod tests {
     use super::*;
     use crate::scoring::{simple, AffineGap, LinearGap};
+    use anyseq_seq::Seq;
 
     fn seq(text: &[u8]) -> Seq {
         Seq::from_ascii(text).unwrap()
@@ -503,8 +503,15 @@ mod tests {
         let subst = simple(2, -1);
         let q = seq(b"ACGTACGTTACGATCA");
         let s = seq(b"ACGACGTTAGCGTCA");
-        let big = align_global(&ScalarPass, &gap, &subst, &q, &s, &AlignConfig::default());
-        let small = align_global(&ScalarPass, &gap, &subst, &q, &s, &deep());
+        let big = align_global(
+            &ScalarPass,
+            &gap,
+            &subst,
+            q.codes(),
+            s.codes(),
+            &AlignConfig::default(),
+        );
+        let small = align_global(&ScalarPass, &gap, &subst, q.codes(), s.codes(), &deep());
         assert_eq!(big.score, small.score);
         big.validate::<Global, _, _>(&q, &s, &gap, &subst).unwrap();
         small
@@ -521,8 +528,15 @@ mod tests {
         let subst = simple(2, -1);
         let q = seq(b"ACGTTTTTACGTACGA");
         let s = seq(b"ACGTACGTACGA");
-        let big = align_global(&ScalarPass, &gap, &subst, &q, &s, &AlignConfig::default());
-        let small = align_global(&ScalarPass, &gap, &subst, &q, &s, &deep());
+        let big = align_global(
+            &ScalarPass,
+            &gap,
+            &subst,
+            q.codes(),
+            s.codes(),
+            &AlignConfig::default(),
+        );
+        let small = align_global(&ScalarPass, &gap, &subst, q.codes(), s.codes(), &deep());
         assert_eq!(big.score, small.score);
         small
             .validate::<Global, _, _>(&q, &s, &gap, &subst)
@@ -540,7 +554,7 @@ mod tests {
         let subst = simple(2, -1);
         let q = seq(b"ACGTACGTAAAAAAAACGTACGTA");
         let s = seq(b"ACGTACGTCGTACGTA");
-        let aln = align_global(&ScalarPass, &gap, &subst, &q, &s, &deep());
+        let aln = align_global(&ScalarPass, &gap, &subst, q.codes(), s.codes(), &deep());
         aln.validate::<Global, _, _>(&q, &s, &gap, &subst).unwrap();
         // 16 matches + one 8-gap: 32 - 4 - 8 = 20
         assert_eq!(aln.score, 20);
@@ -552,7 +566,7 @@ mod tests {
         let subst = simple(2, -3);
         let q = seq(b"TTTTACGTACGTTTTT");
         let s = seq(b"GGGGACGTACGGGGG");
-        let aln = align_local(&ScalarPass, &gap, &subst, &q, &s, &deep());
+        let aln = align_local(&ScalarPass, &gap, &subst, q.codes(), s.codes(), &deep());
         aln.validate::<Local, _, _>(&q, &s, &gap, &subst).unwrap();
         // Common core ACGTACG (7 matches); extending to q's T vs s's G
         // costs a -3 mismatch and never pays off.
@@ -567,8 +581,8 @@ mod tests {
             &ScalarPass,
             &gap,
             &subst,
-            &seq(b"AAAA"),
-            &seq(b"CCCC"),
+            seq(b"AAAA").codes(),
+            seq(b"CCCC").codes(),
             &deep(),
         );
         assert_eq!(aln.score, 0);
@@ -581,7 +595,7 @@ mod tests {
         let subst = simple(2, -3);
         let q = seq(b"TTTTACGTACGTTTTT");
         let s = seq(b"ACGTACGT");
-        let aln = align_semiglobal(&ScalarPass, &gap, &subst, &q, &s, &deep());
+        let aln = align_semiglobal(&ScalarPass, &gap, &subst, q.codes(), s.codes(), &deep());
         aln.validate::<SemiGlobal, _, _>(&q, &s, &gap, &subst)
             .unwrap();
         assert_eq!(aln.score, 16);
@@ -595,7 +609,7 @@ mod tests {
         let subst = simple(2, -3);
         let q = seq(b"ACGTTTTTTTT");
         let s = seq(b"ACGTGGGGGGG");
-        let aln = align_free_end(&ScalarPass, &gap, &subst, &q, &s, &deep());
+        let aln = align_free_end(&ScalarPass, &gap, &subst, q.codes(), s.codes(), &deep());
         aln.validate::<FreeEnd, _, _>(&q, &s, &gap, &subst).unwrap();
         // ACGT matched, then a 7-long query gap reaches the last column.
         assert_eq!(aln.score, -6);
@@ -608,7 +622,7 @@ mod tests {
         let subst = simple(2, -3);
         let q = seq(b"ACGTTTTTTTT");
         let s = seq(b"ACGTGGGGGGG");
-        let aln = align_extension(&ScalarPass, &gap, &subst, &q, &s, &deep());
+        let aln = align_extension(&ScalarPass, &gap, &subst, q.codes(), s.codes(), &deep());
         aln.validate::<crate::kind::Extension, _, _>(&q, &s, &gap, &subst)
             .unwrap();
         assert_eq!(aln.score, 8);

@@ -45,6 +45,12 @@ impl<K: AlignKind, G: GapModel, S: SubstScore> Scheme<K, G, S> {
         self.score_with_end(q, s).0
     }
 
+    /// [`Scheme::score`] over borrowed code slices (the zero-copy batch
+    /// path: engines hand `PairRef` slices straight through).
+    pub fn score_codes(&self, q: &[u8], s: &[u8]) -> Score {
+        score_pass::<K, G, S>(self.gap(), self.subst(), q, s, self.gap().open()).score
+    }
+
     /// Optimal score plus the 1-based DP cell where it is attained.
     pub fn score_with_end(&self, q: &Seq, s: &Seq) -> (Score, (usize, usize)) {
         let out = score_pass::<K, G, S>(
@@ -63,9 +69,15 @@ impl<K: AlignKind, G: GapModel, S: SubstScore> Scheme<K, G, S> {
         self.align_with(q, s, &AlignConfig::default())
     }
 
+    /// [`Scheme::align`] over borrowed code slices (the zero-copy batch
+    /// path).
+    pub fn align_codes(&self, q: &[u8], s: &[u8]) -> Alignment {
+        hirschberg::align::<K, G, S>(self.gap(), self.subst(), q, s, &AlignConfig::default())
+    }
+
     /// [`Scheme::align`] with an explicit traceback configuration.
     pub fn align_with(&self, q: &Seq, s: &Seq, cfg: &AlignConfig) -> Alignment {
-        hirschberg::align::<K, G, S>(self.gap(), self.subst(), q, s, cfg)
+        hirschberg::align::<K, G, S>(self.gap(), self.subst(), q.codes(), s.codes(), cfg)
     }
 }
 

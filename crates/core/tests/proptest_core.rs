@@ -49,7 +49,13 @@ macro_rules! check_align {
         let qs = Seq::from_codes($q.to_vec()).unwrap();
         let ss = Seq::from_codes($s.to_vec()).unwrap();
         let (oracle, _) = oracle_score::<$kind, _, _>(&gap, &subst, $q, $s);
-        let aln = anyseq_core::hirschberg::align::<$kind, _, _>(&gap, &subst, &qs, &ss, $cfg);
+        let aln = anyseq_core::hirschberg::align::<$kind, _, _>(
+            &gap,
+            &subst,
+            qs.codes(),
+            ss.codes(),
+            $cfg,
+        );
         prop_assert_eq!(
             aln.score,
             oracle,
@@ -212,7 +218,7 @@ proptest! {
         let subst = simple(3, -2);
         let qs = Seq::from_codes(q.clone()).unwrap();
         let ss = Seq::from_codes(s.clone()).unwrap();
-        let aln = anyseq_core::hirschberg::align_global(&anyseq_core::hirschberg::ScalarPass, &gap, &subst, &qs, &ss, &AlignConfig::default());
+        let aln = anyseq_core::hirschberg::align_global(&anyseq_core::hirschberg::ScalarPass, &gap, &subst, qs.codes(), ss.codes(), &AlignConfig::default());
         if let Err(e) = aln.validate::<Global, _, _>(&qs, &ss, &gap, &subst) {
             prop_assert!(false, "invalid: {e}");
         }
@@ -259,8 +265,8 @@ fn giant_gap_across_midlines() {
                 &anyseq_core::hirschberg::ScalarPass,
                 &gap,
                 &subst,
-                &q,
-                &s,
+                q.codes(),
+                s.codes(),
                 &cfg,
             );
             let (oracle, _) = oracle_score::<Global, _, _>(&gap, &subst, q.codes(), s.codes());

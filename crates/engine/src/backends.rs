@@ -19,8 +19,8 @@ use crate::{with_global_scheme, with_scheme};
 use anyseq_core::score::Score;
 use anyseq_core::Alignment;
 use anyseq_gpu_sim::{Device, GpuAligner, KernelShape};
-use anyseq_seq::Seq;
-use anyseq_simd::{align_batch_simd, score_batch_simd, BandCfg, TraceStats};
+use anyseq_seq::PairRef;
+use anyseq_simd::{align_batch_simd, score_batch_simd_stats, BandCfg, TraceStats};
 use anyseq_wavefront::{ParallelCfg, ParallelExt};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -52,22 +52,22 @@ impl Engine for ScalarEngine {
     fn score_batch(
         &self,
         spec: &SchemeSpec,
-        pairs: &[(Seq, Seq)],
+        pairs: &[PairRef<'_>],
         threads: usize,
     ) -> Result<Vec<Score>, EngineError> {
         Ok(with_scheme!(spec, |scheme, _K| {
-            parallel_map(pairs, threads, MAP_CHUNK, |(q, s)| scheme.score(q, s))
+            parallel_map(pairs, threads, MAP_CHUNK, |p| scheme.score_codes(p.q, p.s))
         }))
     }
 
     fn align_batch(
         &self,
         spec: &SchemeSpec,
-        pairs: &[(Seq, Seq)],
+        pairs: &[PairRef<'_>],
         threads: usize,
     ) -> Result<Vec<Alignment>, EngineError> {
         Ok(with_scheme!(spec, |scheme, _K| {
-            parallel_map(pairs, threads, MAP_CHUNK, |(q, s)| scheme.align(q, s))
+            parallel_map(pairs, threads, MAP_CHUNK, |p| scheme.align_codes(p.q, p.s))
         }))
     }
 }
@@ -84,6 +84,18 @@ pub enum SimdLanes {
     L16,
     /// 512-bit registers (AVX512).
     L32,
+}
+
+impl SimdLanes {
+    /// Number of 16-bit lanes per vector (transpose buffers copy
+    /// `(|q| + |s|) × count` bytes per lane group).
+    pub fn count(self) -> usize {
+        match self {
+            SimdLanes::L8 => 8,
+            SimdLanes::L16 => 16,
+            SimdLanes::L32 => 32,
+        }
+    }
 }
 
 /// Inter-sequence SIMD batching: one whole alignment per vector lane,
@@ -113,6 +125,7 @@ struct SimdCounters {
     band_widenings: AtomicU64,
     band_overflows: AtomicU64,
     band_cells: AtomicU64,
+    bytes_copied: AtomicU64,
 }
 
 impl SimdCounters {
@@ -125,6 +138,8 @@ impl SimdCounters {
         self.band_overflows
             .fetch_add(t.band_overflows, Ordering::Relaxed);
         self.band_cells.fetch_add(t.band_cells, Ordering::Relaxed);
+        self.bytes_copied
+            .fetch_add(t.bytes_copied, Ordering::Relaxed);
     }
 }
 
@@ -170,17 +185,22 @@ impl Engine for SimdEngine {
     fn score_batch(
         &self,
         spec: &SchemeSpec,
-        pairs: &[(Seq, Seq)],
+        pairs: &[PairRef<'_>],
         threads: usize,
     ) -> Result<Vec<Score>, EngineError> {
         with_global_scheme!(
             spec,
             |scheme| {
-                Ok(match self.lanes {
-                    SimdLanes::L8 => score_batch_simd::<_, _, 8>(&scheme, pairs, threads),
-                    SimdLanes::L16 => score_batch_simd::<_, _, 16>(&scheme, pairs, threads),
-                    SimdLanes::L32 => score_batch_simd::<_, _, 32>(&scheme, pairs, threads),
-                })
+                let (scores, trace) = match self.lanes {
+                    SimdLanes::L8 => score_batch_simd_stats::<_, _, 8>(&scheme, pairs, threads),
+                    SimdLanes::L16 => score_batch_simd_stats::<_, _, 16>(&scheme, pairs, threads),
+                    SimdLanes::L32 => score_batch_simd_stats::<_, _, 32>(&scheme, pairs, threads),
+                };
+                // Full telemetry: lane/scalar split and transpose bytes
+                // (band fields are zero on the score path and filtered
+                // out by drain_counters).
+                self.counters.add(&trace);
+                Ok(scores)
             },
             {
                 Err(EngineError::unsupported(
@@ -198,7 +218,7 @@ impl Engine for SimdEngine {
     fn align_batch(
         &self,
         spec: &SchemeSpec,
-        pairs: &[(Seq, Seq)],
+        pairs: &[PairRef<'_>],
         threads: usize,
     ) -> Result<Vec<Alignment>, EngineError> {
         with_global_scheme!(
@@ -238,6 +258,7 @@ impl Engine for SimdEngine {
             ("simd.band_widenings", &self.counters.band_widenings),
             ("simd.band_overflows", &self.counters.band_overflows),
             ("simd.band_cells", &self.counters.band_cells),
+            ("simd.bytes_copied", &self.counters.bytes_copied),
         ]
         .into_iter()
         .filter_map(|(name, cell)| {
@@ -287,14 +308,14 @@ impl Engine for WavefrontEngine {
     fn score_batch(
         &self,
         spec: &SchemeSpec,
-        pairs: &[(Seq, Seq)],
+        pairs: &[PairRef<'_>],
         threads: usize,
     ) -> Result<Vec<Score>, EngineError> {
         let cfg = self.cfg(threads);
         Ok(with_scheme!(spec, |scheme, _K| {
             pairs
                 .iter()
-                .map(|(q, s)| scheme.score_parallel(q, s, &cfg))
+                .map(|p| scheme.score_parallel_codes(p.q, p.s, &cfg))
                 .collect()
         }))
     }
@@ -302,14 +323,14 @@ impl Engine for WavefrontEngine {
     fn align_batch(
         &self,
         spec: &SchemeSpec,
-        pairs: &[(Seq, Seq)],
+        pairs: &[PairRef<'_>],
         threads: usize,
     ) -> Result<Vec<Alignment>, EngineError> {
         let cfg = self.cfg(threads);
         Ok(with_scheme!(spec, |scheme, _K| {
             pairs
                 .iter()
-                .map(|(q, s)| scheme.align_parallel(q, s, &cfg))
+                .map(|p| scheme.align_parallel_codes(p.q, p.s, &cfg))
                 .collect()
         }))
     }
@@ -363,7 +384,7 @@ impl Engine for GpuSimEngine {
     fn score_batch(
         &self,
         spec: &SchemeSpec,
-        pairs: &[(Seq, Seq)],
+        pairs: &[PairRef<'_>],
         _threads: usize,
     ) -> Result<Vec<Score>, EngineError> {
         with_global_scheme!(
@@ -384,7 +405,7 @@ impl Engine for GpuSimEngine {
     fn align_batch(
         &self,
         spec: &SchemeSpec,
-        pairs: &[(Seq, Seq)],
+        pairs: &[PairRef<'_>],
         _threads: usize,
     ) -> Result<Vec<Alignment>, EngineError> {
         with_global_scheme!(
@@ -392,7 +413,7 @@ impl Engine for GpuSimEngine {
             |scheme| {
                 Ok(pairs
                     .iter()
-                    .map(|(q, s)| self.aligner.align(&scheme, q, s).0)
+                    .map(|p| self.aligner.align(&scheme, p.q, p.s).0)
                     .collect())
             },
             {
@@ -412,21 +433,13 @@ impl Engine for GpuSimEngine {
 mod tests {
     use super::*;
     use crate::spec::KindSpec;
-    use anyseq_seq::genome::GenomeSim;
-    use anyseq_seq::readsim::{ReadSim, ReadSimProfile};
-
-    fn read_pairs(count: usize, seed: u64) -> Vec<(Seq, Seq)> {
-        let reference = GenomeSim::new(seed).generate(60_000);
-        let mut rs = ReadSim::new(ReadSimProfile::default(), seed ^ 0x777);
-        rs.simulate_pairs(&reference, count)
-            .into_iter()
-            .map(|p| (p.a, p.b))
-            .collect()
-    }
+    use anyseq_seq::testsupport::read_pairs;
+    use anyseq_seq::BatchView;
 
     #[test]
     fn all_backends_score_identically_global() {
         let pairs = read_pairs(60, 3);
+        let view = BatchView::from_pairs(&pairs);
         let spec = SchemeSpec::global_linear(2, -1, -1);
         let expected: Vec<Score> = pairs.iter().map(|(q, s)| spec.score_scalar(q, s)).collect();
         let backends: Vec<Box<dyn Engine>> = vec![
@@ -436,7 +449,7 @@ mod tests {
             Box::new(GpuSimEngine::titan_v()),
         ];
         for engine in &backends {
-            let got = engine.score_batch(&spec, &pairs, 4).unwrap();
+            let got = engine.score_batch(&spec, view.refs(), 4).unwrap();
             assert_eq!(got, expected, "{}", engine.caps().name);
         }
     }
@@ -444,13 +457,14 @@ mod tests {
     #[test]
     fn align_backends_match_scalar_ops() {
         let pairs = read_pairs(12, 5);
+        let view = BatchView::from_pairs(&pairs);
         let spec = SchemeSpec::global_affine(2, -1, -2, -1);
-        let reference = ScalarEngine.align_batch(&spec, &pairs, 1).unwrap();
+        let reference = ScalarEngine.align_batch(&spec, view.refs(), 1).unwrap();
         for engine in [
             Box::new(WavefrontEngine::default()) as Box<dyn Engine>,
             Box::new(GpuSimEngine::titan_v()),
         ] {
-            let got = engine.align_batch(&spec, &pairs, 4).unwrap();
+            let got = engine.align_batch(&spec, view.refs(), 4).unwrap();
             for (k, (a, b)) in reference.iter().zip(&got).enumerate() {
                 assert_eq!(a.score, b.score, "{} pair {k}", engine.caps().name);
                 assert_eq!(a.ops, b.ops, "{} pair {k}", engine.caps().name);
@@ -462,9 +476,10 @@ mod tests {
     fn simd_alignments_carry_exact_scores_and_replay() {
         use anyseq_core::kind::Global;
         let pairs = read_pairs(40, 13);
+        let view = BatchView::from_pairs(&pairs);
         let spec = SchemeSpec::global_affine(2, -1, -2, -1);
         let engine = SimdEngine::avx2();
-        let got = engine.align_batch(&spec, &pairs, 4).unwrap();
+        let got = engine.align_batch(&spec, view.refs(), 4).unwrap();
         for (k, (q, s)) in pairs.iter().enumerate() {
             let reference = spec.align_scalar(q, s);
             assert_eq!(got[k].score, reference.score, "pair {k}");
@@ -487,22 +502,22 @@ mod tests {
     #[test]
     fn restricted_backends_refuse_unsupported_kinds() {
         let pairs = read_pairs(4, 7);
+        let view = BatchView::from_pairs(&pairs);
+        let refs = view.refs();
         let spec = SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::Local);
-        assert!(SimdEngine::avx2().score_batch(&spec, &pairs, 1).is_err());
-        assert!(GpuSimEngine::titan_v()
-            .score_batch(&spec, &pairs, 1)
-            .is_err());
+        assert!(SimdEngine::avx2().score_batch(&spec, refs, 1).is_err());
+        assert!(GpuSimEngine::titan_v().score_batch(&spec, refs, 1).is_err());
         // Traceback is global-only on the SIMD lanes…
-        assert!(SimdEngine::avx2().align_batch(&spec, &pairs, 1).is_err());
+        assert!(SimdEngine::avx2().align_batch(&spec, refs, 1).is_err());
         // …but global alignment requests are accepted since the banded
         // traceback landed.
         assert!(SimdEngine::avx2()
-            .align_batch(&SchemeSpec::global_linear(2, -1, -1), &pairs, 1)
+            .align_batch(&SchemeSpec::global_linear(2, -1, -1), refs, 1)
             .is_ok());
         // The generic engines accept all kinds.
-        assert!(ScalarEngine.score_batch(&spec, &pairs, 1).is_ok());
+        assert!(ScalarEngine.score_batch(&spec, refs, 1).is_ok());
         assert!(WavefrontEngine::default()
-            .score_batch(&spec, &pairs, 2)
+            .score_batch(&spec, refs, 2)
             .is_ok());
     }
 

@@ -58,10 +58,86 @@ pub enum Policy {
     Fixed(BackendId),
 }
 
-/// Per-pair DP size (cells) above which `Auto` prefers intra-pair
-/// wavefront parallelism over lane batching: ~2048², the scale where
-/// the tile queue saturates a pool while lane packing stops helping.
+/// Default per-pair DP size (cells) above which `Auto` prefers
+/// intra-pair wavefront parallelism over lane batching: ~2048², the
+/// scale where the tile queue saturates a pool while lane packing
+/// stops helping. Tunable per dispatch through
+/// [`DispatchPolicy::auto_crossover`] (CLI: `--auto-crossover`).
 pub const AUTO_WAVEFRONT_MIN_CELLS: u64 = 1 << 22;
+
+/// Builder for a [`Dispatch`]: selection policy plus the tuning knobs
+/// the `Auto` heuristic consults.
+///
+/// ```
+/// use anyseq_engine::{BackendId, DispatchPolicy, SchemeSpec};
+///
+/// // Route every pair below 1024² cells to the SIMD lanes, larger
+/// // ones to the wavefront.
+/// let dispatch = DispatchPolicy::auto().auto_crossover(1 << 20).standard();
+/// let spec = SchemeSpec::global_linear(2, -1, -1);
+/// assert_eq!(dispatch.candidates(&spec, 1 << 21, false)[0], BackendId::Wavefront);
+/// assert_eq!(dispatch.candidates(&spec, 1 << 19, false)[0], BackendId::Simd);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchPolicy {
+    /// Backend selection policy.
+    pub policy: Policy,
+    /// Per-pair DP size (cells) at which `Auto` crosses over from the
+    /// SIMD lanes to the exclusive wavefront.
+    pub auto_crossover: u64,
+}
+
+impl Default for DispatchPolicy {
+    fn default() -> DispatchPolicy {
+        DispatchPolicy::auto()
+    }
+}
+
+impl DispatchPolicy {
+    /// The `Auto` heuristic with default tuning.
+    pub fn auto() -> DispatchPolicy {
+        DispatchPolicy {
+            policy: Policy::Auto,
+            auto_crossover: AUTO_WAVEFRONT_MIN_CELLS,
+        }
+    }
+
+    /// A fixed-backend policy (scalar fallback still applies).
+    pub fn fixed(id: BackendId) -> DispatchPolicy {
+        DispatchPolicy {
+            policy: Policy::Fixed(id),
+            ..DispatchPolicy::auto()
+        }
+    }
+
+    /// An explicit [`Policy`] with default tuning.
+    pub fn new(policy: Policy) -> DispatchPolicy {
+        DispatchPolicy {
+            policy,
+            ..DispatchPolicy::auto()
+        }
+    }
+
+    /// Overrides the SIMD→wavefront crossover (per-pair DP cells).
+    pub fn auto_crossover(mut self, cells: u64) -> DispatchPolicy {
+        self.auto_crossover = cells;
+        self
+    }
+
+    /// Builds the standard four-backend registry under this policy.
+    pub fn standard(self) -> Dispatch {
+        Dispatch {
+            engines: vec![
+                (BackendId::Scalar, Box::new(ScalarEngine) as Box<dyn Engine>),
+                (BackendId::Simd, Box::new(SimdEngine::avx2())),
+                (BackendId::Wavefront, Box::new(WavefrontEngine::default())),
+                (BackendId::GpuSim, Box::new(GpuSimEngine::titan_v())),
+            ],
+            policy: self.policy,
+            auto_crossover: self.auto_crossover,
+        }
+    }
+}
 
 /// The engine registry plus selection policy.
 ///
@@ -82,21 +158,16 @@ pub struct Dispatch {
     engines: Vec<(BackendId, Box<dyn Engine>)>,
     /// Selection policy applied per bin.
     pub policy: Policy,
+    /// `Auto`'s SIMD→wavefront crossover, in per-pair DP cells.
+    auto_crossover: u64,
 }
 
 impl Dispatch {
     /// The standard four-backend registry (scalar, AVX2-shaped SIMD,
-    /// wavefront, Titan-V-modeled GPU simulator).
+    /// wavefront, Titan-V-modeled GPU simulator) with default tuning —
+    /// use [`DispatchPolicy`] to customize.
     pub fn standard(policy: Policy) -> Dispatch {
-        Dispatch {
-            engines: vec![
-                (BackendId::Scalar, Box::new(ScalarEngine) as Box<dyn Engine>),
-                (BackendId::Simd, Box::new(SimdEngine::avx2())),
-                (BackendId::Wavefront, Box::new(WavefrontEngine::default())),
-                (BackendId::GpuSim, Box::new(GpuSimEngine::titan_v())),
-            ],
-            policy,
-        }
+        DispatchPolicy::new(policy).standard()
     }
 
     /// A registry with only the scalar reference backend.
@@ -104,7 +175,13 @@ impl Dispatch {
         Dispatch {
             engines: vec![(BackendId::Scalar, Box::new(ScalarEngine) as Box<dyn Engine>)],
             policy: Policy::Fixed(BackendId::Scalar),
+            auto_crossover: AUTO_WAVEFRONT_MIN_CELLS,
         }
+    }
+
+    /// The configured `Auto` SIMD→wavefront crossover (DP cells).
+    pub fn auto_crossover(&self) -> u64 {
+        self.auto_crossover
     }
 
     /// Replaces or registers a backend implementation.
@@ -174,7 +251,7 @@ impl Dispatch {
                 })
                 .unwrap_or(false)
         };
-        if max_cells >= AUTO_WAVEFRONT_MIN_CELLS && caps_allow(BackendId::Wavefront) {
+        if max_cells >= self.auto_crossover && caps_allow(BackendId::Wavefront) {
             return BackendId::Wavefront;
         }
         // Score *and* alignment requests ride the lanes: the banded
@@ -242,6 +319,32 @@ mod tests {
             assert_eq!(BackendId::parse(id.name()), Some(id));
         }
         assert_eq!(BackendId::parse("tpu"), None);
+    }
+
+    #[test]
+    fn auto_crossover_is_configurable() {
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        // A tiny crossover sends even short reads to the wavefront…
+        let low = DispatchPolicy::auto().auto_crossover(100).standard();
+        assert_eq!(
+            low.candidates(&spec, 150 * 150, false)[0],
+            BackendId::Wavefront
+        );
+        // …a huge one keeps genome-scale pairs on the lanes.
+        let high = DispatchPolicy::auto().auto_crossover(u64::MAX).standard();
+        assert_eq!(
+            high.candidates(&spec, 5000 * 5000, false)[0],
+            BackendId::Simd
+        );
+        assert_eq!(high.auto_crossover(), u64::MAX);
+        // Fixed policies are unaffected by the crossover knob.
+        let fixed = DispatchPolicy::fixed(BackendId::GpuSim)
+            .auto_crossover(1)
+            .standard();
+        assert_eq!(
+            fixed.candidates(&spec, 150 * 150, false)[0],
+            BackendId::GpuSim
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use crate::spec::{KindSpec, SchemeSpec};
 use anyseq_core::score::Score;
 use anyseq_core::Alignment;
-use anyseq_seq::Seq;
+use anyseq_seq::PairRef;
 
 /// Static capability flags a backend advertises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +98,14 @@ impl EngineError {
 }
 
 /// A batch-execution backend.
+///
+/// Requests are **borrowed**: a slice of [`PairRef`]s (`&[u8]` code
+/// slices into storage the caller keeps alive — a
+/// [`SeqStore`](anyseq_seq::SeqStore) arena, a `Vec<(Seq, Seq)>`, …).
+/// Implementations must not clone sequence bytes except where the
+/// substrate genuinely requires a different layout (the lane-transposed
+/// SIMD buffers); such copies should be reported through
+/// [`Engine::drain_counters`] as a `<name>.bytes_copied` counter.
 pub trait Engine: Send + Sync {
     /// Capability flags.
     fn caps(&self) -> Caps;
@@ -106,20 +114,21 @@ pub trait Engine: Send + Sync {
     ///
     /// ```
     /// use anyseq_engine::{Engine, ScalarEngine, SchemeSpec};
-    /// use anyseq_seq::Seq;
+    /// use anyseq_seq::{BatchView, Seq};
     ///
     /// let spec = SchemeSpec::global_linear(2, -1, -1);
     /// let pairs = vec![(
     ///     Seq::from_ascii(b"ACGTACGT").unwrap(),
     ///     Seq::from_ascii(b"ACGTTACGT").unwrap(),
     /// )];
-    /// let scores = ScalarEngine.score_batch(&spec, &pairs, 1).unwrap();
+    /// let view = BatchView::from_pairs(&pairs);
+    /// let scores = ScalarEngine.score_batch(&spec, view.refs(), 1).unwrap();
     /// assert_eq!(scores, vec![15]);
     /// ```
     fn score_batch(
         &self,
         spec: &SchemeSpec,
-        pairs: &[(Seq, Seq)],
+        pairs: &[PairRef<'_>],
         threads: usize,
     ) -> Result<Vec<Score>, EngineError>;
 
@@ -131,7 +140,7 @@ pub trait Engine: Send + Sync {
     fn align_batch(
         &self,
         spec: &SchemeSpec,
-        pairs: &[(Seq, Seq)],
+        pairs: &[PairRef<'_>],
         threads: usize,
     ) -> Result<Vec<Alignment>, EngineError>;
 

@@ -16,18 +16,28 @@
 //!   selection with graceful per-unit fallback, plus per-batch
 //!   statistics (cells, GCUPS, backend utilization — [`stats`]).
 //!
+//! Requests are **zero-copy**: the scheduler consumes a
+//! [`BatchView`](anyseq_seq::BatchView) of borrowed
+//! [`PairRef`](anyseq_seq::PairRef)s (build one over owned pairs, or
+//! over a [`SeqStore`](anyseq_seq::SeqStore) arena) and work units
+//! carry indices into it — no sequence bytes are cloned between the
+//! caller and the kernels (the SIMD lane transpose is the one
+//! substrate-required copy, reported as `simd.bytes_copied`).
+//!
 //! ```
 //! use anyseq_engine::{BatchCfg, BatchScheduler, Dispatch, Policy, SchemeSpec};
-//! use anyseq_seq::Seq;
+//! use anyseq_seq::{BatchView, Seq};
 //!
 //! let pairs = vec![
 //!     (Seq::from_ascii(b"ACGTACGT").unwrap(), Seq::from_ascii(b"ACGTTACGT").unwrap()),
 //!     (Seq::from_ascii(b"TTTT").unwrap(), Seq::from_ascii(b"TTAT").unwrap()),
 //! ];
+//! let view = BatchView::from_pairs(&pairs);
 //! let spec = SchemeSpec::global_linear(2, -1, -1);
 //! let dispatch = Dispatch::standard(Policy::Auto);
-//! let run = BatchScheduler::new(BatchCfg::threads(2)).score_batch(&dispatch, &spec, &pairs);
+//! let run = BatchScheduler::new(BatchCfg::threads(2)).score_batch(&dispatch, &spec, &view);
 //! assert_eq!(run.results, vec![15, 5]);
+//! assert_eq!(run.stats.counters["sched.bytes_copied"], 0);
 //! println!("{}", run.stats.summary());
 //! ```
 //!
@@ -66,18 +76,18 @@ pub mod stats;
 pub mod util;
 
 pub use backends::{GpuSimEngine, ScalarEngine, SimdEngine, SimdLanes, WavefrontEngine};
-pub use dispatch::{BackendId, Dispatch, Policy};
+pub use dispatch::{BackendId, Dispatch, DispatchPolicy, Policy};
 pub use engine::{Caps, Engine, EngineError};
-pub use scheduler::{BatchCfg, BatchRun, BatchScheduler};
+pub use scheduler::{BatchCfg, BatchRun, BatchScheduler, SCHED_BYTES_COPIED};
 pub use spec::{GapSpec, KindSpec, SchemeSpec};
 pub use stats::{BackendUse, BatchStats};
 
 /// Convenience re-exports for applications.
 pub mod prelude {
     pub use crate::backends::{GpuSimEngine, ScalarEngine, SimdEngine, SimdLanes, WavefrontEngine};
-    pub use crate::dispatch::{BackendId, Dispatch, Policy};
+    pub use crate::dispatch::{BackendId, Dispatch, DispatchPolicy, Policy};
     pub use crate::engine::{Caps, Engine, EngineError};
-    pub use crate::scheduler::{BatchCfg, BatchRun, BatchScheduler};
+    pub use crate::scheduler::{BatchCfg, BatchRun, BatchScheduler, SCHED_BYTES_COPIED};
     pub use crate::spec::{GapSpec, KindSpec, SchemeSpec};
     pub use crate::stats::{BackendUse, BatchStats};
 }

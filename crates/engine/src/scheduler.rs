@@ -1,4 +1,20 @@
-//! Length-binned batch scheduling.
+//! Length-binned batch scheduling over borrowed [`BatchView`]s.
+//!
+//! ## Request model
+//!
+//! The scheduler consumes a [`BatchView`]: an ordered list of
+//! [`PairRef`]s into storage the caller keeps alive (a
+//! [`SeqStore`](anyseq_seq::SeqStore), a `Vec<(Seq, Seq)>` through the
+//! [`BatchScheduler::score_pairs`]/[`BatchScheduler::align_pairs`]
+//! shims, …). Work units carry *indices into the view*; the
+//! just-in-time gather that hands a unit to a backend materializes a
+//! `Vec<PairRef>` — 32 bytes of pointers per pair, never sequence
+//! bytes. The only sequence copy anywhere below the view is the SIMD
+//! backend's lane transpose, which it reports as `simd.bytes_copied`;
+//! the scheduler's own `sched.bytes_copied` counter (always present in
+//! [`BatchStats::counters`]) records gather-time sequence copies and
+//! is structurally zero — it exists as a regression tripwire and so
+//! benchmark reports can prove the zero-copy property.
 //!
 //! ## Binning strategy
 //!
@@ -25,10 +41,16 @@ use crate::stats::{self, BatchStats};
 use crate::util::IndexedOut;
 use anyseq_core::score::Score;
 use anyseq_core::Alignment;
-use anyseq_seq::Seq;
+use anyseq_seq::{BatchView, PairRef, Seq};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Name of the scheduler's gather-copy counter in
+/// [`BatchStats::counters`]. Always reported; a non-zero value means a
+/// code path re-introduced per-pair sequence cloning on the dispatch
+/// hot path.
+pub const SCHED_BYTES_COPIED: &str = "sched.bytes_copied";
 
 /// Scheduler tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -81,7 +103,7 @@ pub struct BatchRun<T> {
 
 /// One schedulable chunk of a bin.
 struct Unit {
-    /// Input positions of the unit's pairs.
+    /// View positions of the unit's pairs.
     indices: Vec<usize>,
     /// Total DP cells in the unit.
     cells: u64,
@@ -95,41 +117,64 @@ impl BatchScheduler {
         BatchScheduler { cfg }
     }
 
-    /// Scores every pair through the dispatch policy.
+    /// Scores every pair of the view through the dispatch policy.
     pub fn score_batch(
+        &self,
+        dispatch: &Dispatch,
+        spec: &SchemeSpec,
+        view: &BatchView<'_>,
+    ) -> BatchRun<Score> {
+        self.run(dispatch, spec, view, false, |engine, unit, threads| {
+            engine.score_batch(spec, unit, threads)
+        })
+    }
+
+    /// Aligns (with traceback) every pair of the view through the
+    /// dispatch policy.
+    pub fn align_batch(
+        &self,
+        dispatch: &Dispatch,
+        spec: &SchemeSpec,
+        view: &BatchView<'_>,
+    ) -> BatchRun<Alignment> {
+        self.run(dispatch, spec, view, true, |engine, unit, threads| {
+            engine.align_batch(spec, unit, threads)
+        })
+    }
+
+    /// Convenience shim over [`BatchScheduler::score_batch`] for owned
+    /// pair batches (borrows them; copies no sequence bytes).
+    pub fn score_pairs(
         &self,
         dispatch: &Dispatch,
         spec: &SchemeSpec,
         pairs: &[(Seq, Seq)],
     ) -> BatchRun<Score> {
-        self.run(dispatch, spec, pairs, false, |engine, unit, threads| {
-            engine.score_batch(spec, unit, threads)
-        })
+        self.score_batch(dispatch, spec, &BatchView::from_pairs(pairs))
     }
 
-    /// Aligns (with traceback) every pair through the dispatch policy.
-    pub fn align_batch(
+    /// Convenience shim over [`BatchScheduler::align_batch`] for owned
+    /// pair batches (borrows them; copies no sequence bytes).
+    pub fn align_pairs(
         &self,
         dispatch: &Dispatch,
         spec: &SchemeSpec,
         pairs: &[(Seq, Seq)],
     ) -> BatchRun<Alignment> {
-        self.run(dispatch, spec, pairs, true, |engine, unit, threads| {
-            engine.align_batch(spec, unit, threads)
-        })
+        self.align_batch(dispatch, spec, &BatchView::from_pairs(pairs))
     }
 
-    fn run<T, F>(
+    fn run<'v, T, F>(
         &self,
         dispatch: &Dispatch,
         spec: &SchemeSpec,
-        pairs: &[(Seq, Seq)],
+        view: &BatchView<'v>,
         align: bool,
         exec: F,
     ) -> BatchRun<T>
     where
         T: Send,
-        F: Fn(&dyn Engine, &[(Seq, Seq)], usize) -> Result<Vec<T>, EngineError> + Sync,
+        F: Fn(&dyn Engine, &[PairRef<'v>], usize) -> Result<Vec<T>, EngineError> + Sync,
     {
         let started = Instant::now();
         // Traceback recomputes ≈2× the cells of a score-only pass; use
@@ -140,18 +185,22 @@ impl BatchScheduler {
             1
         };
         let mut batch_stats = BatchStats {
-            pairs: pairs.len() as u64,
-            cells: stats::pair_cells(pairs) * cell_factor,
+            pairs: view.len() as u64,
+            cells: view.total_cells() * cell_factor,
             ..BatchStats::default()
         };
-        if pairs.is_empty() {
+        // The gather below moves PairRefs, never sequence bytes; the
+        // counter is recorded unconditionally so every report carries
+        // the proof (and any future cloning path would show up here).
+        batch_stats.record_counter(SCHED_BYTES_COPIED, 0);
+        if view.is_empty() {
             return BatchRun {
                 results: Vec::new(),
                 stats: batch_stats,
             };
         }
 
-        let (units, bins) = self.build_units(pairs);
+        let (units, bins) = self.build_units(view);
         batch_stats.bins = bins as u64;
         batch_stats.units = units.len() as u64;
 
@@ -176,19 +225,19 @@ impl BatchScheduler {
         // Longest-processing-time-first keeps the pool tail short.
         pooled.sort_by_key(|(unit, _)| std::cmp::Reverse(unit.cells));
 
-        let mut out = IndexedOut::new(pairs.len());
+        let mut out = IndexedOut::new(view.len());
         let writer = out.writer();
 
         let run_unit = |unit: &Unit,
                         chain: &[crate::dispatch::BackendId],
                         threads: usize,
                         local: &mut BatchStats| {
-            // Gather the unit's pairs contiguously just-in-time; only
-            // `threads` units are materialized at any moment, so peak
-            // extra memory is bounded by `threads * chunk_pairs` pairs
-            // rather than a full copy of the batch.
-            let unit_pairs: Vec<(Seq, Seq)> =
-                unit.indices.iter().map(|&k| pairs[k].clone()).collect();
+            // Gather the unit's pair *references* contiguously
+            // just-in-time: 32 bytes of pointers per pair. The sequence
+            // bytes stay where the caller put them — for an exclusive
+            // unit holding a multi-Mbp genome this is the difference
+            // between a dispatch and a deep copy.
+            let unit_pairs: Vec<PairRef<'v>> = unit.indices.iter().map(|&k| view.get(k)).collect();
             for (k, id) in chain.iter().enumerate() {
                 let engine = dispatch
                     .engine(*id)
@@ -214,8 +263,9 @@ impl BatchScheduler {
                         }
                         local.fallbacks += k as u64;
                         // Backend-internal telemetry (e.g. the SIMD
-                        // traceback's band counters) rides along with
-                        // the unit that produced it.
+                        // traceback's band counters and its transpose
+                        // byte count) rides along with the unit that
+                        // produced it.
                         for (name, value) in engine.drain_counters() {
                             local.record_counter(name, value);
                         }
@@ -299,15 +349,15 @@ impl BatchScheduler {
     /// small relative to the pool, so a batch never collapses into
     /// fewer units than there are workers (idle-core guard); a floor
     /// of 32 pairs keeps SIMD lane groups dense.
-    fn build_units(&self, pairs: &[(Seq, Seq)]) -> (Vec<Unit>, usize) {
+    fn build_units(&self, view: &BatchView<'_>) -> (Vec<Unit>, usize) {
         let quantum = self.cfg.bin_quantum.max(1);
-        let fill_chunk = pairs.len().div_ceil(self.cfg.threads.max(1)).max(32);
+        let fill_chunk = view.len().div_ceil(self.cfg.threads.max(1)).max(32);
         let chunk = self.cfg.chunk_pairs.max(1).min(fill_chunk);
         let round = |len: usize| len.div_ceil(quantum);
 
         let mut bins: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
-        for (k, (q, s)) in pairs.iter().enumerate() {
-            bins.entry((round(q.len()), round(s.len())))
+        for (k, p) in view.iter().enumerate() {
+            bins.entry((round(p.q.len()), round(p.s.len())))
                 .or_default()
                 .push(k);
         }
@@ -317,11 +367,9 @@ impl BatchScheduler {
         for indices in bins.into_values() {
             let mut indices = indices;
             // Exact-dimension order maximizes full SIMD lane groups.
-            indices.sort_by_key(|&k| (pairs[k].0.len(), pairs[k].1.len(), k));
+            indices.sort_by_key(|&k| (view.get(k).q.len(), view.get(k).s.len(), k));
             for piece in indices.chunks(chunk) {
-                let per_pair = piece
-                    .iter()
-                    .map(|&k| stats::cells_for(&pairs[k].0, &pairs[k].1));
+                let per_pair = piece.iter().map(|&k| view.get(k).cells());
                 let cells = per_pair.clone().sum();
                 let max_cells = per_pair.max().unwrap_or(0);
                 units.push(Unit {
@@ -341,16 +389,7 @@ mod tests {
     use crate::dispatch::{BackendId, Policy};
     use crate::spec::KindSpec;
     use anyseq_seq::genome::GenomeSim;
-    use anyseq_seq::readsim::{ReadSim, ReadSimProfile};
-
-    fn read_pairs(count: usize, seed: u64) -> Vec<(Seq, Seq)> {
-        let reference = GenomeSim::new(seed).generate(80_000);
-        let mut rs = ReadSim::new(ReadSimProfile::default(), seed ^ 0xbeef);
-        rs.simulate_pairs(&reference, count)
-            .into_iter()
-            .map(|p| (p.a, p.b))
-            .collect()
-    }
+    use anyseq_seq::testsupport::read_pairs;
 
     fn scheduler(threads: usize) -> BatchScheduler {
         BatchScheduler::new(BatchCfg {
@@ -363,9 +402,10 @@ mod tests {
     #[test]
     fn scores_match_scalar_in_input_order() {
         let pairs = read_pairs(200, 1);
+        let view = BatchView::from_pairs(&pairs);
         let spec = SchemeSpec::global_linear(2, -1, -1);
         let dispatch = Dispatch::standard(Policy::Auto);
-        let run = scheduler(4).score_batch(&dispatch, &spec, &pairs);
+        let run = scheduler(4).score_batch(&dispatch, &spec, &view);
         assert_eq!(run.results.len(), pairs.len());
         for (k, (q, s)) in pairs.iter().enumerate() {
             assert_eq!(run.results[k], spec.score_scalar(q, s), "pair {k}");
@@ -373,15 +413,19 @@ mod tests {
         assert_eq!(run.stats.pairs, 200);
         assert!(run.stats.gcups() > 0.0);
         assert!(run.stats.per_backend.iter().any(|b| b.backend == "simd"));
+        // The gather copies no sequence bytes — the counter is present
+        // and zero.
+        assert_eq!(run.stats.counters[SCHED_BYTES_COPIED], 0);
     }
 
     #[test]
     fn alignments_match_scalar_scores_and_replay() {
         use anyseq_core::kind::Global;
         let pairs = read_pairs(60, 2);
+        let view = BatchView::from_pairs(&pairs);
         let spec = SchemeSpec::global_affine(2, -1, -2, -1);
         let dispatch = Dispatch::standard(Policy::Auto);
-        let run = scheduler(4).align_batch(&dispatch, &spec, &pairs);
+        let run = scheduler(4).align_batch(&dispatch, &spec, &view);
         for (k, (q, s)) in pairs.iter().enumerate() {
             assert_eq!(
                 run.results[k].score,
@@ -406,6 +450,34 @@ mod tests {
                 .unwrap_or(0)
                 > 0
         );
+        // The lane transpose is the only sequence copy and is reported.
+        assert!(
+            run.stats
+                .counters
+                .get("simd.bytes_copied")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
+        assert_eq!(run.stats.counters[SCHED_BYTES_COPIED], 0);
+    }
+
+    #[test]
+    fn owned_pair_shims_match_view_runs() {
+        let pairs = read_pairs(80, 6);
+        let view = BatchView::from_pairs(&pairs);
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        let dispatch = Dispatch::standard(Policy::Auto);
+        let sched = scheduler(3);
+        let via_view = sched.score_batch(&dispatch, &spec, &view);
+        let via_shim = sched.score_pairs(&dispatch, &spec, &pairs);
+        assert_eq!(via_view.results, via_shim.results);
+        let aln_view = sched.align_batch(&dispatch, &spec, &view);
+        let aln_shim = sched.align_pairs(&dispatch, &spec, &pairs);
+        assert_eq!(
+            aln_view.results.iter().map(|a| a.score).collect::<Vec<_>>(),
+            aln_shim.results.iter().map(|a| a.score).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -414,7 +486,7 @@ mod tests {
         // Local kind on the SIMD backend: every unit must fall back.
         let spec = SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::Local);
         let dispatch = Dispatch::standard(Policy::Fixed(BackendId::Simd));
-        let run = scheduler(2).score_batch(&dispatch, &spec, &pairs);
+        let run = scheduler(2).score_pairs(&dispatch, &spec, &pairs);
         assert!(run.stats.fallbacks > 0);
         assert!(run.stats.per_backend.iter().all(|b| b.backend == "scalar"));
         for (k, (q, s)) in pairs.iter().enumerate() {
@@ -430,9 +502,10 @@ mod tests {
         let c = sim.generate(2400);
         let d = sim.mutate(&c, 0.10);
         let pairs = vec![(a, b), (c, d)];
+        let view = BatchView::from_pairs(&pairs);
         let spec = SchemeSpec::global_affine(2, -1, -2, -1);
         let dispatch = Dispatch::standard(Policy::Auto);
-        let run = scheduler(4).score_batch(&dispatch, &spec, &pairs);
+        let run = scheduler(4).score_batch(&dispatch, &spec, &view);
         assert!(run
             .stats
             .per_backend
@@ -441,6 +514,9 @@ mod tests {
         for (k, (q, s)) in pairs.iter().enumerate() {
             assert_eq!(run.results[k], spec.score_scalar(q, s), "pair {k}");
         }
+        // Exclusive wavefront units ride the zero-copy path end to end.
+        assert_eq!(run.stats.counters[SCHED_BYTES_COPIED], 0);
+        assert!(!run.stats.counters.contains_key("wavefront.bytes_copied"));
     }
 
     #[test]
@@ -448,13 +524,14 @@ mod tests {
         let spec = SchemeSpec::global_linear(2, -1, -1);
         let dispatch = Dispatch::standard(Policy::Auto);
         let sched = scheduler(4);
-        let run = sched.score_batch(&dispatch, &spec, &[]);
+        let run = sched.score_batch(&dispatch, &spec, &BatchView::default());
         assert!(run.results.is_empty());
         assert_eq!(run.stats.pairs, 0);
+        assert_eq!(run.stats.counters[SCHED_BYTES_COPIED], 0);
 
         let q = Seq::from_ascii(b"ACGT").unwrap();
         let pairs = vec![(q.clone(), Seq::new()), (q.clone(), q)];
-        let run = sched.score_batch(&dispatch, &spec, &pairs);
+        let run = sched.score_pairs(&dispatch, &spec, &pairs);
         assert_eq!(run.results, vec![-4, 8]);
     }
 
@@ -463,7 +540,7 @@ mod tests {
         let pairs = read_pairs(30, 4);
         let spec = SchemeSpec::global_linear(2, -1, -1);
         let dispatch = Dispatch::standard(Policy::Fixed(BackendId::GpuSim));
-        let run = scheduler(2).score_batch(&dispatch, &spec, &pairs);
+        let run = scheduler(2).score_pairs(&dispatch, &spec, &pairs);
         assert!(run
             .stats
             .per_backend
@@ -477,8 +554,9 @@ mod tests {
     #[test]
     fn binning_is_deterministic_and_covers_input() {
         let pairs = read_pairs(150, 5);
+        let view = BatchView::from_pairs(&pairs);
         let sched = scheduler(3);
-        let (units, bins) = sched.build_units(&pairs);
+        let (units, bins) = sched.build_units(&view);
         assert!(bins >= 1);
         let mut seen: Vec<usize> = units.iter().flat_map(|u| u.indices.clone()).collect();
         seen.sort_unstable();
@@ -491,6 +569,33 @@ mod tests {
                 .map(|&k| (pairs[k].0.len() * pairs[k].1.len()) as u64)
                 .sum();
             assert_eq!(unit.cells, cells);
+        }
+    }
+
+    #[test]
+    fn seq_store_view_runs_without_owned_pairs() {
+        use anyseq_seq::SeqStore;
+        // The arena path: ingest once, dispatch borrowed views forever.
+        let pairs = read_pairs(50, 11);
+        let mut store = SeqStore::new();
+        let ids: Vec<_> = pairs
+            .iter()
+            .map(|(q, s)| (store.push(q), store.push(s)))
+            .collect();
+        drop(pairs);
+        let view = store.view(&ids);
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        let dispatch = Dispatch::standard(Policy::Auto);
+        let run = scheduler(2).score_batch(&dispatch, &spec, &view);
+        assert_eq!(run.results.len(), 50);
+        for (k, &(q, s)) in ids.iter().enumerate() {
+            crate::with_scheme!(&spec, |scheme, _K| {
+                assert_eq!(
+                    run.results[k],
+                    scheme.score_codes(store.get(q), store.get(s)),
+                    "pair {k}"
+                );
+            });
         }
     }
 }

@@ -119,6 +119,19 @@ impl BatchStats {
         *self.counters.entry(name).or_insert(0) += value;
     }
 
+    /// Total sequence bytes copied below the batch view this run — the
+    /// sum of every `*.bytes_copied` counter (the scheduler's gather
+    /// tripwire plus substrate-required copies such as the SIMD lane
+    /// transpose). The single definition of the counter-name
+    /// convention; benches and tests read copies through this.
+    pub fn bytes_copied(&self) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(name, _)| name.ends_with(".bytes_copied"))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
     /// Merges another accumulator (used to combine per-worker stats).
     pub fn merge(&mut self, other: &BatchStats) {
         self.fallbacks += other.fallbacks;
@@ -195,6 +208,16 @@ mod tests {
         assert_eq!(a.counters["simd.band_overflows"], 4);
         assert!(a.summary().contains("fallbacks"));
         assert!(a.summary().contains("simd.band_overflows=4"));
+    }
+
+    #[test]
+    fn bytes_copied_sums_the_convention() {
+        let mut s = BatchStats::default();
+        assert_eq!(s.bytes_copied(), 0);
+        s.record_counter("sched.bytes_copied", 0);
+        s.record_counter("simd.bytes_copied", 640);
+        s.record_counter("simd.band_cells", 999);
+        assert_eq!(s.bytes_copied(), 640);
     }
 
     #[test]

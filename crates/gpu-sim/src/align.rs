@@ -14,7 +14,7 @@ use anyseq_core::relax::BestCell;
 use anyseq_core::scheme::Scheme;
 use anyseq_core::score::Score;
 use anyseq_core::scoring::{GapModel, SubstScore};
-use anyseq_seq::Seq;
+use anyseq_seq::{PairRef, Seq};
 use anyseq_wavefront::grid::TileGrid;
 use anyseq_wavefront::pass::finalize;
 use parking_lot::Mutex;
@@ -241,10 +241,14 @@ impl GpuAligner {
     /// alignment is one thread-block computing its whole matrix as a
     /// single tile; blocks are packed into launches of
     /// `concurrent_blocks()` waves (NVBio-style inter-sequence batching).
+    ///
+    /// Takes borrowed [`PairRef`]s — the simulated host never copies
+    /// sequence bytes onto the device (a real device queue would DMA
+    /// from exactly these slices).
     pub fn score_batch<G, S>(
         &self,
         scheme: &Scheme<Global, G, S>,
-        pairs: &[(Seq, Seq)],
+        pairs: &[PairRef<'_>],
     ) -> (Vec<Score>, GpuStats)
     where
         G: GapModel,
@@ -256,13 +260,12 @@ impl GpuAligner {
         let mut mem = MemTracker::new();
         let mut scores = Vec::with_capacity(pairs.len());
         let mut wave_max = 0.0f64;
-        for (k, (q, s)) in pairs.iter().enumerate() {
+        for (k, pair) in pairs.iter().enumerate() {
+            let (q, s) = (pair.q, pair.s);
             let n = q.len();
             let m = s.len();
             if n == 0 || m == 0 {
-                scores.push(
-                    score_pass::<Global, G, S>(gap, subst, q.codes(), s.codes(), gap.open()).score,
-                );
+                scores.push(score_pass::<Global, G, S>(gap, subst, q, s, gap.open()).score);
                 continue;
             }
             let mut h_row = init_top_h::<Global, G>(gap, m);
@@ -275,8 +278,8 @@ impl GpuAligner {
                 &self.shape,
                 gap,
                 subst,
-                q.codes(),
-                s.codes(),
+                q,
+                s,
                 GpuTileIo {
                     h_row: &mut h_row,
                     e_row: &mut e_row,
@@ -313,8 +316,8 @@ impl GpuAligner {
     pub fn align<G, S>(
         &self,
         scheme: &Scheme<Global, G, S>,
-        q: &Seq,
-        s: &Seq,
+        q: &[u8],
+        s: &[u8],
     ) -> (Alignment, GpuStats)
     where
         G: GapModel,
@@ -424,7 +427,7 @@ mod tests {
         let s = sim.mutate(&q, 0.07);
         let scheme = global(affine(simple(2, -1), -2, -1));
         let gpu = aligner(256, 64);
-        let (aln, stats) = gpu.align(&scheme, &q, &s);
+        let (aln, stats) = gpu.align(&scheme, q.codes(), s.codes());
         assert_eq!(aln.score, scheme.score(&q, &s));
         aln.validate::<Global, _, _>(&q, &s, scheme.gap(), scheme.subst())
             .unwrap();

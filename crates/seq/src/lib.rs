@@ -17,9 +17,13 @@ pub mod fasta;
 pub mod genome;
 pub mod readsim;
 pub mod seq;
+pub mod store;
+#[doc(hidden)]
+pub mod testsupport;
 
 pub use alphabet::Base;
 pub use seq::{Seq, SeqError};
+pub use store::{content_hash, BatchView, PairRef, SeqId, SeqStore};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
@@ -27,4 +31,5 @@ pub mod prelude {
     pub use crate::genome::GenomeSim;
     pub use crate::readsim::{ReadPair, ReadSim, ReadSimProfile};
     pub use crate::seq::{Seq, SeqError};
+    pub use crate::store::{BatchView, PairRef, SeqId, SeqStore};
 }

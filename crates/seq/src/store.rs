@@ -1,0 +1,377 @@
+//! Zero-copy batch storage: the [`SeqStore`] arena plus the
+//! [`BatchView`]/[`PairRef`] view types every batch engine consumes.
+//!
+//! The batch execution layer (`anyseq-engine`) used to move owned
+//! [`Seq`] pairs around, which forced the scheduler to deep-clone every
+//! pair's code vector when gathering a work unit — for exclusive units
+//! holding multi-Mbp genomes that copy dominated wall time and doubled
+//! peak memory. This module is the fix:
+//!
+//! * [`SeqStore`] — an append-only arena keeping all code bytes in one
+//!   contiguous allocation, with per-entry offsets and a cheap content
+//!   hash computed at ingest (the stable, hashable identity a result
+//!   cache needs).
+//! * [`PairRef`] — a pair of borrowed code slices (`&[u8]` query +
+//!   subject), `Copy`, 32 bytes. Moving a `PairRef` moves pointers,
+//!   never sequence bytes.
+//! * [`BatchView`] — an ordered list of [`PairRef`]s over storage the
+//!   caller keeps alive: the request shape of
+//!   `Engine::score_batch`/`align_batch` and the `BatchScheduler`.
+//!
+//! Sequences are ingested (copied) exactly once — when they are read or
+//! generated into a `Seq` or pushed into a `SeqStore` — and every layer
+//! below that point works on borrowed slices.
+
+use crate::seq::{Seq, SeqError};
+use std::fmt;
+
+/// FNV-1a 64-bit content hash over raw code bytes — the cheap, stable
+/// identity used for result caching and store deduplication. Stable
+/// across runs and platforms (unlike `std::hash::DefaultHasher`).
+pub fn content_hash(codes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in codes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Index of one sequence inside a [`SeqStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeqId(u32);
+
+impl SeqId {
+    /// The raw index (entries are numbered in push order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only arena of code sequences: one contiguous byte buffer,
+/// per-entry offsets, and a content hash per entry.
+///
+/// ```
+/// use anyseq_seq::{Seq, SeqStore};
+///
+/// let mut store = SeqStore::new();
+/// let q = store.push(&Seq::from_ascii(b"ACGT").unwrap());
+/// let s = store.push_codes(&[0, 1, 2, 3, 3]).unwrap();
+/// assert_eq!(store.get(q), &[0, 1, 2, 3]);
+/// let view = store.view(&[(q, s)]);
+/// assert_eq!(view.len(), 1);
+/// assert_eq!(view.get(0).q, store.get(q));
+/// ```
+#[derive(Default, Clone)]
+pub struct SeqStore {
+    codes: Vec<u8>,
+    /// `bounds[k]..bounds[k + 1]` delimits entry `k`; `bounds[0] == 0`.
+    bounds: Vec<usize>,
+    hashes: Vec<u64>,
+}
+
+impl SeqStore {
+    /// An empty store.
+    pub fn new() -> SeqStore {
+        SeqStore {
+            codes: Vec::new(),
+            bounds: vec![0],
+            hashes: Vec::new(),
+        }
+    }
+
+    /// An empty store with `bytes` of code capacity pre-allocated.
+    pub fn with_capacity(bytes: usize) -> SeqStore {
+        SeqStore {
+            codes: Vec::with_capacity(bytes),
+            bounds: vec![0],
+            hashes: Vec::new(),
+        }
+    }
+
+    /// Appends a sequence's codes (the one ingest copy) and returns its
+    /// id.
+    pub fn push(&mut self, seq: &Seq) -> SeqId {
+        self.push_valid(seq.codes())
+    }
+
+    /// Appends raw codes after validating them (`0..=4` per byte).
+    pub fn push_codes(&mut self, codes: &[u8]) -> Result<SeqId, SeqError> {
+        if let Some(pos) = codes.iter().position(|&c| c > 4) {
+            return Err(SeqError::InvalidCode {
+                pos,
+                code: codes[pos],
+            });
+        }
+        Ok(self.push_valid(codes))
+    }
+
+    fn push_valid(&mut self, codes: &[u8]) -> SeqId {
+        let id = SeqId(u32::try_from(self.hashes.len()).expect("SeqStore entry count fits u32"));
+        self.codes.extend_from_slice(codes);
+        self.bounds.push(self.codes.len());
+        self.hashes.push(content_hash(codes));
+        id
+    }
+
+    /// The code slice of entry `id`.
+    #[inline]
+    pub fn get(&self, id: SeqId) -> &[u8] {
+        &self.codes[self.bounds[id.index()]..self.bounds[id.index() + 1]]
+    }
+
+    /// The content hash of entry `id` (computed once at push).
+    #[inline]
+    pub fn hash(&self, id: SeqId) -> u64 {
+        self.hashes[id.index()]
+    }
+
+    /// Number of stored sequences.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Whether the store holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Total code bytes resident in the arena.
+    pub fn bytes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// A borrowed pair over two entries.
+    #[inline]
+    pub fn pair(&self, q: SeqId, s: SeqId) -> PairRef<'_> {
+        PairRef {
+            q: self.get(q),
+            s: self.get(s),
+        }
+    }
+
+    /// A [`BatchView`] over the given pairs, in order.
+    pub fn view(&self, pairs: &[(SeqId, SeqId)]) -> BatchView<'_> {
+        BatchView {
+            pairs: pairs.iter().map(|&(q, s)| self.pair(q, s)).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for SeqStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SeqStore({} entries, {} bytes)",
+            self.len(),
+            self.bytes()
+        )
+    }
+}
+
+/// One borrowed query/subject pair: the unit every batch engine
+/// consumes. `Copy` — moving it moves two fat pointers, never bytes.
+///
+/// The slices must hold base *codes* (`0..=4`, see `crate::alphabet`),
+/// which every constructor in this crate guarantees; engines index
+/// substitution tables with them.
+#[derive(Debug, Clone, Copy)]
+pub struct PairRef<'a> {
+    /// Query codes.
+    pub q: &'a [u8],
+    /// Subject codes.
+    pub s: &'a [u8],
+}
+
+impl<'a> PairRef<'a> {
+    /// A pair over raw code slices (callers must supply valid codes).
+    #[inline]
+    pub fn new(q: &'a [u8], s: &'a [u8]) -> PairRef<'a> {
+        PairRef { q, s }
+    }
+
+    /// Borrows an owned pair.
+    #[inline]
+    pub fn from_seqs(q: &'a Seq, s: &'a Seq) -> PairRef<'a> {
+        PairRef {
+            q: q.codes(),
+            s: s.codes(),
+        }
+    }
+
+    /// DP cells of a score-only pass over this pair: `|q| · |s|`.
+    #[inline]
+    pub fn cells(&self) -> u64 {
+        self.q.len() as u64 * self.s.len() as u64
+    }
+
+    /// Total sequence bytes the pair references.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        (self.q.len() + self.s.len()) as u64
+    }
+}
+
+/// An ordered, borrowed batch of pairs — the request model of the batch
+/// execution layer. Holds only [`PairRef`]s (32 bytes each); the code
+/// bytes live in whatever storage the caller keeps alive (a
+/// [`SeqStore`], a `Vec<(Seq, Seq)>`, memory-mapped input, …).
+///
+/// ```
+/// use anyseq_seq::{BatchView, Seq};
+///
+/// let pairs = vec![(
+///     Seq::from_ascii(b"ACGT").unwrap(),
+///     Seq::from_ascii(b"ACGA").unwrap(),
+/// )];
+/// let view = BatchView::from_pairs(&pairs);
+/// assert_eq!(view.len(), 1);
+/// assert_eq!(view.get(0).cells(), 16);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchView<'a> {
+    pairs: Vec<PairRef<'a>>,
+}
+
+impl<'a> BatchView<'a> {
+    /// A view borrowing every pair of an owned batch (copies pointers,
+    /// not sequence bytes).
+    pub fn from_pairs(pairs: &'a [(Seq, Seq)]) -> BatchView<'a> {
+        BatchView {
+            pairs: pairs
+                .iter()
+                .map(|(q, s)| PairRef::from_seqs(q, s))
+                .collect(),
+        }
+    }
+
+    /// A view over pre-built pair references.
+    pub fn from_refs(pairs: Vec<PairRef<'a>>) -> BatchView<'a> {
+        BatchView { pairs }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the view holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The `k`-th pair.
+    #[inline]
+    pub fn get(&self, k: usize) -> PairRef<'a> {
+        self.pairs[k]
+    }
+
+    /// The pairs as a slice (what `Engine` implementations take).
+    #[inline]
+    pub fn refs(&self) -> &[PairRef<'a>] {
+        &self.pairs
+    }
+
+    /// Iterates over the pairs.
+    pub fn iter(&self) -> impl Iterator<Item = PairRef<'a>> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Total DP cells of a score-only pass over the whole batch.
+    pub fn total_cells(&self) -> u64 {
+        self.pairs.iter().map(|p| p.cells()).sum()
+    }
+
+    /// Total sequence bytes the batch keeps resident (each pair counted
+    /// as referenced, shared storage counted per reference).
+    pub fn resident_bytes(&self) -> u64 {
+        self.pairs.iter().map(|p| p.bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_round_trips_and_hashes() {
+        let mut store = SeqStore::new();
+        let a = Seq::from_ascii(b"ACGTACGT").unwrap();
+        let b = Seq::from_ascii(b"TTTT").unwrap();
+        let ia = store.push(&a);
+        let ib = store.push(&b);
+        let ia2 = store.push(&a);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.bytes(), 20);
+        assert_eq!(store.get(ia), a.codes());
+        assert_eq!(store.get(ib), b.codes());
+        // Content hashing: equal content ⇒ equal hash, stable identity.
+        assert_eq!(store.hash(ia), store.hash(ia2));
+        assert_ne!(store.hash(ia), store.hash(ib));
+        assert_eq!(store.hash(ia), content_hash(a.codes()));
+    }
+
+    #[test]
+    fn store_rejects_invalid_codes() {
+        let mut store = SeqStore::new();
+        let err = store.push_codes(&[0, 1, 9]).unwrap_err();
+        assert_eq!(err, SeqError::InvalidCode { pos: 2, code: 9 });
+        assert!(store.is_empty());
+        assert!(store.push_codes(&[0, 4]).is_ok());
+    }
+
+    #[test]
+    fn empty_entries_are_distinct() {
+        let mut store = SeqStore::new();
+        let e1 = store.push_codes(&[]).unwrap();
+        let e2 = store.push(&Seq::new());
+        assert_ne!(e1, e2);
+        assert!(store.get(e1).is_empty());
+        assert_eq!(store.hash(e1), store.hash(e2));
+    }
+
+    #[test]
+    fn view_borrows_without_copying() {
+        let mut store = SeqStore::new();
+        let a = store.push_codes(&[0, 1, 2, 3]).unwrap();
+        let b = store.push_codes(&[3, 2, 1]).unwrap();
+        let view = store.view(&[(a, b), (b, a)]);
+        assert_eq!(view.len(), 2);
+        // The refs alias the arena allocation — zero-copy by pointer
+        // identity, not just by value.
+        assert!(std::ptr::eq(view.get(0).q.as_ptr(), store.get(a).as_ptr()));
+        assert!(std::ptr::eq(view.get(1).q.as_ptr(), store.get(b).as_ptr()));
+        assert_eq!(view.total_cells(), 12 + 12);
+        assert_eq!(view.resident_bytes(), 14);
+    }
+
+    #[test]
+    fn view_from_owned_pairs_matches() {
+        let pairs = vec![
+            (
+                Seq::from_ascii(b"ACGT").unwrap(),
+                Seq::from_ascii(b"AC").unwrap(),
+            ),
+            (Seq::new(), Seq::from_ascii(b"T").unwrap()),
+        ];
+        let view = BatchView::from_pairs(&pairs);
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.get(0).cells(), 8);
+        assert_eq!(view.get(1).cells(), 0);
+        assert_eq!(view.total_cells(), 8);
+        for (k, p) in view.iter().enumerate() {
+            assert_eq!(p.q, pairs[k].0.codes());
+            assert_eq!(p.s, pairs[k].1.codes());
+        }
+    }
+
+    #[test]
+    fn fnv_hash_known_vectors() {
+        // FNV-1a 64 reference values.
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash(&[0]), 0xaf63_bd4c_8601_b7df);
+    }
+}

@@ -1,0 +1,43 @@
+//! Canonical test-input generators shared by unit and integration
+//! tests across the workspace (hidden from the public docs; not part
+//! of the stable API).
+//!
+//! Several crates used to carry private copies of the same
+//! `read_pairs` helper; this module is the single source so every
+//! suite simulates batches the same way.
+
+use crate::genome::GenomeSim;
+use crate::readsim::{ReadSim, ReadSimProfile};
+use crate::Seq;
+
+/// Reference length the canonical read batches are simulated from.
+pub const READ_PAIRS_REF_LEN: usize = 80_000;
+
+/// Simulates `count` Illumina-style read pairs from a seeded synthetic
+/// reference — the canonical short-read batch every engine test uses.
+pub fn read_pairs(count: usize, seed: u64) -> Vec<(Seq, Seq)> {
+    let reference = GenomeSim::new(seed).generate(READ_PAIRS_REF_LEN);
+    let mut rs = ReadSim::new(ReadSimProfile::default(), seed ^ 0xbeef);
+    rs.simulate_pairs(&reference, count)
+        .into_iter()
+        .map(|p| (p.a, p.b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_pairs_are_deterministic_and_shaped() {
+        let a = read_pairs(10, 3);
+        let b = read_pairs(10, 3);
+        assert_eq!(a.len(), 10);
+        for ((qa, sa), (qb, sb)) in a.iter().zip(&b) {
+            assert_eq!(qa, qb);
+            assert_eq!(sa, sb);
+            assert!(qa.len() > 100 && sa.len() > 100);
+        }
+        assert_ne!(read_pairs(10, 4)[0].0, a[0].0);
+    }
+}

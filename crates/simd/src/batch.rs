@@ -6,17 +6,25 @@
 //! `(|q|, |s|)` — for Illumina-style reads the dominant bucket is
 //! `(150, 150)` and lane occupancy is near-perfect. Leftovers and
 //! oversized problems fall back to the scalar engine.
+//!
+//! Input is borrowed: a slice of [`PairRef`]s (`&[u8]` query/subject
+//! codes). The only sequence bytes this module copies are the
+//! lane-*transposed* row/column buffers the vector kernel needs —
+//! `(|q| + |s|) × L` bytes per lane group, reported as
+//! [`TraceStats::bytes_copied`] so callers can verify the pipeline
+//! above stayed zero-copy.
 
 use crate::kernel::{block_kernel, from16, max_block_extent, to16, BlockBorders, SimdSubst};
 use crate::lanes::I16s;
+use crate::traceback::TraceStats;
 use anyseq_core::kind::Global;
 use anyseq_core::pass::{init_left_f, init_left_h, init_top_e, init_top_h};
 use anyseq_core::scheme::Scheme;
 use anyseq_core::score::Score;
 use anyseq_core::scoring::GapModel;
-use anyseq_seq::Seq;
+use anyseq_seq::PairRef;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A batch split into full `L`-lane groups of equal-dimension pairs
 /// plus the indices that must take the in-backend scalar path
@@ -33,11 +41,11 @@ pub struct LaneGroups<const L: usize> {
 impl<const L: usize> LaneGroups<L> {
     /// Buckets `pairs` by matrix dimensions and cuts each bucket into
     /// full lane groups; everything else goes scalar.
-    pub fn build(pairs: &[(Seq, Seq)], extent_budget: usize) -> LaneGroups<L> {
+    pub fn build(pairs: &[PairRef<'_>], extent_budget: usize) -> LaneGroups<L> {
         let mut buckets: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
         let mut scalar_idx: Vec<usize> = Vec::new();
-        for (k, (q, s)) in pairs.iter().enumerate() {
-            let (n, m) = (q.len(), s.len());
+        for (k, p) in pairs.iter().enumerate() {
+            let (n, m) = (p.q.len(), p.s.len());
             if n == 0 || m == 0 || n + m > extent_budget {
                 scalar_idx.push(k);
             } else {
@@ -61,9 +69,24 @@ impl<const L: usize> LaneGroups<L> {
 /// input order (bit-identical to `scheme.score`).
 pub fn score_batch_simd<G, SS, const L: usize>(
     scheme: &Scheme<Global, G, SS>,
-    pairs: &[(Seq, Seq)],
+    pairs: &[PairRef<'_>],
     threads: usize,
 ) -> Vec<Score>
+where
+    G: GapModel,
+    SS: SimdSubst,
+{
+    score_batch_simd_stats::<G, SS, L>(scheme, pairs, threads).0
+}
+
+/// [`score_batch_simd`] returning the run's execution counters as well
+/// (lane/scalar pair split and the transpose-buffer byte count — the
+/// only sequence bytes the batch path copies).
+pub fn score_batch_simd_stats<G, SS, const L: usize>(
+    scheme: &Scheme<Global, G, SS>,
+    pairs: &[PairRef<'_>],
+    threads: usize,
+) -> (Vec<Score>, TraceStats)
 where
     G: GapModel,
     SS: SimdSubst,
@@ -80,6 +103,7 @@ where
     let out = Out(scores.as_mut_ptr());
     let next_group = AtomicUsize::new(0);
     let next_scalar = AtomicUsize::new(0);
+    let bytes_copied = AtomicU64::new(0);
     let threads = threads.max(1);
 
     {
@@ -88,56 +112,67 @@ where
         let scalar_idx = &scalar_idx;
         let next_group = &next_group;
         let next_scalar = &next_scalar;
+        let bytes_copied = &bytes_copied;
         let gap = &gap;
         let subst = &subst;
         std::thread::scope(|sc| {
             for _ in 0..threads {
                 sc.spawn(move || {
+                    let mut local_bytes = 0u64;
                     loop {
                         let g = next_group.fetch_add(1, Ordering::Relaxed);
                         if g >= groups.len() {
                             break;
                         }
                         let lanes = &groups[g];
+                        let p0 = pairs[lanes[0]];
+                        local_bytes += ((p0.q.len() + p0.s.len()) * L) as u64;
                         let results = score_lane_group::<G, SS, L>(gap, subst, pairs, lanes);
                         for (l, &idx) in lanes.iter().enumerate() {
                             // SAFETY: each pair index is written exactly once.
                             unsafe { *out.0.add(idx) = results[l] };
                         }
                     }
+                    bytes_copied.fetch_add(local_bytes, Ordering::Relaxed);
                     loop {
                         let k = next_scalar.fetch_add(1, Ordering::Relaxed);
                         if k >= scalar_idx.len() {
                             break;
                         }
                         let idx = scalar_idx[k];
-                        let (q, s) = &pairs[idx];
-                        let score = scheme.score(q, s);
+                        let p = pairs[idx];
+                        let score = scheme.score_codes(p.q, p.s);
                         unsafe { *out.0.add(idx) = score };
                     }
                 });
             }
         });
     }
-    scores
+    let stats = TraceStats {
+        lane_pairs: (groups.len() * L) as u64,
+        scalar_pairs: scalar_idx.len() as u64,
+        bytes_copied: bytes_copied.load(Ordering::Relaxed),
+        ..TraceStats::default()
+    };
+    (scores, stats)
 }
 
 /// Scores `L` equal-dimension pairs in one vector block.
 fn score_lane_group<G, SS, const L: usize>(
     gap: &G,
     subst: &SS,
-    pairs: &[(Seq, Seq)],
+    pairs: &[PairRef<'_>],
     lanes: &[usize; L],
 ) -> [Score; L]
 where
     G: GapModel,
     SS: SimdSubst,
 {
-    let n = pairs[lanes[0]].0.len();
-    let m = pairs[lanes[0]].1.len();
+    let n = pairs[lanes[0]].q.len();
+    let m = pairs[lanes[0]].s.len();
     debug_assert!(lanes
         .iter()
-        .all(|&k| pairs[k].0.len() == n && pairs[k].1.len() == m));
+        .all(|&k| pairs[k].q.len() == n && pairs[k].s.len() == m));
 
     // Global init stripes are lane-uniform (base 0).
     let top_h = init_top_h::<Global, G>(gap, m);
@@ -150,11 +185,12 @@ where
         left_h: left_h.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
         left_f: left_f.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
     };
+    // The lane transpose: the only copy of sequence bytes on this path.
     let q_rows: Vec<[u8; L]> = (0..n)
-        .map(|r| std::array::from_fn(|l| pairs[lanes[l]].0[r]))
+        .map(|r| std::array::from_fn(|l| pairs[lanes[l]].q[r]))
         .collect();
     let s_cols: Vec<[u8; L]> = (0..m)
-        .map(|c| std::array::from_fn(|l| pairs[lanes[l]].1[c]))
+        .map(|c| std::array::from_fn(|l| pairs[lanes[l]].s[c]))
         .collect();
 
     block_kernel(gap, subst, &q_rows, &s_cols, &mut block);
@@ -166,34 +202,31 @@ where
 mod tests {
     use super::*;
     use anyseq_core::prelude::{affine, global, linear, simple};
-    use anyseq_seq::genome::GenomeSim;
-    use anyseq_seq::readsim::{ReadSim, ReadSimProfile};
-
-    fn read_pairs(count: usize, seed: u64) -> Vec<(Seq, Seq)> {
-        let mut sim = GenomeSim::new(seed);
-        let reference = sim.generate(100_000);
-        let mut rs = ReadSim::new(ReadSimProfile::default(), seed ^ 0xabcd);
-        rs.simulate_pairs(&reference, count)
-            .into_iter()
-            .map(|p| (p.a, p.b))
-            .collect()
-    }
+    use anyseq_seq::testsupport::read_pairs;
+    use anyseq_seq::{BatchView, Seq};
 
     #[test]
     fn batch_simd_matches_scalar_linear() {
         let pairs = read_pairs(300, 3);
+        let view = BatchView::from_pairs(&pairs);
         let scheme = global(linear(simple(2, -1), -1));
-        let simd = score_batch_simd::<_, _, 16>(&scheme, &pairs, 8);
+        let (simd, stats) = score_batch_simd_stats::<_, _, 16>(&scheme, view.refs(), 8);
         for (k, (q, s)) in pairs.iter().enumerate() {
             assert_eq!(simd[k], scheme.score(q, s), "pair {k}");
         }
+        assert_eq!(stats.lane_pairs + stats.scalar_pairs, pairs.len() as u64);
+        assert!(
+            stats.bytes_copied > 0,
+            "the transpose is the one copy and must be accounted"
+        );
     }
 
     #[test]
     fn batch_simd_matches_scalar_affine() {
         let pairs = read_pairs(300, 5);
+        let view = BatchView::from_pairs(&pairs);
         let scheme = global(affine(simple(2, -1), -2, -1));
-        let simd = score_batch_simd::<_, _, 8>(&scheme, &pairs, 4);
+        let simd = score_batch_simd::<_, _, 8>(&scheme, view.refs(), 4);
         for (k, (q, s)) in pairs.iter().enumerate() {
             assert_eq!(simd[k], scheme.score(q, s), "pair {k}");
         }
@@ -206,7 +239,8 @@ mod tests {
         let a = Seq::from_ascii(b"ACGT").unwrap();
         let empty = Seq::new();
         let pairs = vec![(a.clone(), a.clone()), (a.clone(), empty)];
-        let out = score_batch_simd::<_, _, 8>(&scheme, &pairs, 2);
+        let view = BatchView::from_pairs(&pairs);
+        let out = score_batch_simd::<_, _, 8>(&scheme, view.refs(), 2);
         assert_eq!(out[0], 8);
         assert_eq!(out[1], -4);
     }
@@ -220,8 +254,9 @@ mod tests {
             *q = q.subseq(0..q.len().min(100));
         }
         pairs.extend(extra);
+        let view = BatchView::from_pairs(&pairs);
         let scheme = global(linear(simple(2, -1), -1));
-        let simd = score_batch_simd::<_, _, 16>(&scheme, &pairs, 6);
+        let simd = score_batch_simd::<_, _, 16>(&scheme, view.refs(), 6);
         for (k, (q, s)) in pairs.iter().enumerate() {
             assert_eq!(simd[k], scheme.score(q, s), "pair {k}");
         }

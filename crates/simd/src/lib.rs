@@ -26,7 +26,7 @@ pub mod lanes;
 pub mod tiled;
 pub mod traceback;
 
-pub use batch::{score_batch_simd, LaneGroups};
+pub use batch::{score_batch_simd, score_batch_simd_stats, LaneGroups};
 pub use kernel::{max_block_extent, BlockBorders, SimdSubst, SENT16};
 pub use lanes::I16s;
 pub use tiled::{simd_tiled_score_pass, SimdPass};

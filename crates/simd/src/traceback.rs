@@ -42,7 +42,7 @@ use anyseq_core::pass::{init_left_f, init_left_h, init_top_e, init_top_h};
 use anyseq_core::scheme::Scheme;
 use anyseq_core::score::Score;
 use anyseq_core::scoring::GapModel;
-use anyseq_seq::Seq;
+use anyseq_seq::PairRef;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -84,6 +84,11 @@ pub struct TraceStats {
     /// Vector DP cells relaxed across all banded passes (retries
     /// included) — `rows × band width × lanes` per pass.
     pub band_cells: u64,
+    /// Sequence bytes copied into lane-transposed row/column buffers —
+    /// `(|q| + |s|) × L` per lane group, the *only* sequence copy on
+    /// the batch path (everything above hands borrowed `PairRef`s
+    /// through). Scalar-path pairs copy nothing.
+    pub bytes_copied: u64,
     /// Widest band (in diagonals) any lane group ended up using.
     /// Direct-API telemetry only: the engine's additive
     /// `drain_counters` channel cannot carry max semantics, so this
@@ -99,6 +104,7 @@ impl TraceStats {
         self.band_widenings += other.band_widenings;
         self.band_overflows += other.band_overflows;
         self.band_cells += other.band_cells;
+        self.bytes_copied += other.bytes_copied;
         self.max_band = self.max_band.max(other.max_band);
     }
 }
@@ -262,8 +268,8 @@ fn decode_lane(
     dlo: isize,
     bw: usize,
     lane: usize,
-    q: &Seq,
-    s: &Seq,
+    q: &[u8],
+    s: &[u8],
     affine: bool,
 ) -> Vec<AlignOp> {
     #[derive(Clone, Copy, PartialEq)]
@@ -342,7 +348,7 @@ fn decode_lane(
 fn align_lane_group<G, SS, const L: usize>(
     gap: &G,
     subst: &SS,
-    pairs: &[(Seq, Seq)],
+    pairs: &[PairRef<'_>],
     lanes: &[usize; L],
     band: BandCfg,
     stats: &mut TraceStats,
@@ -351,17 +357,20 @@ where
     G: GapModel,
     SS: SimdSubst,
 {
-    let n = pairs[lanes[0]].0.len();
-    let m = pairs[lanes[0]].1.len();
+    let n = pairs[lanes[0]].q.len();
+    let m = pairs[lanes[0]].s.len();
     debug_assert!(lanes
         .iter()
-        .all(|&k| pairs[k].0.len() == n && pairs[k].1.len() == m));
+        .all(|&k| pairs[k].q.len() == n && pairs[k].s.len() == m));
 
+    // The lane transpose: the only sequence-byte copy on this path
+    // (built once per group; band retries reuse it).
+    stats.bytes_copied += ((n + m) * L) as u64;
     let q_rows: Vec<[u8; L]> = (0..n)
-        .map(|r| std::array::from_fn(|l| pairs[lanes[l]].0[r]))
+        .map(|r| std::array::from_fn(|l| pairs[lanes[l]].q[r]))
         .collect();
     let s_cols: Vec<[u8; L]> = (0..m)
-        .map(|c| std::array::from_fn(|l| pairs[lanes[l]].1[c]))
+        .map(|c| std::array::from_fn(|l| pairs[lanes[l]].s[c]))
         .collect();
 
     // Exact corner scores from the full-width score kernel: the
@@ -399,8 +408,8 @@ where
                     return None;
                 }
                 stats.lane_pairs += 1;
-                let (q, s) = &pairs[lanes[l]];
-                let ops = decode_lane(&store, n, m, dlo, bw, l, q, s, G::AFFINE);
+                let p = pairs[lanes[l]];
+                let ops = decode_lane(&store, n, m, dlo, bw, l, p.q, p.s, G::AFFINE);
                 Some(Alignment {
                     score: from16(exact.0[l], 0),
                     ops,
@@ -429,7 +438,7 @@ where
 /// call — the result is complete either way.
 pub fn align_batch_simd<G, SS, const L: usize>(
     scheme: &Scheme<Global, G, SS>,
-    pairs: &[(Seq, Seq)],
+    pairs: &[PairRef<'_>],
     threads: usize,
     band: BandCfg,
 ) -> (Vec<Alignment>, TraceStats)
@@ -479,8 +488,8 @@ where
                             let aln = aln.unwrap_or_else(|| {
                                 // Band overflow: scalar rescue for this
                                 // lane only (already counted).
-                                let (q, s) = &pairs[idx];
-                                scheme.align(q, s)
+                                let p = pairs[idx];
+                                scheme.align_codes(p.q, p.s)
                             });
                             // SAFETY: each pair index is written exactly once.
                             unsafe { *out.0.add(idx) = aln };
@@ -492,10 +501,10 @@ where
                             break;
                         }
                         let idx = scalar_idx[k];
-                        let (q, s) = &pairs[idx];
+                        let p = pairs[idx];
                         local.scalar_pairs += 1;
                         // SAFETY: scalar indices are disjoint from groups.
-                        unsafe { *out.0.add(idx) = scheme.align(q, s) };
+                        unsafe { *out.0.add(idx) = scheme.align_codes(p.q, p.s) };
                     }
                     total.lock().unwrap().merge(&local);
                 });
@@ -511,16 +520,18 @@ mod tests {
     use super::*;
     use anyseq_core::prelude::{affine, global, linear, simple};
     use anyseq_seq::genome::GenomeSim;
-    use anyseq_seq::readsim::{ReadSim, ReadSimProfile};
+    use anyseq_seq::testsupport::read_pairs;
+    use anyseq_seq::{BatchView, Seq};
 
-    fn read_pairs(count: usize, seed: u64) -> Vec<(Seq, Seq)> {
-        let mut sim = GenomeSim::new(seed);
-        let reference = sim.generate(100_000);
-        let mut rs = ReadSim::new(ReadSimProfile::default(), seed ^ 0xabcd);
-        rs.simulate_pairs(&reference, count)
-            .into_iter()
-            .map(|p| (p.a, p.b))
-            .collect()
+    /// Runs the traceback over a borrowed view of owned pairs.
+    fn run<G: GapModel, SS: SimdSubst, const L: usize>(
+        scheme: &Scheme<Global, G, SS>,
+        pairs: &[(Seq, Seq)],
+        threads: usize,
+        band: BandCfg,
+    ) -> (Vec<Alignment>, TraceStats) {
+        let view = BatchView::from_pairs(pairs);
+        align_batch_simd::<G, SS, L>(scheme, view.refs(), threads, band)
     }
 
     fn check_all<G: GapModel, SS: SimdSubst>(
@@ -540,7 +551,7 @@ mod tests {
     fn banded_traceback_matches_scalar_linear() {
         let pairs = read_pairs(300, 3);
         let scheme = global(linear(simple(2, -1), -1));
-        let (alns, stats) = align_batch_simd::<_, _, 16>(&scheme, &pairs, 8, BandCfg::default());
+        let (alns, stats) = run::<_, _, 16>(&scheme, &pairs, 8, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
         assert!(stats.lane_pairs > 0, "lane groups must carry the batch");
         assert_eq!(stats.band_overflows, 0, "default band fits read indels");
@@ -550,7 +561,7 @@ mod tests {
     fn banded_traceback_matches_scalar_affine() {
         let pairs = read_pairs(300, 5);
         let scheme = global(affine(simple(2, -1), -2, -1));
-        let (alns, stats) = align_batch_simd::<_, _, 8>(&scheme, &pairs, 4, BandCfg::default());
+        let (alns, stats) = run::<_, _, 8>(&scheme, &pairs, 4, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
         assert!(stats.lane_pairs > 0);
     }
@@ -561,7 +572,7 @@ mod tests {
         // the adversarial case for gap-run bookkeeping.
         let pairs = read_pairs(200, 9);
         let scheme = global(affine(simple(2, -1), 0, -1));
-        let (alns, _) = align_batch_simd::<_, _, 16>(&scheme, &pairs, 4, BandCfg::default());
+        let (alns, _) = run::<_, _, 16>(&scheme, &pairs, 4, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
     }
 
@@ -578,7 +589,7 @@ mod tests {
             (a.clone(), empty.clone()),
             (empty, a.clone()),
         ];
-        let (alns, stats) = align_batch_simd::<_, _, 8>(&scheme, &pairs, 2, BandCfg::default());
+        let (alns, stats) = run::<_, _, 8>(&scheme, &pairs, 2, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
         assert_eq!(alns[0].cigar(), "4=");
         assert_eq!(alns[1].cigar(), "4I");
@@ -591,7 +602,7 @@ mod tests {
         let a = GenomeSim::new(17).generate(150);
         let pairs: Vec<(Seq, Seq)> = (0..32).map(|_| (a.clone(), a.clone())).collect();
         let scheme = global(affine(simple(2, -1), -2, -1));
-        let (alns, stats) = align_batch_simd::<_, _, 16>(&scheme, &pairs, 2, BandCfg::default());
+        let (alns, stats) = run::<_, _, 16>(&scheme, &pairs, 2, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
         for aln in &alns {
             assert_eq!(aln.cigar(), "150=");
@@ -617,7 +628,7 @@ mod tests {
 
         let scheme = global(linear(simple(2, -3), -1));
         let tiny = BandCfg { initial: 2, max: 4 };
-        let (alns, stats) = align_batch_simd::<_, _, 8>(&scheme, &pairs, 2, tiny);
+        let (alns, stats) = run::<_, _, 8>(&scheme, &pairs, 2, tiny);
         check_all(&scheme, &pairs, &alns);
         assert_eq!(stats.band_overflows, 8, "every lane must overflow");
         assert!(
@@ -632,7 +643,7 @@ mod tests {
 
         // The default band contains the same paths without fallback —
         // after adaptively widening past its initial width.
-        let (alns, stats) = align_batch_simd::<_, _, 8>(&scheme, &pairs, 2, BandCfg::default());
+        let (alns, stats) = run::<_, _, 8>(&scheme, &pairs, 2, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
         assert_eq!(stats.band_overflows, 0);
         assert!(
@@ -651,7 +662,7 @@ mod tests {
         }
         pairs.extend(extra);
         let scheme = global(affine(simple(2, -1), -2, -1));
-        let (alns, stats) = align_batch_simd::<_, _, 16>(&scheme, &pairs, 6, BandCfg::default());
+        let (alns, stats) = run::<_, _, 16>(&scheme, &pairs, 6, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
         assert_eq!(
             stats.lane_pairs + stats.scalar_pairs + stats.band_overflows,

@@ -28,27 +28,31 @@ impl<G: GapModel, S: SubstScore> HalfPass<G, S> for TiledPass {
 }
 
 /// Parallel execution methods for [`Scheme`].
+///
+/// The `*_codes` variants take borrowed code slices — the zero-copy
+/// batch path (`PairRef` fields go straight through); the [`Seq`]
+/// variants are thin conveniences over them.
 pub trait ParallelExt {
     /// Score-only, multithreaded (dynamic wavefront).
-    fn score_parallel(&self, q: &Seq, s: &Seq, cfg: &ParallelCfg) -> Score;
+    fn score_parallel(&self, q: &Seq, s: &Seq, cfg: &ParallelCfg) -> Score {
+        self.score_parallel_codes(q.codes(), s.codes(), cfg)
+    }
     /// Full traceback with multithreaded Hirschberg passes.
-    fn align_parallel(&self, q: &Seq, s: &Seq, cfg: &ParallelCfg) -> Alignment;
+    fn align_parallel(&self, q: &Seq, s: &Seq, cfg: &ParallelCfg) -> Alignment {
+        self.align_parallel_codes(q.codes(), s.codes(), cfg)
+    }
+    /// [`ParallelExt::score_parallel`] over borrowed code slices.
+    fn score_parallel_codes(&self, q: &[u8], s: &[u8], cfg: &ParallelCfg) -> Score;
+    /// [`ParallelExt::align_parallel`] over borrowed code slices.
+    fn align_parallel_codes(&self, q: &[u8], s: &[u8], cfg: &ParallelCfg) -> Alignment;
 }
 
 impl<K: AlignKind, G: GapModel, S: SubstScore> ParallelExt for Scheme<K, G, S> {
-    fn score_parallel(&self, q: &Seq, s: &Seq, cfg: &ParallelCfg) -> Score {
-        tiled_score_pass::<K, G, S>(
-            self.gap(),
-            self.subst(),
-            q.codes(),
-            s.codes(),
-            self.gap().open(),
-            cfg,
-        )
-        .score
+    fn score_parallel_codes(&self, q: &[u8], s: &[u8], cfg: &ParallelCfg) -> Score {
+        tiled_score_pass::<K, G, S>(self.gap(), self.subst(), q, s, self.gap().open(), cfg).score
     }
 
-    fn align_parallel(&self, q: &Seq, s: &Seq, cfg: &ParallelCfg) -> Alignment {
+    fn align_parallel_codes(&self, q: &[u8], s: &[u8], cfg: &ParallelCfg) -> Alignment {
         let pass = TiledPass { cfg: *cfg };
         align_with_pass::<K, G, S, _>(
             &pass,

@@ -10,6 +10,7 @@
 
 use anyseq::prelude::*;
 use anyseq::simd::score_batch_simd;
+use anyseq_seq::BatchView;
 use std::time::Instant;
 
 fn main() {
@@ -41,8 +42,12 @@ fn main() {
         cells / dt / 1e9
     );
 
+    // Borrowed zero-copy view over the owned batch: every layer below
+    // this point moves 32-byte PairRefs, never sequence bytes.
+    let view = BatchView::from_pairs(&pairs);
+
     let t0 = Instant::now();
-    let simd = score_batch_simd::<_, _, 16>(&scheme, &pairs, threads);
+    let simd = score_batch_simd::<_, _, 16>(&scheme, view.refs(), threads);
     let dt = t0.elapsed().as_secs_f64();
     println!("SIMD batch    (16 lanes):   {:.2} GCUPS", cells / dt / 1e9);
     assert_eq!(scalar, simd, "engines must agree bit-exactly");
@@ -52,10 +57,14 @@ fn main() {
     let spec = SchemeSpec::global_linear(2, -1, -1);
     let dispatch = Dispatch::standard(Policy::Auto);
     let scheduler = BatchScheduler::new(BatchCfg::threads(threads));
-    let run = scheduler.score_batch(&dispatch, &spec, &pairs);
+    let run = scheduler.score_batch(&dispatch, &spec, &view);
     println!("engine batch  (auto):       {:.2} GCUPS", run.stats.gcups());
     println!("  {}", run.stats.summary());
     assert_eq!(scalar, run.results, "the engine must agree bit-exactly");
+    assert_eq!(
+        run.stats.counters["sched.bytes_copied"], 0,
+        "the scheduler gather must stay zero-copy"
+    );
 
     let mean: f64 = scalar.iter().map(|&v| v as f64).sum::<f64>() / scalar.len() as f64;
     println!("mean pair score: {mean:.1} (max possible 300)");

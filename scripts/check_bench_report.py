@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Validate a batch_throughput JSON report.
+
+Usage: check_bench_report.py <report.json> <threads> [long_len]
+
+Fails (exit 1) if the report is missing any required key:
+  * `<mode>.<backend>_1t` and `<mode>.<backend>_<threads>t` for every
+    mode in {score, align} and backend in {scalar, simd, gpu-sim},
+  * `<mode>.bytes_copied` and `<mode>.peak_batch_mb` per mode,
+  * `long.score_gcups` / `long.align_gcups` when `long_len` > 0,
+or if a present GCUPS value is not a positive number. Guards the bench
+report format (documented in docs/ARCHITECTURE.md) and the zero-copy
+counters against silent regressions.
+"""
+
+import json
+import sys
+
+MODES = ("score", "align")
+BACKENDS = ("scalar", "simd", "gpu-sim")
+
+
+def main() -> int:
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    path, threads = sys.argv[1], int(sys.argv[2])
+    long_len = int(sys.argv[3]) if len(sys.argv) == 4 else 0
+    with open(path) as fh:
+        report = json.load(fh)
+
+    required = []
+    for mode in MODES:
+        for backend in BACKENDS:
+            required.append((f"{mode}.{backend}_1t", True))
+            if threads > 1:
+                required.append((f"{mode}.{backend}_{threads}t", True))
+        required.append((f"{mode}.bytes_copied", False))
+        required.append((f"{mode}.peak_batch_mb", False))
+    if long_len > 0:
+        required.append(("long.score_gcups", True))
+        required.append(("long.align_gcups", True))
+
+    missing = [key for key, _ in required if key not in report]
+    bad = [
+        key
+        for key, positive in required
+        if key in report
+        and (
+            not isinstance(report[key], (int, float))
+            or (positive and not report[key] > 0)
+        )
+    ]
+    if missing:
+        print(f"{path}: missing keys: {', '.join(sorted(missing))}", file=sys.stderr)
+    if bad:
+        print(f"{path}: non-positive/invalid values: {', '.join(sorted(bad))}", file=sys.stderr)
+    if missing or bad:
+        return 1
+    print(f"{path}: {len(required)} required keys present and sane")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

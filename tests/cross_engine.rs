@@ -12,6 +12,7 @@ use anyseq_core::kind::Global;
 use anyseq_engine::{
     BackendId, BatchCfg, BatchScheduler, Dispatch, Engine, GapSpec, KindSpec, Policy, SchemeSpec,
 };
+use anyseq_seq::{BatchView, PairRef};
 use anyseq_wavefront::pass::{tiled_score_pass, ParallelCfg};
 use proptest::prelude::*;
 
@@ -112,7 +113,7 @@ fn every_traceback_backend_is_optimal_and_valid() {
         scheme.align_parallel(&q, &s, &ParallelCfg::threads(6).with_tile(128)),
     );
     let gpu = GpuAligner::new(Device::titan_v()).with_tile(256);
-    check("gpu", gpu.align(&scheme, &q, &s).0);
+    check("gpu", gpu.align(&scheme, q.codes(), s.codes()).0);
     check("seqan-like", SeqAnLike::new(4).align(&scheme, &q, &s));
     check("parasail-like", ParasailLike::new(4).align(&scheme, &q, &s));
     check(
@@ -132,14 +133,15 @@ fn read_batches_agree_across_engines() {
         .collect();
     let scheme = global(linear(simple(2, -1), -1));
 
+    let view = BatchView::from_pairs(&pairs);
     let scalar = score_batch_parallel(&scheme, &pairs, 8);
-    let simd16 = score_batch_simd::<_, _, 16>(&scheme, &pairs, 8);
-    let simd32 = score_batch_simd::<_, _, 32>(&scheme, &pairs, 8);
+    let simd16 = score_batch_simd::<_, _, 16>(&scheme, view.refs(), 8);
+    let simd32 = score_batch_simd::<_, _, 32>(&scheme, view.refs(), 8);
     assert_eq!(scalar, simd16);
     assert_eq!(scalar, simd32);
 
     let gpu = GpuAligner::new(Device::titan_v());
-    let (gpu_scores, stats) = gpu.score_batch(&scheme, &pairs);
+    let (gpu_scores, stats) = gpu.score_batch(&scheme, view.refs());
     assert_eq!(scalar, gpu_scores);
     assert!(stats.gcups(&gpu.device) > 0.0);
 }
@@ -234,7 +236,7 @@ proptest! {
             Policy::Fixed(BackendId::GpuSim),
         ] {
             let dispatch = Dispatch::standard(policy);
-            let run = sched.score_batch(&dispatch, &spec, &pairs);
+            let run = sched.score_pairs(&dispatch, &spec, &pairs);
             prop_assert_eq!(&run.results, &expected, "policy {:?}", policy);
             prop_assert_eq!(run.stats.pairs as usize, pairs.len());
         }
@@ -266,7 +268,7 @@ proptest! {
             Policy::Fixed(BackendId::GpuSim),
         ] {
             let dispatch = Dispatch::standard(policy);
-            let run = sched.align_batch(&dispatch, &spec, &pairs);
+            let run = sched.align_pairs(&dispatch, &spec, &pairs);
             for (k, (q, s)) in pairs.iter().enumerate() {
                 assert_replays(
                     &spec,
@@ -298,7 +300,8 @@ proptest! {
             SchemeSpec::global_linear(2, -1, -1)
         };
         let engine = anyseq_engine::SimdEngine::avx2();
-        let alns = engine.align_batch(&spec, &pairs, threads).unwrap();
+        let view = BatchView::from_pairs(&pairs);
+        let alns = engine.align_batch(&spec, view.refs(), threads).unwrap();
         for (k, (q, s)) in pairs.iter().enumerate() {
             assert_replays(&spec, q, s, &alns[k], &format!("simd lane pair {k}"));
         }
@@ -327,7 +330,7 @@ proptest! {
         let sched = scheduler_for(2, 16);
         for backend in [BackendId::Simd, BackendId::GpuSim] {
             let dispatch = Dispatch::standard(Policy::Fixed(backend));
-            let run = sched.score_batch(&dispatch, &spec, &pairs);
+            let run = sched.score_pairs(&dispatch, &spec, &pairs);
             prop_assert_eq!(&run.results, &expected, "backend {:?}", backend);
             prop_assert!(run.stats.fallbacks > 0, "expected fallbacks for {:?}", backend);
             prop_assert!(
@@ -335,6 +338,115 @@ proptest! {
                 "only scalar should have run for {:?}", backend
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn batch_view_runs_are_bit_identical_to_owned_pair_shims(
+        lens in prop::collection::vec((1usize..200, 1usize..200), 1..24),
+        seed in 0u64..1000,
+        threads in 1usize..4,
+        affine_gaps in prop_oneof![Just(false), Just(true)],
+    ) {
+        // The zero-copy request model must be a pure refactor: a
+        // BatchView over owned pairs, a SeqStore-arena view, and the
+        // owned-pair shim must produce identical scores and alignments
+        // on every backend.
+        let pairs = random_batch(&lens, seed ^ 0x71e0);
+        let spec = if affine_gaps {
+            SchemeSpec::global_affine(2, -1, -2, -1)
+        } else {
+            SchemeSpec::global_linear(2, -1, -1)
+        };
+        let mut store = anyseq_seq::SeqStore::new();
+        let ids: Vec<_> = pairs
+            .iter()
+            .map(|(q, s)| (store.push(q), store.push(s)))
+            .collect();
+        let store_view = store.view(&ids);
+        let view = BatchView::from_pairs(&pairs);
+        let sched = scheduler_for(threads, 16);
+        for policy in [
+            Policy::Auto,
+            Policy::Fixed(BackendId::Scalar),
+            Policy::Fixed(BackendId::Simd),
+            Policy::Fixed(BackendId::Wavefront),
+            Policy::Fixed(BackendId::GpuSim),
+        ] {
+            let dispatch = Dispatch::standard(policy);
+            let via_view = sched.score_batch(&dispatch, &spec, &view);
+            let via_store = sched.score_batch(&dispatch, &spec, &store_view);
+            let via_shim = sched.score_pairs(&dispatch, &spec, &pairs);
+            prop_assert_eq!(&via_view.results, &via_shim.results, "score policy {:?}", policy);
+            prop_assert_eq!(&via_view.results, &via_store.results, "store policy {:?}", policy);
+
+            let aln_view = sched.align_batch(&dispatch, &spec, &view);
+            let aln_shim = sched.align_pairs(&dispatch, &spec, &pairs);
+            prop_assert_eq!(aln_view.results.len(), aln_shim.results.len());
+            for (k, (a, b)) in aln_view.results.iter().zip(&aln_shim.results).enumerate() {
+                prop_assert_eq!(a.score, b.score, "align policy {:?} pair {}", policy, k);
+                prop_assert_eq!(&a.ops, &b.ops, "align policy {:?} pair {}", policy, k);
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_and_wavefront_units_copy_zero_bytes(
+        lens in prop::collection::vec((1usize..180, 1usize..180), 1..16),
+        seed in 0u64..1000,
+        align in prop_oneof![Just(false), Just(true)],
+    ) {
+        // The zero-copy acceptance bar: on backends that consume
+        // PairRefs directly (no lane transpose), the whole pipeline
+        // reports zero copied sequence bytes — the scheduler gather
+        // counter is present-and-zero and no backend copy counter
+        // appears.
+        let pairs = random_batch(&lens, seed ^ 0x0c0b);
+        let view = BatchView::from_pairs(&pairs);
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        let sched = scheduler_for(2, 16);
+        for backend in [BackendId::Scalar, BackendId::Wavefront] {
+            let dispatch = Dispatch::standard(Policy::Fixed(backend));
+            let stats = if align {
+                sched.align_batch(&dispatch, &spec, &view).stats
+            } else {
+                sched.score_batch(&dispatch, &spec, &view).stats
+            };
+            prop_assert_eq!(
+                stats.bytes_copied(),
+                0,
+                "{:?} copied bytes: {:?}",
+                backend,
+                stats.counters
+            );
+            prop_assert_eq!(
+                stats.counters.get("sched.bytes_copied").copied(),
+                Some(0),
+                "gather counter must be present for {:?}", backend
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_contract_accepts_raw_pair_refs() {
+    // PairRef is just a pair of code slices: backends must accept refs
+    // built from arbitrary storage, not only BatchView helpers.
+    let (q, s) = genome_pair(500, 0.05, 77);
+    let refs = [PairRef::new(q.codes(), s.codes())];
+    let spec = SchemeSpec::global_linear(2, -1, -1);
+    let expected = spec.score_scalar(&q, &s);
+    for engine in [
+        Box::new(anyseq_engine::ScalarEngine) as Box<dyn Engine>,
+        Box::new(anyseq_engine::SimdEngine::avx2()),
+        Box::new(anyseq_engine::WavefrontEngine::default()),
+        Box::new(anyseq_engine::GpuSimEngine::titan_v()),
+    ] {
+        let got = engine.score_batch(&spec, &refs, 2).unwrap();
+        assert_eq!(got, vec![expected], "{}", engine.caps().name);
     }
 }
 
@@ -352,7 +464,7 @@ fn batch_scheduler_mixes_pooled_and_exclusive_phases() {
 
     let spec = SchemeSpec::global_linear(2, -1, -1);
     let dispatch = Dispatch::standard(Policy::Auto);
-    let run = scheduler_for(3, 32).score_batch(&dispatch, &spec, &pairs);
+    let run = scheduler_for(3, 32).score_pairs(&dispatch, &spec, &pairs);
     for (k, (q, s)) in pairs.iter().enumerate() {
         assert_eq!(run.results[k], spec.score_scalar(q, s), "pair {k}");
     }
@@ -380,7 +492,7 @@ fn auto_alignment_batches_stay_on_the_simd_path() {
         .collect();
     let spec = SchemeSpec::global_affine(2, -1, -2, -1);
     let dispatch = Dispatch::standard(Policy::Auto);
-    let run = scheduler_for(4, 64).align_batch(&dispatch, &spec, &pairs);
+    let run = scheduler_for(4, 64).align_pairs(&dispatch, &spec, &pairs);
 
     for (k, (q, s)) in pairs.iter().enumerate() {
         assert_replays(
@@ -426,7 +538,7 @@ fn batch_scheduler_stats_account_all_cells() {
     let pairs = random_batch(&[(100, 120), (64, 64), (150, 150), (1, 1)], 9);
     let spec = SchemeSpec::global_linear(2, -1, -1);
     let dispatch = Dispatch::standard(Policy::Auto);
-    let run = scheduler_for(2, 2).score_batch(&dispatch, &spec, &pairs);
+    let run = scheduler_for(2, 2).score_pairs(&dispatch, &spec, &pairs);
     let expected_cells: u64 = pairs.iter().map(|(q, s)| (q.len() * s.len()) as u64).sum();
     assert_eq!(run.stats.cells, expected_cells);
     let backend_cells: u64 = run.stats.per_backend.iter().map(|b| b.cells).sum();
