@@ -5,12 +5,22 @@
 //! statistics (utilization, fallbacks, band telemetry, copy counters).
 //!
 //! Run: `cargo run --release -p anyseq-bench --bin batch_throughput \
-//!       [pairs] [threads] [repeats] [long_len]`
+//!       [pairs] [threads] [repeats] [long_len] [dup_frac]`
 //!
 //! `long_len > 0` appends a long-genome section: one `long_len` bp
 //! pair (2% divergence) scored and aligned through `Policy::Auto`
 //! (exclusive wavefront bin) — the workload the zero-copy gather was
 //! built for. JSON keys: `long.score_gcups` / `long.align_gcups`.
+//!
+//! `dup_frac > 0` appends a duplicated-read section modeling PCR /
+//! resequencing duplication: a batch where `dup_frac` of the pairs
+//! repeat earlier content, run cache-off and cache-on
+//! (`DispatchPolicy::cache_mb`) on the same config, results asserted
+//! bit-identical. GCUPS count *logical* cells, so the cache-on number
+//! is effective throughput. JSON keys: `dup.hit_rate`,
+//! `dup.{score,align}_gcups` (+ `_nocache` baselines and
+//! `dup.{score,align}_speedup`), plus the cache counters
+//! `cache.{hits,misses,bytes,evictions}` from the score run.
 //!
 //! Report format (documented in `docs/ARCHITECTURE.md`): one section
 //! per mode, opened by an unambiguous `== mode: … ==` header so saved
@@ -30,10 +40,10 @@
 
 use anyseq_bench::gcups::measure_gcups;
 use anyseq_bench::report::{dump_json, Table};
-use anyseq_bench::workloads::read_batch;
+use anyseq_bench::workloads::{amplicon_batch, read_batch};
 use anyseq_engine::stats::TRACEBACK_CELL_FACTOR;
 use anyseq_engine::{
-    BackendId, BatchCfg, BatchScheduler, Dispatch, Policy, SchemeSpec, SimdLanes,
+    BackendId, BatchCfg, BatchScheduler, Dispatch, DispatchPolicy, Policy, SchemeSpec, SimdLanes,
     SCHED_BYTES_COPIED,
 };
 use anyseq_seq::genome::GenomeSim;
@@ -50,6 +60,7 @@ fn main() {
     });
     let repeats: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(3);
     let long_len: usize = args.get(4).and_then(|a| a.parse().ok()).unwrap_or(0);
+    let dup_frac: f64 = args.get(5).and_then(|a| a.parse().ok()).unwrap_or(0.0);
 
     println!("simulating {pairs_n} read pairs...");
     let pairs = read_batch(pairs_n, 7);
@@ -219,6 +230,112 @@ fn main() {
             "long-genome gather copied sequence bytes"
         );
         assert_eq!(align_run.results[0].score, score_run.results[0]);
+    }
+
+    // Optional duplicated-read bin: the result-cache workload. The
+    // batch keeps `dup_frac` of its pairs as repeats of earlier
+    // content (PCR duplicates / resequenced reads); the cache-on run
+    // recognizes them before units form, so only the unique fraction
+    // is computed while GCUPS still count the batch's logical cells —
+    // effective throughput vs. the cache-off baseline on the same
+    // config.
+    if dup_frac > 0.0 {
+        let dup_frac = dup_frac.min(0.95);
+        let dup_n = ((pairs_n as f64) * dup_frac).round() as usize;
+        let unique_n = pairs_n.saturating_sub(dup_n).max(1);
+        // Amplicon-style reads (1000 bp, substitution errors only):
+        // the regime the cache targets — per-pair DP work is O(L²)
+        // while the probe (hash + verify + retain) is O(L), so the
+        // duplicated fraction converts almost entirely into
+        // throughput, and the uniform dimensions keep SIMD lane fill
+        // identical between the cache-on and cache-off runs. On
+        // 150 bp reads the DP is only ~20 µs/pair and the probe
+        // overhead eats a visible slice of the win.
+        let dup_read_len = 1000;
+        println!(
+            "\n== mode: duplicated reads ({dup_n} of {pairs_n} {dup_read_len} bp amplicon pairs \
+             repeat earlier content, auto dispatch, cache off vs on) =="
+        );
+        let mut dup_pairs = amplicon_batch(unique_n, dup_read_len, 0x0d5e);
+        for k in 0..pairs_n - unique_n {
+            dup_pairs.push(dup_pairs[k % unique_n].clone());
+        }
+        let dup_view = BatchView::from_pairs(&dup_pairs);
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        let scheduler = BatchScheduler::new(BatchCfg::threads(threads));
+        let plain = Dispatch::standard(Policy::Auto);
+        let cached = DispatchPolicy::auto().cache_mb(256).standard();
+        let cache = cached.cache().expect("cache_mb enables the cache");
+        let mut hit_rate = 0.0f64;
+
+        for (mode, align) in [("score", false), ("align", true)] {
+            let cells = dup_view.total_cells() * if align { TRACEBACK_CELL_FACTOR } else { 1 };
+            let mut base_scores: Vec<i32> = Vec::new();
+            let mut base_ops_len: Vec<usize> = Vec::new();
+            let off = measure_gcups(cells, repeats, || {
+                if align {
+                    let run = scheduler.align_batch(&plain, &spec, &dup_view);
+                    base_scores = run.results.iter().map(|a| a.score).collect();
+                    base_ops_len = run.results.iter().map(|a| a.ops.len()).collect();
+                } else {
+                    let run = scheduler.score_batch(&plain, &spec, &dup_view);
+                    base_scores = run.results.clone();
+                }
+            });
+            let mut last_stats = None;
+            let on = measure_gcups(cells, repeats, || {
+                // Each repeat measures the cold-batch case (in-batch
+                // dedup only), not an already-warm cache.
+                cache.clear();
+                if align {
+                    let run = scheduler.align_batch(&cached, &spec, &dup_view);
+                    let scores: Vec<i32> = run.results.iter().map(|a| a.score).collect();
+                    assert_eq!(scores, base_scores, "cached {mode} scores diverged");
+                    let ops_len: Vec<usize> = run.results.iter().map(|a| a.ops.len()).collect();
+                    assert_eq!(ops_len, base_ops_len, "cached {mode} CIGARs diverged");
+                    last_stats = Some(run.stats);
+                } else {
+                    let run = scheduler.score_batch(&cached, &spec, &dup_view);
+                    assert_eq!(run.results, base_scores, "cached {mode} scores diverged");
+                    last_stats = Some(run.stats);
+                }
+            });
+            let stats = last_stats.expect("at least one repeat ran");
+            let hits = stats.counters["cache.hits"];
+            let misses = stats.counters["cache.misses"];
+            assert_eq!(
+                hits + misses,
+                stats.pairs,
+                "{mode}: cache.hits + cache.misses must equal the pair count"
+            );
+            hit_rate = hits as f64 / stats.pairs as f64;
+            let speedup = if off.gcups > 0.0 {
+                on.gcups / off.gcups
+            } else {
+                0.0
+            };
+            println!(
+                "{mode}: cache off {:.3} GCUPS, cache on {:.3} effective GCUPS \
+                 ({speedup:.2}x, hit rate {:.0}%)",
+                off.gcups,
+                on.gcups,
+                100.0 * hit_rate
+            );
+            json.insert(format!("dup.{mode}_gcups"), on.gcups);
+            json.insert(format!("dup.{mode}_gcups_nocache"), off.gcups);
+            json.insert(format!("dup.{mode}_speedup"), speedup);
+            if mode == "score" {
+                for key in [
+                    "cache.hits",
+                    "cache.misses",
+                    "cache.bytes",
+                    "cache.evictions",
+                ] {
+                    json.insert(key.into(), stats.counters[key] as f64);
+                }
+            }
+        }
+        json.insert("dup.hit_rate".into(), hit_rate);
     }
 
     dump_json("batch_throughput", &json);

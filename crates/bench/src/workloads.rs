@@ -90,8 +90,40 @@ pub fn genome_pairs(scale: f64, seed: u64) -> Vec<(String, Seq, Seq)> {
 /// reads simulated from GRCh38 chromosome 10; here from a synthetic
 /// chromosome-scale reference).
 pub fn read_batch(pairs: usize, seed: u64) -> Vec<(Seq, Seq)> {
+    read_batch_with_len(pairs, ReadSimProfile::default().read_len, seed)
+}
+
+/// [`read_batch`] with an explicit read length (amplicon / merged-pair
+/// style workloads; error profile unchanged).
+pub fn read_batch_with_len(pairs: usize, read_len: usize, seed: u64) -> Vec<(Seq, Seq)> {
+    let profile = ReadSimProfile {
+        read_len,
+        ..ReadSimProfile::default()
+    };
+    profile_batch(pairs, profile, seed)
+}
+
+/// Amplicon-style read-pair batch: fixed-length reads with
+/// substitution errors only (no indels), so every pair shares the same
+/// DP dimensions. The duplicated-read / result-cache workload uses
+/// this — with uniform dimensions the SIMD lanes pack fully in both
+/// the cache-on and cache-off runs, so the two differ by cached work
+/// rather than by lane fill.
+pub fn amplicon_batch(pairs: usize, read_len: usize, seed: u64) -> Vec<(Seq, Seq)> {
+    let profile = ReadSimProfile {
+        read_len,
+        ins_rate: 0.0,
+        del_rate: 0.0,
+        ..ReadSimProfile::default()
+    };
+    profile_batch(pairs, profile, seed)
+}
+
+/// Shared generator behind the read-batch workloads: one synthetic
+/// chromosome-scale reference, reads simulated under `profile`.
+fn profile_batch(pairs: usize, profile: ReadSimProfile, seed: u64) -> Vec<(Seq, Seq)> {
     let reference = GenomeSim::new(seed).generate(2_000_000);
-    let mut sim = ReadSim::new(ReadSimProfile::default(), seed ^ 0x5eed);
+    let mut sim = ReadSim::new(profile, seed ^ 0x5eed);
     sim.simulate_pairs(&reference, pairs)
         .into_iter()
         .map(|p| (p.a, p.b))

@@ -8,8 +8,8 @@
 //!              [--type KIND] [--match N] [--mismatch N]
 //!              [--gap N | --open N --extend N]
 //!              [--backend auto|scalar|simd|wavefront|gpu-sim]
-//!              [--auto-crossover CELLS] [--threads N] [--alignments]
-//!              [--seed N] [--quiet]
+//!              [--auto-crossover CELLS] [--cache-mb N] [--threads N]
+//!              [--alignments] [--seed N] [--quiet]
 //! anyseq simulate --length N [--gc F] [--seed N]    # emit a FASTA genome
 //! ```
 //!
@@ -19,7 +19,12 @@
 //! are ingested once into a `SeqStore` arena and dispatched as a
 //! borrowed zero-copy `BatchView`; `--auto-crossover CELLS` tunes the
 //! per-pair DP size at which `auto` dispatch switches from the SIMD
-//! lanes to the exclusive wavefront. The
+//! lanes to the exclusive wavefront (must be ≥ 1 — 0 would serialize
+//! every pair through the exclusive path and is rejected).
+//! `--cache-mb N` enables the content-hash result cache: repeated
+//! `(scheme, query, subject)` pairs — PCR duplicates, resequenced
+//! reads — are served from an N-MiB LRU instead of re-running the DP,
+//! with `cache.hits`/`cache.misses` reported in the summary. The
 //! execution summary (per-backend GCUPS, utilization, fallbacks and
 //! backend counters such as the SIMD traceback's band telemetry) goes
 //! to stderr. With `--alignments` (alias `--align`), short-read
@@ -47,8 +52,8 @@ fn usage() -> ! {
          \x20              [--type KIND] [--match N] [--mismatch N]\n\
          \x20              [--gap N | --open N --extend N]\n\
          \x20              [--backend auto|scalar|simd|wavefront|gpu-sim]\n\
-         \x20              [--auto-crossover CELLS] [--threads N] [--alignments]\n\
-         \x20              [--seed N] [--quiet]\n\
+         \x20              [--auto-crossover CELLS] [--cache-mb N] [--threads N]\n\
+         \x20              [--alignments] [--seed N] [--quiet]\n\
          \x20 anyseq simulate --length N [--gc F] [--seed N]"
     );
     exit(2)
@@ -116,6 +121,15 @@ fn numeric_flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str
     }
 }
 
+/// Pushes one sequence into the arena, turning a full store (`u32` id
+/// space exhausted) into a clean CLI error instead of a panic.
+fn store_push(store: &mut SeqStore, seq: &Seq) -> SeqId {
+    store.push(seq).unwrap_or_else(|e| {
+        eprintln!("cannot ingest sequence: {e}");
+        exit(1)
+    })
+}
+
 /// Assembles the batch input into a `SeqStore` arena (the single
 /// ingest copy — dispatch below is zero-copy): an interleaved pair
 /// file, two matched files, or a simulated read set.
@@ -134,7 +148,10 @@ fn batch_store(flags: &HashMap<String, String>) -> (SeqStore, Vec<(SeqId, SeqId)
         }
         let mut records = records.into_iter();
         while let (Some(q), Some(s)) = (records.next(), records.next()) {
-            ids.push((store.push(&q.seq), store.push(&s.seq)));
+            ids.push((
+                store_push(&mut store, &q.seq),
+                store_push(&mut store, &s.seq),
+            ));
         }
     } else if let (Some(qp), Some(sp)) = (flags.get("query"), flags.get("subject")) {
         let queries = load_records(qp);
@@ -148,7 +165,10 @@ fn batch_store(flags: &HashMap<String, String>) -> (SeqStore, Vec<(SeqId, SeqId)
             exit(1);
         }
         for (q, s) in queries.into_iter().zip(subjects) {
-            ids.push((store.push(&q.seq), store.push(&s.seq)));
+            ids.push((
+                store_push(&mut store, &q.seq),
+                store_push(&mut store, &s.seq),
+            ));
         }
     } else if flags.contains_key("simulate") {
         let count: usize = numeric_flag(flags, "simulate", 0);
@@ -158,7 +178,7 @@ fn batch_store(flags: &HashMap<String, String>) -> (SeqStore, Vec<(SeqId, SeqId)
             seed ^ 0x5eed,
         );
         for p in sim.simulate_pairs(&reference, count) {
-            ids.push((store.push(&p.a), store.push(&p.b)));
+            ids.push((store_push(&mut store, &p.a), store_push(&mut store, &p.b)));
         }
     } else {
         usage()
@@ -218,12 +238,17 @@ fn cmd_batch(args: &[String]) {
     };
     let mut policy_cfg = DispatchPolicy::new(policy);
     if flags.contains_key("auto-crossover") {
-        policy_cfg = policy_cfg.auto_crossover(numeric_flag(
-            &flags,
-            "auto-crossover",
-            policy_cfg.auto_crossover,
-        ));
+        let crossover: u64 = numeric_flag(&flags, "auto-crossover", policy_cfg.auto_crossover);
+        // 0 would classify every pair as wavefront-sized and serialize
+        // the batch through the exclusive path; refuse it up front
+        // instead of silently clamping a user-supplied value.
+        if crossover == 0 {
+            eprintln!("--auto-crossover: must be >= 1 DP cells (0 would route every pair to the exclusive wavefront)");
+            usage()
+        }
+        policy_cfg = policy_cfg.auto_crossover(crossover);
     }
+    policy_cfg = policy_cfg.cache_mb(numeric_flag(&flags, "cache-mb", 0));
     let dispatch = policy_cfg.standard();
     let scheduler = BatchScheduler::new(BatchCfg::threads(threads));
 

@@ -9,6 +9,7 @@
 //! gracefully instead of failing the batch.
 
 use crate::backends::{GpuSimEngine, ScalarEngine, SimdEngine, WavefrontEngine};
+use crate::cache::ResultCache;
 use crate::engine::Engine;
 use crate::spec::SchemeSpec;
 
@@ -83,8 +84,15 @@ pub struct DispatchPolicy {
     /// Backend selection policy.
     pub policy: Policy,
     /// Per-pair DP size (cells) at which `Auto` crosses over from the
-    /// SIMD lanes to the exclusive wavefront.
+    /// SIMD lanes to the exclusive wavefront. Always ≥ 1: a crossover
+    /// of 0 would classify *every* pair — even empty ones — as
+    /// wavefront-sized and serialize the whole batch through the
+    /// exclusive path ([`DispatchPolicy::auto_crossover`] documents
+    /// the clamp).
     pub auto_crossover: u64,
+    /// Result-cache budget in MiB; 0 disables caching (the default).
+    /// See [`DispatchPolicy::cache_mb`].
+    pub cache_mb: usize,
 }
 
 impl Default for DispatchPolicy {
@@ -99,6 +107,7 @@ impl DispatchPolicy {
         DispatchPolicy {
             policy: Policy::Auto,
             auto_crossover: AUTO_WAVEFRONT_MIN_CELLS,
+            cache_mb: 0,
         }
     }
 
@@ -119,8 +128,28 @@ impl DispatchPolicy {
     }
 
     /// Overrides the SIMD→wavefront crossover (per-pair DP cells).
+    ///
+    /// Degenerate values are clamped to 1: the crossover means "a pair
+    /// at least this large prefers the exclusive wavefront", so 0
+    /// would send every pair — including empty ones (0 cells ≥ 0) —
+    /// to the wavefront and serialize the whole batch through the
+    /// exclusive phase. At the clamped minimum, every non-empty global
+    /// pair still routes to the wavefront *when its `Caps` accept the
+    /// request*; for kinds the wavefront cannot run, `Auto` picks the
+    /// next candidate, and the scalar reference terminates every chain
+    /// — the fallback semantics are unchanged by the knob.
     pub fn auto_crossover(mut self, cells: u64) -> DispatchPolicy {
-        self.auto_crossover = cells;
+        self.auto_crossover = cells.max(1);
+        self
+    }
+
+    /// Gives the built dispatch a content-hash [`ResultCache`] bounded
+    /// to `mb` MiB (0 disables caching). Cached pairs are recognized
+    /// by the scheduler *before* work units form, so repeated reads
+    /// never reach a backend; see [`crate::cache`] for the key
+    /// derivation and collision policy.
+    pub fn cache_mb(mut self, mb: usize) -> DispatchPolicy {
+        self.cache_mb = mb;
         self
     }
 
@@ -134,7 +163,13 @@ impl DispatchPolicy {
                 (BackendId::GpuSim, Box::new(GpuSimEngine::titan_v())),
             ],
             policy: self.policy,
-            auto_crossover: self.auto_crossover,
+            // Defensive re-clamp: the field is public, so a literal
+            // construction can still smuggle a 0 in.
+            auto_crossover: self.auto_crossover.max(1),
+            // Saturate rather than shift: `mb << 20` could wrap to 0
+            // on 32-bit targets and silently disable caching.
+            cache: (self.cache_mb > 0)
+                .then(|| ResultCache::with_budget(self.cache_mb.saturating_mul(1 << 20))),
         }
     }
 }
@@ -160,6 +195,8 @@ pub struct Dispatch {
     pub policy: Policy,
     /// `Auto`'s SIMD→wavefront crossover, in per-pair DP cells.
     auto_crossover: u64,
+    /// Optional content-hash result cache the scheduler consults.
+    cache: Option<ResultCache>,
 }
 
 impl Dispatch {
@@ -176,12 +213,26 @@ impl Dispatch {
             engines: vec![(BackendId::Scalar, Box::new(ScalarEngine) as Box<dyn Engine>)],
             policy: Policy::Fixed(BackendId::Scalar),
             auto_crossover: AUTO_WAVEFRONT_MIN_CELLS,
+            cache: None,
         }
     }
 
     /// The configured `Auto` SIMD→wavefront crossover (DP cells).
     pub fn auto_crossover(&self) -> u64 {
         self.auto_crossover
+    }
+
+    /// The result cache the scheduler should consult, if caching is
+    /// enabled ([`DispatchPolicy::cache_mb`] /
+    /// [`Dispatch::with_result_cache`]).
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Attaches (or replaces) a result cache on an existing dispatch.
+    pub fn with_result_cache(mut self, cache: ResultCache) -> Dispatch {
+        self.cache = Some(cache);
+        self
     }
 
     /// Replaces or registers a backend implementation.
@@ -251,7 +302,10 @@ impl Dispatch {
                 })
                 .unwrap_or(false)
         };
-        if max_cells >= self.auto_crossover && caps_allow(BackendId::Wavefront) {
+        // `max(1)` guards literal `DispatchPolicy` constructions that
+        // bypass the builder's clamp: an effective crossover of 0
+        // would route even empty pairs to the exclusive wavefront.
+        if max_cells >= self.auto_crossover.max(1) && caps_allow(BackendId::Wavefront) {
             return BackendId::Wavefront;
         }
         // Score *and* alignment requests ride the lanes: the banded
@@ -345,6 +399,53 @@ mod tests {
             fixed.candidates(&spec, 150 * 150, false)[0],
             BackendId::GpuSim
         );
+    }
+
+    #[test]
+    fn degenerate_crossover_is_clamped_and_falls_back() {
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        // The builder clamps 0 to 1…
+        let d = DispatchPolicy::auto().auto_crossover(0).standard();
+        assert_eq!(d.auto_crossover(), 1);
+        // …so empty pairs (0 cells) never reach the exclusive
+        // wavefront path, while every non-empty pair does.
+        assert_eq!(d.candidates(&spec, 0, false)[0], BackendId::Simd);
+        assert_eq!(d.candidates(&spec, 1, false)[0], BackendId::Wavefront);
+        // A literal construction bypassing the builder is re-clamped
+        // when the dispatch is built, and auto_choice guards besides.
+        let raw = DispatchPolicy {
+            policy: Policy::Auto,
+            auto_crossover: 0,
+            cache_mb: 0,
+        }
+        .standard();
+        assert_eq!(raw.auto_crossover(), 1);
+        assert_eq!(raw.candidates(&spec, 0, false)[0], BackendId::Simd);
+        // At the minimum crossover the fallback chain still engages:
+        // every non-scalar pick keeps the scalar reference behind it…
+        let chain = d.candidates(&spec, 1, true);
+        assert_eq!(chain, vec![BackendId::Wavefront, BackendId::Scalar]);
+        // …and kinds outside a backend's caps are never routed to it —
+        // the wavefront accepts all kinds, so `Auto` still picks it
+        // for local pairs, but caps-restricted backends (SIMD) are
+        // skipped by the same check that the crossover feeds into.
+        let local = spec.with_kind(KindSpec::Local);
+        let chain = d.candidates(&local, 1, true);
+        assert_eq!(chain, vec![BackendId::Wavefront, BackendId::Scalar]);
+        let high = DispatchPolicy::auto().auto_crossover(u64::MAX).standard();
+        assert_eq!(high.candidates(&local, 1, true)[0], BackendId::Scalar);
+    }
+
+    #[test]
+    fn cache_knob_builds_a_cache() {
+        let off = DispatchPolicy::auto().standard();
+        assert!(off.cache().is_none(), "caching defaults to off");
+        let on = DispatchPolicy::auto().cache_mb(2).standard();
+        let cache = on.cache().expect("cache_mb enables the cache");
+        assert_eq!(cache.budget(), 2 << 20);
+        let zero = DispatchPolicy::auto().cache_mb(0).standard();
+        assert!(zero.cache().is_none(), "0 MiB means disabled");
+        assert!(Dispatch::scalar_only().cache().is_none());
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!   reassembles results in input order ([`scheduler`]),
 //! * [`Dispatch`] — the policy layer: auto or explicit backend
 //!   selection with graceful per-unit fallback, plus per-batch
-//!   statistics (cells, GCUPS, backend utilization — [`stats`]).
+//!   statistics (cells, GCUPS, backend utilization — [`stats`]),
+//! * [`ResultCache`] — optional content-hash result caching for
+//!   repeated-read workloads ([`DispatchPolicy::cache_mb`]): repeated
+//!   `(scheme, q, s)` pairs — PCR duplicates, resequenced reads — are
+//!   recognized before work units form and never reach a backend
+//!   ([`cache`]).
 //!
 //! Requests are **zero-copy**: the scheduler consumes a
 //! [`BatchView`](anyseq_seq::BatchView) of borrowed
@@ -67,6 +72,7 @@
 #![deny(missing_docs)]
 
 pub mod backends;
+pub mod cache;
 pub mod dispatch;
 #[allow(clippy::module_inception)]
 pub mod engine;
@@ -76,6 +82,7 @@ pub mod stats;
 pub mod util;
 
 pub use backends::{GpuSimEngine, ScalarEngine, SimdEngine, SimdLanes, WavefrontEngine};
+pub use cache::{CacheKey, ReqKind, ResultCache};
 pub use dispatch::{BackendId, Dispatch, DispatchPolicy, Policy};
 pub use engine::{Caps, Engine, EngineError};
 pub use scheduler::{BatchCfg, BatchRun, BatchScheduler, SCHED_BYTES_COPIED};
@@ -85,6 +92,7 @@ pub use stats::{BackendUse, BatchStats};
 /// Convenience re-exports for applications.
 pub mod prelude {
     pub use crate::backends::{GpuSimEngine, ScalarEngine, SimdEngine, SimdLanes, WavefrontEngine};
+    pub use crate::cache::{CacheKey, ReqKind, ResultCache};
     pub use crate::dispatch::{BackendId, Dispatch, DispatchPolicy, Policy};
     pub use crate::engine::{Caps, Engine, EngineError};
     pub use crate::scheduler::{BatchCfg, BatchRun, BatchScheduler, SCHED_BYTES_COPIED};

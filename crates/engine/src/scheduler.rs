@@ -33,7 +33,28 @@
 //! instead run exclusively with the whole budget. Results are written
 //! straight into their input positions, so reassembly is free and the
 //! output order is always the input order.
+//!
+//! ## Result caching
+//!
+//! When the dispatch carries a [`ResultCache`](crate::cache::ResultCache)
+//! ([`DispatchPolicy::cache_mb`](crate::DispatchPolicy::cache_mb)),
+//! every pair is probed *before* units are formed: verified hits are
+//! written straight into their output slots, in-batch duplicates of a
+//! missing pair are deduplicated onto one leader computation, and only
+//! the remaining unique misses are binned and dispatched. Fresh unit
+//! results are inserted back into the cache as they complete (workers
+//! insert concurrently; shards lock independently). `cache.hits` +
+//! `cache.misses` always equals the batch's pair count; duplicates
+//! served from their leader's fresh result count as hits. With hits in
+//! play, [`BatchStats::cells`] keeps counting the batch's *logical*
+//! cells — the whole-batch GCUPS becomes effective throughput (the
+//! paid-for speedup), while `per_backend` only accounts cells that
+//! actually ran.
 
+use crate::cache::{
+    CacheKey, CacheableResult, CACHE_BYTES, CACHE_COLLISIONS, CACHE_EVICTIONS, CACHE_HITS,
+    CACHE_INGEST_BYTES, CACHE_MISSES,
+};
 use crate::dispatch::Dispatch;
 use crate::engine::{Engine, EngineError};
 use crate::spec::SchemeSpec;
@@ -42,7 +63,7 @@ use crate::util::IndexedOut;
 use anyseq_core::score::Score;
 use anyseq_core::Alignment;
 use anyseq_seq::{BatchView, PairRef, Seq};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -173,7 +194,7 @@ impl BatchScheduler {
         exec: F,
     ) -> BatchRun<T>
     where
-        T: Send,
+        T: CacheableResult,
         F: Fn(&dyn Engine, &[PairRef<'v>], usize) -> Result<Vec<T>, EngineError> + Sync,
     {
         let started = Instant::now();
@@ -193,14 +214,104 @@ impl BatchScheduler {
         // counter is recorded unconditionally so every report carries
         // the proof (and any future cloning path would show up here).
         batch_stats.record_counter(SCHED_BYTES_COPIED, 0);
-        if view.is_empty() {
-            return BatchRun {
-                results: Vec::new(),
-                stats: batch_stats,
-            };
-        }
 
-        let (units, bins) = self.build_units(view);
+        let mut out = IndexedOut::new(view.len());
+        let writer = out.writer();
+
+        // Cache probe phase (before any unit forms): verified hits are
+        // written straight into their slots; in-batch duplicates of a
+        // miss are deduplicated onto one leader computation. Only
+        // unique misses proceed to binning, so cached and duplicated
+        // pairs never reach a backend.
+        //
+        // Key derivation hashes every pair's bytes and a verified hit
+        // memcmps them — the only O(sequence-bytes) work on the probe
+        // path — so the probe fans out across the worker budget in
+        // contiguous chunks (the cache's shards lock independently);
+        // only the O(misses) duplicate dedup below stays serial.
+        let cache = dispatch.cache();
+        let cache_baseline = cache.map(|c| (c.evictions(), c.collisions()));
+        let mut keys: Vec<CacheKey> = Vec::new();
+        let mut followers: HashMap<usize, Vec<usize>> = HashMap::new();
+        let compute: Vec<usize> = if let Some(cache) = cache {
+            let fingerprint = spec.fingerprint();
+            let n = view.len();
+            keys = vec![
+                CacheKey {
+                    scheme: 0,
+                    q_hash: 0,
+                    s_hash: 0,
+                    q_len: 0,
+                    s_len: 0,
+                    kind: T::KIND,
+                };
+                n
+            ];
+            let probe = |start: usize, key_slots: &mut [CacheKey]| -> Vec<usize> {
+                let mut misses = Vec::new();
+                for (i, slot) in key_slots.iter_mut().enumerate() {
+                    let k = start + i;
+                    let pair = view.get(k);
+                    *slot = CacheKey::new(fingerprint, &pair, T::KIND);
+                    if let Some(value) = cache.get::<T>(slot, &pair) {
+                        // SAFETY: hit slots belong to no unit and no
+                        // leader; each is written exactly once, here.
+                        unsafe { writer.write(k, value) };
+                    } else {
+                        misses.push(k);
+                    }
+                }
+                misses
+            };
+            let chunk = n.div_ceil(self.cfg.threads.max(1)).max(64);
+            let misses: Vec<usize> = if n <= chunk {
+                probe(0, &mut keys)
+            } else {
+                let probe = &probe;
+                std::thread::scope(|sc| {
+                    let handles: Vec<_> = keys
+                        .chunks_mut(chunk)
+                        .enumerate()
+                        .map(|(c, key_slots)| sc.spawn(move || probe(c * chunk, key_slots)))
+                        .collect();
+                    // Chunks are contiguous input ranges, so joining in
+                    // spawn order preserves input order in the misses.
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("cache probe worker panicked"))
+                        .collect()
+                })
+            };
+            // In-batch duplicate dedup over the misses: the first miss
+            // of each distinct key leads; later ones ride its
+            // computation (served through the cache path, so they
+            // count as hits). Same collision policy as a cache hit: a
+            // key match alone never merges two pairs — the bytes must
+            // match too, or the "duplicate" computes independently.
+            let mut leaders: HashMap<CacheKey, usize> = HashMap::new();
+            let mut compute = Vec::new();
+            for k in misses {
+                match leaders.get(&keys[k]) {
+                    Some(&leader)
+                        if view.get(leader).q == view.get(k).q
+                            && view.get(leader).s == view.get(k).s =>
+                    {
+                        followers.entry(leader).or_default().push(k);
+                    }
+                    _ => {
+                        leaders.insert(keys[k], k);
+                        compute.push(k);
+                    }
+                }
+            }
+            batch_stats.record_counter(CACHE_HITS, (n - compute.len()) as u64);
+            batch_stats.record_counter(CACHE_MISSES, compute.len() as u64);
+            compute
+        } else {
+            (0..view.len()).collect()
+        };
+
+        let (units, bins) = self.build_units(view, &compute);
         batch_stats.bins = bins as u64;
         batch_stats.units = units.len() as u64;
 
@@ -225,9 +336,8 @@ impl BatchScheduler {
         // Longest-processing-time-first keeps the pool tail short.
         pooled.sort_by_key(|(unit, _)| std::cmp::Reverse(unit.cells));
 
-        let mut out = IndexedOut::new(view.len());
-        let writer = out.writer();
-
+        let keys = &keys;
+        let followers = &followers;
         let run_unit = |unit: &Unit,
                         chain: &[crate::dispatch::BackendId],
                         threads: usize,
@@ -256,10 +366,30 @@ impl BatchScheduler {
                             values.len(),
                             unit.indices.len()
                         );
+                        let mut unit_ingest = 0u64;
                         for (slot, value) in unit.indices.iter().zip(values) {
-                            // SAFETY: units partition the input indices;
-                            // each slot is written exactly once.
+                            if let Some(cache) = cache {
+                                // Fresh result: retain it (and its
+                                // verification bytes) for future
+                                // batches, and fan it out to this
+                                // batch's deduplicated followers.
+                                unit_ingest +=
+                                    cache.insert(&keys[*slot], &view.get(*slot), &value) as u64;
+                                if let Some(dups) = followers.get(slot) {
+                                    for &dup in dups {
+                                        // SAFETY: follower slots belong
+                                        // to no unit and exactly one
+                                        // leader; written once, here.
+                                        unsafe { writer.write(dup, value.clone()) };
+                                    }
+                                }
+                            }
+                            // SAFETY: units partition the computed
+                            // indices; each slot is written exactly once.
                             unsafe { writer.write(*slot, value) };
+                        }
+                        if cache.is_some() {
+                            local.record_counter(CACHE_INGEST_BYTES, unit_ingest);
                         }
                         local.fallbacks += k as u64;
                         // Backend-internal telemetry (e.g. the SIMD
@@ -329,8 +459,24 @@ impl BatchScheduler {
         }
         batch_stats.merge(&exclusive_stats);
 
-        // SAFETY: pooled ∪ exclusive covers every unit, units partition
-        // all input indices, and all workers have been joined.
+        if let (Some(cache), Some((evictions0, collisions0))) = (cache, cache_baseline) {
+            // `cache.bytes` is a resident-size gauge snapshot; the
+            // eviction/collision counters are per-run deltas.
+            batch_stats.record_counter(CACHE_BYTES, cache.bytes());
+            batch_stats.record_counter(
+                CACHE_EVICTIONS,
+                cache.evictions().saturating_sub(evictions0),
+            );
+            let collisions = cache.collisions().saturating_sub(collisions0);
+            if collisions > 0 {
+                batch_stats.record_counter(CACHE_COLLISIONS, collisions);
+            }
+        }
+
+        // SAFETY: cache hits and followers were written during probe /
+        // unit completion, pooled ∪ exclusive covers every computed
+        // unit, units partition the remaining indices, and all workers
+        // have been joined.
         let results = unsafe { out.finish() };
         // Which worker recorded first is a race; sort so the breakdown
         // is deterministic across runs.
@@ -342,21 +488,34 @@ impl BatchScheduler {
         }
     }
 
-    /// Bins pairs by quantized dimensions, sorts bins for lane
-    /// density, and cuts them into bounded units.
+    /// Bins the given view positions (the whole view without a cache;
+    /// only the unique cache misses with one) by quantized dimensions,
+    /// sorts bins for lane density, and cuts them into bounded units.
     ///
     /// The chunk size shrinks below `chunk_pairs` when the batch is
     /// small relative to the pool, so a batch never collapses into
     /// fewer units than there are workers (idle-core guard); a floor
     /// of 32 pairs keeps SIMD lane groups dense.
-    fn build_units(&self, view: &BatchView<'_>) -> (Vec<Unit>, usize) {
+    fn build_units(&self, view: &BatchView<'_>, indices: &[usize]) -> (Vec<Unit>, usize) {
         let quantum = self.cfg.bin_quantum.max(1);
-        let fill_chunk = view.len().div_ceil(self.cfg.threads.max(1)).max(32);
+        let fill_chunk = indices.len().div_ceil(self.cfg.threads.max(1)).max(32);
         let chunk = self.cfg.chunk_pairs.max(1).min(fill_chunk);
+        // Cut units at lane-group boundaries: a unit whose pair count
+        // is a multiple of the widest SIMD lane group (32) leaves no
+        // leftover pairs for the backend's scalar tail, which runs
+        // ~4× slower per cell than the lanes and dominates small
+        // batches otherwise. Rounding down keeps the idle-core guard
+        // intact (the unit count can only grow).
+        let chunk = if chunk > 32 {
+            chunk - chunk % 32
+        } else {
+            chunk
+        };
         let round = |len: usize| len.div_ceil(quantum);
 
         let mut bins: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
-        for (k, p) in view.iter().enumerate() {
+        for &k in indices {
+            let p = view.get(k);
             bins.entry((round(p.q.len()), round(p.s.len())))
                 .or_default()
                 .push(k);
@@ -556,7 +715,8 @@ mod tests {
         let pairs = read_pairs(150, 5);
         let view = BatchView::from_pairs(&pairs);
         let sched = scheduler(3);
-        let (units, bins) = sched.build_units(&view);
+        let all: Vec<usize> = (0..view.len()).collect();
+        let (units, bins) = sched.build_units(&view, &all);
         assert!(bins >= 1);
         let mut seen: Vec<usize> = units.iter().flat_map(|u| u.indices.clone()).collect();
         seen.sort_unstable();
@@ -573,6 +733,86 @@ mod tests {
     }
 
     #[test]
+    fn cache_serves_duplicates_and_repeat_batches() {
+        use crate::cache::{CACHE_BYTES, CACHE_HITS, CACHE_INGEST_BYTES, CACHE_MISSES};
+        use crate::dispatch::DispatchPolicy;
+        // 120 unique reads plus one duplicate of each: the cold run
+        // must dedupe in-batch, the warm run must not compute at all.
+        let unique = read_pairs(120, 21);
+        let mut pairs = unique.clone();
+        pairs.extend(unique.iter().cloned());
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        let dispatch = DispatchPolicy::auto().cache_mb(8).standard();
+        let sched = scheduler(4);
+
+        let cold = sched.score_pairs(&dispatch, &spec, &pairs);
+        assert_eq!(cold.stats.counters[CACHE_HITS], 120, "in-batch duplicates");
+        assert_eq!(cold.stats.counters[CACHE_MISSES], 120);
+        assert_eq!(
+            cold.stats.counters[CACHE_HITS] + cold.stats.counters[CACHE_MISSES],
+            cold.stats.pairs
+        );
+        assert!(cold.stats.counters[CACHE_BYTES] > 0);
+        assert!(cold.stats.counters[CACHE_INGEST_BYTES] > 0);
+        // The dispatch hot path still copies nothing.
+        assert_eq!(cold.stats.counters[SCHED_BYTES_COPIED], 0);
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(cold.results[k], spec.score_scalar(q, s), "pair {k}");
+        }
+
+        let warm = sched.score_pairs(&dispatch, &spec, &pairs);
+        assert_eq!(warm.stats.counters[CACHE_HITS], warm.stats.pairs);
+        assert_eq!(warm.stats.counters[CACHE_MISSES], 0);
+        assert!(
+            warm.stats.per_backend.is_empty(),
+            "a fully warm batch computes nothing: {:?}",
+            warm.stats.per_backend
+        );
+        assert_eq!(warm.results, cold.results, "warm run is bit-identical");
+
+        // Alignment requests key separately from score requests…
+        let aln_cold = sched.align_pairs(&dispatch, &spec, &pairs);
+        assert_eq!(aln_cold.stats.counters[CACHE_MISSES], 120);
+        let aln_warm = sched.align_pairs(&dispatch, &spec, &pairs);
+        assert_eq!(aln_warm.stats.counters[CACHE_HITS], aln_warm.stats.pairs);
+        // …and served alignments are bit-identical, CIGARs included.
+        for (k, (a, b)) in aln_cold.results.iter().zip(&aln_warm.results).enumerate() {
+            assert_eq!(a.score, b.score, "pair {k}");
+            assert_eq!(a.ops, b.ops, "pair {k}");
+        }
+        // In-batch duplicates carry their leader's exact alignment.
+        for k in 0..120 {
+            assert_eq!(aln_cold.results[k].ops, aln_cold.results[k + 120].ops);
+        }
+    }
+
+    #[test]
+    fn cache_counters_cover_empty_and_degenerate_batches() {
+        use crate::cache::{CACHE_HITS, CACHE_MISSES};
+        use crate::dispatch::DispatchPolicy;
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        let dispatch = DispatchPolicy::auto().cache_mb(1).standard();
+        let sched = scheduler(2);
+        let run = sched.score_batch(&dispatch, &spec, &BatchView::default());
+        assert!(run.results.is_empty());
+        assert_eq!(run.stats.counters[CACHE_HITS], 0);
+        assert_eq!(run.stats.counters[CACHE_MISSES], 0);
+
+        // Empty sequences cache like any other content.
+        let q = Seq::from_ascii(b"ACGT").unwrap();
+        let pairs = vec![
+            (q.clone(), Seq::new()),
+            (q.clone(), q),
+            (Seq::new(), Seq::new()),
+        ];
+        let cold = sched.score_pairs(&dispatch, &spec, &pairs);
+        assert_eq!(cold.results, vec![-4, 8, 0]);
+        let warm = sched.score_pairs(&dispatch, &spec, &pairs);
+        assert_eq!(warm.results, cold.results);
+        assert_eq!(warm.stats.counters[CACHE_HITS], 3);
+    }
+
+    #[test]
     fn seq_store_view_runs_without_owned_pairs() {
         use anyseq_seq::SeqStore;
         // The arena path: ingest once, dispatch borrowed views forever.
@@ -580,7 +820,7 @@ mod tests {
         let mut store = SeqStore::new();
         let ids: Vec<_> = pairs
             .iter()
-            .map(|(q, s)| (store.push(q), store.push(s)))
+            .map(|(q, s)| (store.push(q).unwrap(), store.push(s).unwrap()))
             .collect();
         drop(pairs);
         let view = store.view(&ids);

@@ -108,6 +108,43 @@ impl SchemeSpec {
         self
     }
 
+    /// Stable FNV-1a fingerprint of the whole scheme — the
+    /// scheme-identity component of a result-cache key
+    /// ([`crate::cache::CacheKey`]). Stable across runs and platforms
+    /// (unlike `std::hash::DefaultHasher`), and injective over the
+    /// spec's fields short of a 64-bit hash collision: every kind, gap
+    /// model and score parameter perturbs it.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |w: u64| {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(match self.kind {
+            KindSpec::Global => 1,
+            KindSpec::Local => 2,
+            KindSpec::SemiGlobal => 3,
+            KindSpec::FreeEnd => 4,
+        });
+        mix(self.match_score as u32 as u64);
+        mix(self.mismatch as u32 as u64);
+        match self.gap {
+            GapSpec::Linear { gap } => {
+                mix(1);
+                mix(gap as u32 as u64);
+            }
+            GapSpec::Affine { open, extend } => {
+                mix(2);
+                mix(open as u32 as u64);
+                mix(extend as u32 as u64);
+            }
+        }
+        h
+    }
+
     /// Reference scalar score for one pair (the oracle every backend
     /// must reproduce bit-exactly).
     pub fn score_scalar(&self, q: &Seq, s: &Seq) -> Score {
@@ -267,6 +304,39 @@ mod tests {
                 assert_eq!(aln.score, spec.score_scalar(&q, &s), "{kind:?} {gap:?}");
             }
         }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_every_field() {
+        let base = SchemeSpec::global_linear(2, -1, -1);
+        let variants = [
+            base,
+            base.with_kind(KindSpec::Local),
+            base.with_kind(KindSpec::SemiGlobal),
+            base.with_kind(KindSpec::FreeEnd),
+            SchemeSpec::global_linear(3, -1, -1),
+            SchemeSpec::global_linear(2, -2, -1),
+            SchemeSpec::global_linear(2, -1, -2),
+            SchemeSpec::global_affine(2, -1, -1, 0),
+            SchemeSpec::global_affine(2, -1, -2, -1),
+            SchemeSpec::global_affine(2, -1, -1, -2),
+        ];
+        for (i, a) in variants.iter().enumerate() {
+            // Stability: the same spec always fingerprints identically.
+            assert_eq!(a.fingerprint(), a.fingerprint());
+            for (j, b) in variants.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a.fingerprint(), b.fingerprint(), "{a:?} vs {b:?}");
+                }
+            }
+        }
+        // A linear gap is not the same scheme as affine open=0 with the
+        // same extend cost — they score identically in the DP but the
+        // key must stay conservative (distinct spec, distinct entry).
+        assert_ne!(
+            SchemeSpec::global_linear(2, -1, -1).fingerprint(),
+            SchemeSpec::global_affine(2, -1, 0, -1).fingerprint()
+        );
     }
 
     #[test]

@@ -120,14 +120,18 @@ impl BatchStats {
     }
 
     /// Total sequence bytes copied below the batch view this run — the
-    /// sum of every `*.bytes_copied` counter (the scheduler's gather
-    /// tripwire plus substrate-required copies such as the SIMD lane
-    /// transpose). The single definition of the counter-name
-    /// convention; benches and tests read copies through this.
+    /// sum of every `<source>.bytes_copied` counter (the scheduler's
+    /// gather tripwire plus substrate-required copies such as the SIMD
+    /// lane transpose), plus a bare un-prefixed `bytes_copied` if a
+    /// foreign `Engine` reports one without a source prefix (prefixed
+    /// names are still the convention — the bare form is matched so
+    /// such copies are never silently dropped from the total). The
+    /// single definition of the counter-name convention; benches and
+    /// tests read copies through this.
     pub fn bytes_copied(&self) -> u64 {
         self.counters
             .iter()
-            .filter(|(name, _)| name.ends_with(".bytes_copied"))
+            .filter(|(name, _)| **name == "bytes_copied" || name.ends_with(".bytes_copied"))
             .map(|(_, &v)| v)
             .sum()
     }
@@ -218,6 +222,22 @@ mod tests {
         s.record_counter("simd.bytes_copied", 640);
         s.record_counter("simd.band_cells", 999);
         assert_eq!(s.bytes_copied(), 640);
+    }
+
+    #[test]
+    fn bytes_copied_counts_bare_unprefixed_counters() {
+        // Regression: a foreign Engine reporting a bare `bytes_copied`
+        // (no `<source>.` prefix) used to be silently dropped from the
+        // total — copies must never disappear from the accounting.
+        let mut s = BatchStats::default();
+        s.record_counter("bytes_copied", 128);
+        assert_eq!(s.bytes_copied(), 128);
+        s.record_counter("simd.bytes_copied", 64);
+        assert_eq!(s.bytes_copied(), 192);
+        // Names that merely *contain* the suffix words don't count.
+        s.record_counter("cache.ingest_bytes", 999);
+        s.record_counter("not_bytes_copied_total", 7);
+        assert_eq!(s.bytes_copied(), 192);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use crate::alphabet::{complement_code, Base};
 use std::fmt;
 
-/// Error raised when constructing a sequence from invalid input.
+/// Error raised when constructing a sequence from invalid input, or
+/// when a sequence store cannot accept more entries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SeqError {
     /// A byte that is not an ASCII letter (and not ignorable whitespace)
@@ -18,6 +19,12 @@ pub enum SeqError {
     InvalidByte { pos: usize, byte: u8 },
     /// A raw code outside `0..=4` appeared at the given position.
     InvalidCode { pos: usize, code: u8 },
+    /// A [`SeqStore`](crate::SeqStore) reached its entry-id capacity
+    /// (`u32` ids); the store is unchanged and remains usable.
+    StoreFull {
+        /// Entries already resident when the push was refused.
+        entries: usize,
+    },
 }
 
 impl fmt::Display for SeqError {
@@ -28,6 +35,9 @@ impl fmt::Display for SeqError {
             }
             SeqError::InvalidCode { pos, code } => {
                 write!(f, "invalid base code {code} at position {pos}")
+            }
+            SeqError::StoreFull { entries } => {
+                write!(f, "sequence store is full ({entries} entries; ids are u32)")
             }
         }
     }

@@ -43,6 +43,16 @@ pub fn content_hash(codes: &[u8]) -> u64 {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SeqId(u32);
 
+/// The id the next entry would get, or [`SeqError::StoreFull`] when
+/// the `u32` id space is exhausted — the testable seam behind
+/// [`SeqStore::push`]'s capacity check.
+fn next_id(entries: usize) -> Result<SeqId, SeqError> {
+    match u32::try_from(entries) {
+        Ok(id) => Ok(SeqId(id)),
+        Err(_) => Err(SeqError::StoreFull { entries }),
+    }
+}
+
 impl SeqId {
     /// The raw index (entries are numbered in push order).
     #[inline]
@@ -58,7 +68,7 @@ impl SeqId {
 /// use anyseq_seq::{Seq, SeqStore};
 ///
 /// let mut store = SeqStore::new();
-/// let q = store.push(&Seq::from_ascii(b"ACGT").unwrap());
+/// let q = store.push(&Seq::from_ascii(b"ACGT").unwrap()).unwrap();
 /// let s = store.push_codes(&[0, 1, 2, 3, 3]).unwrap();
 /// assert_eq!(store.get(q), &[0, 1, 2, 3]);
 /// let view = store.view(&[(q, s)]);
@@ -92,13 +102,27 @@ impl SeqStore {
         }
     }
 
+    /// Most entries a store can hold: ids are `u32`, numbered from 0.
+    pub const MAX_ENTRIES: usize = u32::MAX as usize + 1;
+
     /// Appends a sequence's codes (the one ingest copy) and returns its
     /// id.
-    pub fn push(&mut self, seq: &Seq) -> SeqId {
+    ///
+    /// # Errors
+    /// [`SeqError::StoreFull`] once [`SeqStore::MAX_ENTRIES`] entries
+    /// are resident — a long-running ingest loop gets a recoverable
+    /// error (and an unchanged, still-usable store) instead of a
+    /// process abort.
+    pub fn push(&mut self, seq: &Seq) -> Result<SeqId, SeqError> {
         self.push_valid(seq.codes())
     }
 
     /// Appends raw codes after validating them (`0..=4` per byte).
+    ///
+    /// # Errors
+    /// [`SeqError::InvalidCode`] for out-of-range bytes;
+    /// [`SeqError::StoreFull`] at entry-id capacity (see
+    /// [`SeqStore::push`]).
     pub fn push_codes(&mut self, codes: &[u8]) -> Result<SeqId, SeqError> {
         if let Some(pos) = codes.iter().position(|&c| c > 4) {
             return Err(SeqError::InvalidCode {
@@ -106,15 +130,15 @@ impl SeqStore {
                 code: codes[pos],
             });
         }
-        Ok(self.push_valid(codes))
+        self.push_valid(codes)
     }
 
-    fn push_valid(&mut self, codes: &[u8]) -> SeqId {
-        let id = SeqId(u32::try_from(self.hashes.len()).expect("SeqStore entry count fits u32"));
+    fn push_valid(&mut self, codes: &[u8]) -> Result<SeqId, SeqError> {
+        let id = next_id(self.hashes.len())?;
         self.codes.extend_from_slice(codes);
         self.bounds.push(self.codes.len());
         self.hashes.push(content_hash(codes));
-        id
+        Ok(id)
     }
 
     /// The code slice of entry `id`.
@@ -301,9 +325,9 @@ mod tests {
         let mut store = SeqStore::new();
         let a = Seq::from_ascii(b"ACGTACGT").unwrap();
         let b = Seq::from_ascii(b"TTTT").unwrap();
-        let ia = store.push(&a);
-        let ib = store.push(&b);
-        let ia2 = store.push(&a);
+        let ia = store.push(&a).unwrap();
+        let ib = store.push(&b).unwrap();
+        let ia2 = store.push(&a).unwrap();
         assert_eq!(store.len(), 3);
         assert_eq!(store.bytes(), 20);
         assert_eq!(store.get(ia), a.codes());
@@ -327,7 +351,7 @@ mod tests {
     fn empty_entries_are_distinct() {
         let mut store = SeqStore::new();
         let e1 = store.push_codes(&[]).unwrap();
-        let e2 = store.push(&Seq::new());
+        let e2 = store.push(&Seq::new()).unwrap();
         assert_ne!(e1, e2);
         assert!(store.get(e1).is_empty());
         assert_eq!(store.hash(e1), store.hash(e2));
@@ -366,6 +390,24 @@ mod tests {
             assert_eq!(p.q, pairs[k].0.codes());
             assert_eq!(p.s, pairs[k].1.codes());
         }
+    }
+
+    #[test]
+    fn store_full_is_a_typed_error_not_a_panic() {
+        // The id allocator is the capacity check: pushing entry number
+        // MAX_ENTRIES must surface `StoreFull` instead of aborting the
+        // ingest loop. (Exercised through the seam — actually filling
+        // a store would need >4 billion entries.)
+        assert_eq!(next_id(0), Ok(SeqId(0)));
+        assert_eq!(next_id(SeqStore::MAX_ENTRIES - 1), Ok(SeqId(u32::MAX)));
+        assert_eq!(
+            next_id(SeqStore::MAX_ENTRIES),
+            Err(SeqError::StoreFull {
+                entries: SeqStore::MAX_ENTRIES
+            })
+        );
+        let err = next_id(SeqStore::MAX_ENTRIES).unwrap_err();
+        assert!(err.to_string().contains("full"), "{err}");
     }
 
     #[test]

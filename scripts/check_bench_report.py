@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
 """Validate a batch_throughput JSON report.
 
-Usage: check_bench_report.py <report.json> <threads> [long_len]
+Usage: check_bench_report.py <report.json> <threads> [long_len] [dup_frac]
 
 Fails (exit 1) if the report is missing any required key:
   * `<mode>.<backend>_1t` and `<mode>.<backend>_<threads>t` for every
     mode in {score, align} and backend in {scalar, simd, gpu-sim},
   * `<mode>.bytes_copied` and `<mode>.peak_batch_mb` per mode,
   * `long.score_gcups` / `long.align_gcups` when `long_len` > 0,
+  * the duplicated-read / result-cache keys when `dup_frac` > 0:
+    `dup.hit_rate`, `dup.{score,align}_gcups` (+ `_nocache` baselines
+    and `dup.{score,align}_speedup`) and the cache counters
+    `cache.{hits,misses,bytes,evictions}` — with a non-zero
+    `dup.hit_rate` and `cache.hits` (a duplicated workload that never
+    hits the cache means the cache is broken),
 or if a present GCUPS value is not a positive number. Guards the bench
-report format (documented in docs/ARCHITECTURE.md) and the zero-copy
-counters against silent regressions.
+report format (documented in docs/ARCHITECTURE.md) and the zero-copy /
+cache counters against silent regressions.
 """
 
 import json
@@ -21,11 +27,12 @@ BACKENDS = ("scalar", "simd", "gpu-sim")
 
 
 def main() -> int:
-    if len(sys.argv) not in (3, 4):
+    if len(sys.argv) not in (3, 4, 5):
         print(__doc__, file=sys.stderr)
         return 2
     path, threads = sys.argv[1], int(sys.argv[2])
-    long_len = int(sys.argv[3]) if len(sys.argv) == 4 else 0
+    long_len = int(sys.argv[3]) if len(sys.argv) >= 4 else 0
+    dup_frac = float(sys.argv[4]) if len(sys.argv) >= 5 else 0.0
     with open(path) as fh:
         report = json.load(fh)
 
@@ -40,6 +47,17 @@ def main() -> int:
     if long_len > 0:
         required.append(("long.score_gcups", True))
         required.append(("long.align_gcups", True))
+    if dup_frac > 0:
+        # A duplicated-read smoke run must actually hit the cache.
+        required.append(("dup.hit_rate", True))
+        required.append(("cache.hits", True))
+        required.append(("cache.misses", True))
+        required.append(("cache.bytes", True))
+        required.append(("cache.evictions", False))
+        for mode in MODES:
+            required.append((f"dup.{mode}_gcups", True))
+            required.append((f"dup.{mode}_gcups_nocache", True))
+            required.append((f"dup.{mode}_speedup", True))
 
     missing = [key for key, _ in required if key not in report]
     bad = [

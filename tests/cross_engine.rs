@@ -364,7 +364,7 @@ proptest! {
         let mut store = anyseq_seq::SeqStore::new();
         let ids: Vec<_> = pairs
             .iter()
-            .map(|(q, s)| (store.push(q), store.push(s)))
+            .map(|(q, s)| (store.push(q).unwrap(), store.push(s).unwrap()))
             .collect();
         let store_view = store.view(&ids);
         let view = BatchView::from_pairs(&pairs);
@@ -389,6 +389,79 @@ proptest! {
             for (k, (a, b)) in aln_view.results.iter().zip(&aln_shim.results).enumerate() {
                 prop_assert_eq!(a.score, b.score, "align policy {:?} pair {}", policy, k);
                 prop_assert_eq!(&a.ops, &b.ops, "align policy {:?} pair {}", policy, k);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_runs_are_bit_identical_to_uncached(
+        lens in prop::collection::vec((1usize..160, 1usize..160), 1..14),
+        seed in 0u64..1000,
+        threads in 1usize..4,
+        affine_gaps in prop_oneof![Just(false), Just(true)],
+    ) {
+        // The result cache must be invisible in the outputs: for a
+        // batch with injected duplicates, a cache-enabled scheduler
+        // (cold *and* warm) produces exactly the scores and CIGARs of
+        // a cache-off run, on every backend and policy, and the hit /
+        // miss counters always partition the batch.
+        use anyseq_engine::cache::{CACHE_HITS, CACHE_MISSES};
+        let mut pairs = random_batch(&lens, seed ^ 0xcac4e);
+        // Duplicate roughly half the batch so both the in-batch dedup
+        // (cold) and the cross-batch reuse (warm) paths are exercised.
+        let dups: Vec<_> = pairs.iter().step_by(2).cloned().collect();
+        pairs.extend(dups);
+        let spec = if affine_gaps {
+            SchemeSpec::global_affine(2, -1, -2, -1)
+        } else {
+            SchemeSpec::global_linear(2, -1, -1)
+        };
+        let sched = scheduler_for(threads, 16);
+        for policy in [
+            Policy::Auto,
+            Policy::Fixed(BackendId::Scalar),
+            Policy::Fixed(BackendId::Simd),
+            Policy::Fixed(BackendId::Wavefront),
+            Policy::Fixed(BackendId::GpuSim),
+        ] {
+            let plain = Dispatch::standard(policy);
+            let cached = anyseq_engine::DispatchPolicy::new(policy)
+                .cache_mb(8)
+                .standard();
+
+            let base = sched.score_pairs(&plain, &spec, &pairs);
+            let cold = sched.score_pairs(&cached, &spec, &pairs);
+            let warm = sched.score_pairs(&cached, &spec, &pairs);
+            prop_assert_eq!(&cold.results, &base.results, "cold scores {:?}", policy);
+            prop_assert_eq!(&warm.results, &base.results, "warm scores {:?}", policy);
+            for run in [&cold, &warm] {
+                prop_assert_eq!(
+                    run.stats.counters[CACHE_HITS] + run.stats.counters[CACHE_MISSES],
+                    run.stats.pairs,
+                    "hits + misses must partition the batch ({:?})", policy
+                );
+            }
+            prop_assert_eq!(
+                warm.stats.counters[CACHE_HITS], warm.stats.pairs,
+                "second identical batch is fully warm ({:?})", policy
+            );
+
+            let aln_base = sched.align_pairs(&plain, &spec, &pairs);
+            let aln_cold = sched.align_pairs(&cached, &spec, &pairs);
+            let aln_warm = sched.align_pairs(&cached, &spec, &pairs);
+            for (k, base) in aln_base.results.iter().enumerate() {
+                prop_assert_eq!(
+                    base.score, aln_cold.results[k].score,
+                    "cold align score {:?} pair {}", policy, k
+                );
+                prop_assert_eq!(
+                    &base.ops, &aln_cold.results[k].ops,
+                    "cold CIGAR {:?} pair {}", policy, k
+                );
+                prop_assert_eq!(
+                    &base.ops, &aln_warm.results[k].ops,
+                    "warm CIGAR {:?} pair {}", policy, k
+                );
             }
         }
     }
