@@ -22,6 +22,17 @@
 //! `dup.{score,align}_speedup`), plus the cache counters
 //! `cache.{hits,misses,bytes,evictions}` from the score run.
 //!
+//! An observability section always runs last: the same read batch is
+//! scored through a plain dispatch and one with `observe(true)`, and
+//! the enabled overhead must stay within 3% (asserted once
+//! `pairs >= 2000` so fixed costs and median noise cannot dominate).
+//! JSON keys: `obs.score_gcups_off` / `obs.score_gcups_on` /
+//! `obs.overhead_frac`, the per-stage `stage.*_ns` wall totals,
+//! `obs.kernel_p{50,95,99}_ns` from the merged kernel-latency
+//! histogram, and `obs.trace_spans`; the observed run's Chrome trace
+//! is written to `target/bench-results/batch_trace.json` for
+//! `scripts/check_trace.py`.
+//!
 //! Report format (documented in `docs/ARCHITECTURE.md`): one section
 //! per mode, opened by an unambiguous `== mode: … ==` header so saved
 //! reports can never mix the two up. Alignment-mode cells are counted
@@ -336,6 +347,95 @@ fn main() {
             }
         }
         json.insert("dup.hit_rate".into(), hit_rate);
+    }
+
+    // Observability section: the span/metrics layer must be close to
+    // free when enabled. Score the same batch through a plain dispatch
+    // and one with `observe(true)` and compare GCUPS; the observed run
+    // also supplies the per-stage counters, the merged kernel-latency
+    // histogram, and a Chrome-trace artifact for the CI validator.
+    {
+        println!("\n== mode: observability (spans + metrics vs plain dispatch) ==");
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        let scheduler = BatchScheduler::new(BatchCfg::threads(threads));
+        let plain = Dispatch::standard(Policy::Auto);
+        let observed = DispatchPolicy::auto().observe(true).standard();
+        let cells = view.total_cells();
+
+        let off = measure_gcups(cells, repeats, || {
+            scheduler.score_batch(&plain, &spec, &view);
+        });
+        let mut last_stats = None;
+        let on = measure_gcups(cells, repeats, || {
+            last_stats = Some(scheduler.score_batch(&observed, &spec, &view).stats);
+        });
+        let stats = last_stats.expect("at least one repeat ran");
+        let overhead = if off.gcups > 0.0 {
+            (1.0 - on.gcups / off.gcups).max(0.0)
+        } else {
+            0.0
+        };
+        println!(
+            "score: observe off {:.3} GCUPS, on {:.3} GCUPS ({:.1}% overhead)",
+            off.gcups,
+            on.gcups,
+            100.0 * overhead
+        );
+        json.insert("obs.score_gcups_off".into(), off.gcups);
+        json.insert("obs.score_gcups_on".into(), on.gcups);
+        json.insert("obs.overhead_frac".into(), overhead);
+        // Tiny batches are all fixed cost and median noise; only hold
+        // the 3% budget once the kernel work dominates.
+        if pairs_n >= 2000 {
+            assert!(
+                overhead <= 0.03,
+                "observability overhead {:.1}% exceeds the 3% budget",
+                100.0 * overhead
+            );
+        }
+
+        // Per-stage wall totals (ns) from the observed run's drained
+        // spans — the same `stage.*` counters the CLI summary prints.
+        for (name, value) in &stats.counters {
+            if name.starts_with("stage.") {
+                json.insert((*name).to_string(), *value as f64);
+            }
+        }
+
+        // Kernel latency distribution, merged across every
+        // (backend, bin) series the registry accumulated.
+        let registry = observed
+            .metrics()
+            .expect("observe(true) enables the registry");
+        let kernel = registry.merged_histogram("anyseq_stage_duration_ns", "stage=\"kernel\"");
+        if kernel.count() > 0 {
+            println!(
+                "kernel spans: n={} p50={:.0}us p95={:.0}us p99={:.0}us",
+                kernel.count(),
+                kernel.quantile(0.50) as f64 / 1e3,
+                kernel.quantile(0.95) as f64 / 1e3,
+                kernel.quantile(0.99) as f64 / 1e3
+            );
+            json.insert("obs.kernel_spans".into(), kernel.count() as f64);
+            json.insert("obs.kernel_p50_ns".into(), kernel.quantile(0.50) as f64);
+            json.insert("obs.kernel_p95_ns".into(), kernel.quantile(0.95) as f64);
+            json.insert("obs.kernel_p99_ns".into(), kernel.quantile(0.99) as f64);
+        }
+
+        // Trace artifact: the CI smoke job validates this with
+        // `scripts/check_trace.py` (balanced B/E, monotone timestamps,
+        // wall-time coverage).
+        let dir = std::path::Path::new("target/bench-results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: could not create {}: {e}", dir.display());
+        } else {
+            let path = dir.join("batch_trace.json");
+            match std::fs::write(&path, anyseq_obs::chrome_trace(&stats.spans)) {
+                Ok(()) => println!("trace: {} ({} spans)", path.display(), stats.spans.len()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
+        json.insert("obs.trace_spans".into(), stats.spans.len() as f64);
     }
 
     dump_json("batch_throughput", &json);

@@ -10,6 +10,7 @@
 //!              [--backend auto|scalar|simd|wavefront|gpu-sim]
 //!              [--auto-crossover CELLS] [--cache-mb N] [--threads N]
 //!              [--alignments] [--seed N] [--quiet]
+//!              [--metrics [PATH]] [--trace-out PATH] [--stats-json [PATH]]
 //! anyseq simulate --length N [--gc F] [--seed N]    # emit a FASTA genome
 //! ```
 //!
@@ -30,6 +31,15 @@
 //! to stderr. With `--alignments` (alias `--align`), short-read
 //! global batches stay on the SIMD lanes end to end: scores and
 //! CIGARs come from the banded lane-packed traceback.
+//!
+//! Observability (any of these switches it on for the run):
+//! `--metrics [PATH]` exposes the dispatch's metrics registry in
+//! Prometheus text format (stage-duration histograms per backend and
+//! length bin, batch counters, per-shard cache gauges) — to stderr, or
+//! to PATH if given; `--trace-out PATH` writes the batch's stage spans
+//! as a Chrome-trace JSON (load in `chrome://tracing` / Perfetto, one
+//! lane per worker); `--stats-json [PATH]` dumps the run's
+//! `BatchStats` as a stable-keyed JSON object.
 
 use anyseq_core::kind::{Global, Local, SemiGlobal};
 use anyseq_core::prelude::*;
@@ -54,6 +64,7 @@ fn usage() -> ! {
          \x20              [--backend auto|scalar|simd|wavefront|gpu-sim]\n\
          \x20              [--auto-crossover CELLS] [--cache-mb N] [--threads N]\n\
          \x20              [--alignments] [--seed N] [--quiet]\n\
+         \x20              [--metrics [PATH]] [--trace-out PATH] [--stats-json [PATH]]\n\
          \x20 anyseq simulate --length N [--gc F] [--seed N]"
     );
     exit(2)
@@ -249,6 +260,12 @@ fn cmd_batch(args: &[String]) {
         policy_cfg = policy_cfg.auto_crossover(crossover);
     }
     policy_cfg = policy_cfg.cache_mb(numeric_flag(&flags, "cache-mb", 0));
+    // Any observability sink switches the span/metrics layer on; with
+    // none requested the instrumented pipeline stays a no-op.
+    let observe = ["metrics", "trace-out", "stats-json"]
+        .iter()
+        .any(|k| flags.contains_key(*k));
+    policy_cfg = policy_cfg.observe(observe);
     let dispatch = policy_cfg.standard();
     let scheduler = BatchScheduler::new(BatchCfg::threads(threads));
 
@@ -279,12 +296,44 @@ fn cmd_batch(args: &[String]) {
         exit(0);
     }
     if !flags.contains_key("quiet") {
-        eprintln!("{}", stats.summary());
+        // The one summary renderer the bench binaries share too.
         eprintln!(
-            "utilization: {:.0}% of {} threads",
-            100.0 * stats.utilization(threads),
-            threads
+            "{}",
+            anyseq_engine::summary_with_utilization(&stats, threads)
         );
+    }
+    if let Some(dest) = flags.get("stats-json") {
+        emit_report(dest, &anyseq_engine::stats_json(&stats, threads));
+    }
+    if let Some(path) = flags.get("trace-out") {
+        if path == "true" {
+            eprintln!("--trace-out needs a file path (trace JSON does not mix with the summary)");
+            usage()
+        }
+        write_file(path, &anyseq_obs::chrome_trace(&stats.spans));
+    }
+    if let Some(dest) = flags.get("metrics") {
+        let registry = dispatch
+            .metrics()
+            .expect("--metrics enables the dispatch registry");
+        emit_report(dest, &anyseq_obs::prometheus_text(&registry.snapshot()));
+    }
+}
+
+/// Writes a report either to stderr (bare flag) or to a file (flag
+/// with a PATH value).
+fn emit_report(dest: &str, text: &str) {
+    if dest == "true" {
+        eprint!("{text}");
+    } else {
+        write_file(dest, text);
+    }
+}
+
+fn write_file(path: &str, text: &str) {
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("cannot write {path}: {e}");
+        exit(1)
     }
 }
 

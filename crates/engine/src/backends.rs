@@ -13,15 +13,16 @@
 //! backends.
 
 use crate::engine::{Caps, Engine, EngineError, ALL_KINDS, GLOBAL_ONLY};
-use crate::spec::SchemeSpec;
+use crate::spec::{GapSpec, SchemeSpec};
 use crate::util::parallel_map;
 use crate::{with_global_scheme, with_scheme};
 use anyseq_core::score::Score;
 use anyseq_core::Alignment;
 use anyseq_gpu_sim::{Device, GpuAligner, KernelShape};
+use anyseq_obs::Stage;
 use anyseq_seq::PairRef;
 use anyseq_simd::{align_batch_simd, score_batch_simd_stats, BandCfg, TraceStats};
-use anyseq_wavefront::{ParallelCfg, ParallelExt};
+use anyseq_wavefront::{borders::BorderStore, ParallelCfg, ParallelExt, TileGrid};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Pairs handed to one pool chunk when an adapter parallelizes
@@ -56,7 +57,9 @@ impl Engine for ScalarEngine {
         threads: usize,
     ) -> Result<Vec<Score>, EngineError> {
         Ok(with_scheme!(spec, |scheme, _K| {
-            parallel_map(pairs, threads, MAP_CHUNK, |p| scheme.score_codes(p.q, p.s))
+            anyseq_obs::span(Stage::Kernel, || {
+                parallel_map(pairs, threads, MAP_CHUNK, |p| scheme.score_codes(p.q, p.s))
+            })
         }))
     }
 
@@ -67,7 +70,9 @@ impl Engine for ScalarEngine {
         threads: usize,
     ) -> Result<Vec<Alignment>, EngineError> {
         Ok(with_scheme!(spec, |scheme, _K| {
-            parallel_map(pairs, threads, MAP_CHUNK, |p| scheme.align_codes(p.q, p.s))
+            anyseq_obs::span(Stage::Traceback, || {
+                parallel_map(pairs, threads, MAP_CHUNK, |p| scheme.align_codes(p.q, p.s))
+            })
         }))
     }
 }
@@ -275,21 +280,51 @@ impl Engine for SimdEngine {
 /// tile queue), pairs processed one after another. The right shape for
 /// batches of few, huge pairs — the scheduler runs it exclusively with
 /// the whole thread budget instead of sharding it into the pool.
-#[derive(Debug, Clone, Copy)]
+///
+/// Telemetry: `wavefront.pairs` (pairs executed) and
+/// `wavefront.border_bytes` (boundary-stripe bytes the tiled passes
+/// kept resident, summed over pairs — the O(n + m) working set that
+/// replaces an O(n·m) matrix). Drained by the scheduler after each
+/// unit like the SIMD band counters.
+#[derive(Debug)]
 pub struct WavefrontEngine {
     /// Tile edge for the DP grid.
     pub tile: usize,
+    pairs: AtomicU64,
+    border_bytes: AtomicU64,
 }
 
 impl Default for WavefrontEngine {
     fn default() -> WavefrontEngine {
-        WavefrontEngine { tile: 512 }
+        WavefrontEngine {
+            tile: 512,
+            pairs: AtomicU64::new(0),
+            border_bytes: AtomicU64::new(0),
+        }
     }
 }
 
 impl WavefrontEngine {
+    /// Engine with a custom tile edge.
+    pub fn with_tile(tile: usize) -> WavefrontEngine {
+        WavefrontEngine {
+            tile,
+            ..WavefrontEngine::default()
+        }
+    }
+
     fn cfg(&self, threads: usize) -> ParallelCfg {
         ParallelCfg::threads(threads.max(1)).with_tile(self.tile)
+    }
+
+    /// Accounts one executed pair's boundary working set.
+    fn record_pair(&self, q: usize, s: usize, affine: bool) {
+        self.pairs.fetch_add(1, Ordering::Relaxed);
+        if q > 0 && s > 0 {
+            let grid = TileGrid::new(q, s, self.tile);
+            let bytes = BorderStore::estimated_bytes(&grid, affine) as u64;
+            self.border_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
     }
 }
 
@@ -312,10 +347,16 @@ impl Engine for WavefrontEngine {
         threads: usize,
     ) -> Result<Vec<Score>, EngineError> {
         let cfg = self.cfg(threads);
+        let affine = matches!(spec.gap, GapSpec::Affine { .. });
         Ok(with_scheme!(spec, |scheme, _K| {
             pairs
                 .iter()
-                .map(|p| scheme.score_parallel_codes(p.q, p.s, &cfg))
+                .map(|p| {
+                    self.record_pair(p.q.len(), p.s.len(), affine);
+                    anyseq_obs::span(Stage::Kernel, || {
+                        scheme.score_parallel_codes(p.q, p.s, &cfg)
+                    })
+                })
                 .collect()
         }))
     }
@@ -327,12 +368,31 @@ impl Engine for WavefrontEngine {
         threads: usize,
     ) -> Result<Vec<Alignment>, EngineError> {
         let cfg = self.cfg(threads);
+        let affine = matches!(spec.gap, GapSpec::Affine { .. });
         Ok(with_scheme!(spec, |scheme, _K| {
             pairs
                 .iter()
-                .map(|p| scheme.align_parallel_codes(p.q, p.s, &cfg))
+                .map(|p| {
+                    self.record_pair(p.q.len(), p.s.len(), affine);
+                    anyseq_obs::span(Stage::Traceback, || {
+                        scheme.align_parallel_codes(p.q, p.s, &cfg)
+                    })
+                })
                 .collect()
         }))
+    }
+
+    fn drain_counters(&self) -> Vec<(&'static str, u64)> {
+        [
+            ("wavefront.pairs", &self.pairs),
+            ("wavefront.border_bytes", &self.border_bytes),
+        ]
+        .into_iter()
+        .filter_map(|(name, cell)| {
+            let v = cell.swap(0, Ordering::Relaxed);
+            (v != 0).then_some((name, v))
+        })
+        .collect()
     }
 }
 
@@ -389,7 +449,11 @@ impl Engine for GpuSimEngine {
     ) -> Result<Vec<Score>, EngineError> {
         with_global_scheme!(
             spec,
-            |scheme| { Ok(self.aligner.score_batch(&scheme, pairs).0) },
+            |scheme| {
+                Ok(anyseq_obs::span(Stage::Kernel, || {
+                    self.aligner.score_batch(&scheme, pairs).0
+                }))
+            },
             {
                 Err(EngineError::unsupported(
                     "gpu-sim",
@@ -411,10 +475,12 @@ impl Engine for GpuSimEngine {
         with_global_scheme!(
             spec,
             |scheme| {
-                Ok(pairs
-                    .iter()
-                    .map(|p| self.aligner.align(&scheme, p.q, p.s).0)
-                    .collect())
+                Ok(anyseq_obs::span(Stage::Traceback, || {
+                    pairs
+                        .iter()
+                        .map(|p| self.aligner.align(&scheme, p.q, p.s).0)
+                        .collect()
+                }))
             },
             {
                 Err(EngineError::unsupported(
@@ -495,6 +561,29 @@ mod tests {
                 .iter()
                 .any(|&(n, v)| n == "simd.lane_pairs" && v > 0),
             "lane traceback must have run: {counters:?}"
+        );
+        assert!(engine.drain_counters().is_empty(), "drain resets");
+    }
+
+    #[test]
+    fn wavefront_counters_drain_and_reset() {
+        let pairs = read_pairs(30, 4);
+        let view = BatchView::from_pairs(&pairs);
+        let spec = SchemeSpec::global_affine(2, -1, -2, -1);
+        let engine = WavefrontEngine::default();
+        engine.score_batch(&spec, view.refs(), 2).unwrap();
+        let counters = engine.drain_counters();
+        assert!(
+            counters
+                .iter()
+                .any(|&(n, v)| n == "wavefront.pairs" && v == pairs.len() as u64),
+            "pair count: {counters:?}"
+        );
+        assert!(
+            counters
+                .iter()
+                .any(|&(n, v)| n == "wavefront.border_bytes" && v > 0),
+            "border bytes: {counters:?}"
         );
         assert!(engine.drain_counters().is_empty(), "drain resets");
     }

@@ -239,6 +239,13 @@ struct Shard {
     head: usize,
     tail: usize,
     bytes: usize,
+    /// Verified hits served by this shard (cumulative; survives
+    /// `clear`-free lifetimes, reset by [`Shard::clear`]). Tracked per
+    /// shard so the observability layer can expose skew between shards
+    /// — a hot shard means the key mix hashes unevenly.
+    hits: u64,
+    /// Entries this shard evicted to stay inside its byte budget.
+    evictions: u64,
 }
 
 impl Shard {
@@ -250,6 +257,8 @@ impl Shard {
             head: NIL,
             tail: NIL,
             bytes: 0,
+            hits: 0,
+            evictions: 0,
         }
     }
 
@@ -334,7 +343,22 @@ impl Shard {
         self.head = NIL;
         self.tail = NIL;
         self.bytes = 0;
+        self.hits = 0;
+        self.evictions = 0;
     }
+}
+
+/// A point-in-time view of one cache shard, for per-shard gauges.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Resident bytes (entries + bookkeeping estimate).
+    pub bytes: u64,
+    /// Live entries.
+    pub entries: u64,
+    /// Cumulative verified hits served by this shard.
+    pub hits: u64,
+    /// Cumulative LRU evictions performed by this shard.
+    pub evictions: u64,
 }
 
 /// A sharded, byte-budgeted LRU over finished batch results, keyed on
@@ -406,6 +430,7 @@ impl ResultCache {
             }
         }
         shard.touch(idx);
+        shard.hits += 1;
         T::from_cached(&shard.node(idx).value)
     }
 
@@ -453,9 +478,27 @@ impl ResultCache {
             evicted += 1;
         }
         if evicted > 0 {
+            shard.evictions += evicted;
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
         pair.q.len() + pair.s.len()
+    }
+
+    /// Per-shard occupancy and traffic, in shard-index order — the
+    /// source for the `anyseq_cache_shard_*` gauges.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("cache shard poisoned");
+                ShardStats {
+                    bytes: shard.bytes as u64,
+                    entries: shard.map.len() as u64,
+                    hits: shard.hits,
+                    evictions: shard.evictions,
+                }
+            })
+            .collect()
     }
 
     /// Total resident bytes across all shards (entries + bookkeeping
@@ -700,6 +743,31 @@ mod tests {
         assert_eq!(cache.bytes(), 0);
         assert_eq!(cache.evictions(), 0);
         assert_eq!(cache.collisions(), 0);
+    }
+
+    #[test]
+    fn shard_stats_track_hits_and_evictions() {
+        let cache = ResultCache::with_budget(ResultCache::SHARDS * 600);
+        let spec = SchemeSpec::global_linear(2, -1, -1);
+        let stats = cache.shard_stats();
+        assert_eq!(stats.len(), ResultCache::SHARDS);
+        assert!(stats.iter().all(|s| *s == ShardStats::default()));
+        for k in 0..64u8 {
+            let q: Vec<u8> = (0..32).map(|j| (k as usize * 7 + j) as u8 % 5).collect();
+            let pair = PairRef::new(&q, &q);
+            let key = CacheKey::for_pair(&spec, &pair, ReqKind::Score);
+            cache.insert(&key, &pair, &(k as i32));
+            cache.get::<Score>(&key, &pair);
+        }
+        let stats = cache.shard_stats();
+        let hits: u64 = stats.iter().map(|s| s.hits).sum();
+        let evictions: u64 = stats.iter().map(|s| s.evictions).sum();
+        let entries: u64 = stats.iter().map(|s| s.entries).sum();
+        let bytes: u64 = stats.iter().map(|s| s.bytes).sum();
+        assert!(hits > 0, "every surviving insert was re-read");
+        assert_eq!(evictions, cache.evictions(), "shard sums match totals");
+        assert_eq!(entries, cache.entries() as u64);
+        assert_eq!(bytes, cache.bytes());
     }
 
     #[test]

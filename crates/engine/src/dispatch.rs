@@ -12,6 +12,7 @@ use crate::backends::{GpuSimEngine, ScalarEngine, SimdEngine, WavefrontEngine};
 use crate::cache::ResultCache;
 use crate::engine::Engine;
 use crate::spec::SchemeSpec;
+use anyseq_obs::MetricsRegistry;
 
 /// Stable identifiers for the built-in backends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,6 +35,17 @@ impl BackendId {
             BackendId::Simd => "simd",
             BackendId::Wavefront => "wavefront",
             BackendId::GpuSim => "gpu-sim",
+        }
+    }
+
+    /// The `BatchStats` counter bumped when this backend declines a
+    /// unit and the chain moves on (`dispatch.declined.<backend>`).
+    pub fn declined_counter(self) -> &'static str {
+        match self {
+            BackendId::Scalar => "dispatch.declined.scalar",
+            BackendId::Simd => "dispatch.declined.simd",
+            BackendId::Wavefront => "dispatch.declined.wavefront",
+            BackendId::GpuSim => "dispatch.declined.gpu-sim",
         }
     }
 
@@ -93,6 +105,10 @@ pub struct DispatchPolicy {
     /// Result-cache budget in MiB; 0 disables caching (the default).
     /// See [`DispatchPolicy::cache_mb`].
     pub cache_mb: usize,
+    /// Whether the built dispatch carries an observability substrate
+    /// (span tracer + metrics registry); off by default so the
+    /// recorder stays a no-op. See [`DispatchPolicy::observe`].
+    pub observe: bool,
 }
 
 impl Default for DispatchPolicy {
@@ -108,6 +124,7 @@ impl DispatchPolicy {
             policy: Policy::Auto,
             auto_crossover: AUTO_WAVEFRONT_MIN_CELLS,
             cache_mb: 0,
+            observe: false,
         }
     }
 
@@ -153,6 +170,18 @@ impl DispatchPolicy {
         self
     }
 
+    /// Enables observability on the built dispatch: the scheduler
+    /// records stage-timing spans into [`crate::BatchStats::spans`]
+    /// and folds per-`(backend, bin, stage)` latency histograms plus
+    /// batch counters into the dispatch's [`MetricsRegistry`]
+    /// ([`Dispatch::metrics`]). Costs ≤3% throughput on the standard
+    /// bench config (asserted by `batch_throughput`); the default is
+    /// off, where every instrumentation site is a no-op.
+    pub fn observe(mut self, on: bool) -> DispatchPolicy {
+        self.observe = on;
+        self
+    }
+
     /// Builds the standard four-backend registry under this policy.
     pub fn standard(self) -> Dispatch {
         Dispatch {
@@ -170,6 +199,7 @@ impl DispatchPolicy {
             // on 32-bit targets and silently disable caching.
             cache: (self.cache_mb > 0)
                 .then(|| ResultCache::with_budget(self.cache_mb.saturating_mul(1 << 20))),
+            metrics: self.observe.then(MetricsRegistry::new),
         }
     }
 }
@@ -197,6 +227,8 @@ pub struct Dispatch {
     auto_crossover: u64,
     /// Optional content-hash result cache the scheduler consults.
     cache: Option<ResultCache>,
+    /// Optional metrics registry; present iff observability is on.
+    metrics: Option<MetricsRegistry>,
 }
 
 impl Dispatch {
@@ -214,6 +246,7 @@ impl Dispatch {
             policy: Policy::Fixed(BackendId::Scalar),
             auto_crossover: AUTO_WAVEFRONT_MIN_CELLS,
             cache: None,
+            metrics: None,
         }
     }
 
@@ -232,6 +265,22 @@ impl Dispatch {
     /// Attaches (or replaces) a result cache on an existing dispatch.
     pub fn with_result_cache(mut self, cache: ResultCache) -> Dispatch {
         self.cache = Some(cache);
+        self
+    }
+
+    /// The metrics registry, when observability is on
+    /// ([`DispatchPolicy::observe`]). The scheduler folds spans and
+    /// batch counters into it after every run; export it with
+    /// [`anyseq_obs::prometheus_text`]. Registries accumulate across
+    /// batches on the same dispatch — exactly what a scrape endpoint
+    /// wants.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// Enables observability on an existing dispatch (fresh registry).
+    pub fn with_metrics(mut self) -> Dispatch {
+        self.metrics = Some(MetricsRegistry::new());
         self
     }
 
@@ -417,6 +466,7 @@ mod tests {
             policy: Policy::Auto,
             auto_crossover: 0,
             cache_mb: 0,
+            observe: false,
         }
         .standard();
         assert_eq!(raw.auto_crossover(), 1);
@@ -446,6 +496,17 @@ mod tests {
         let zero = DispatchPolicy::auto().cache_mb(0).standard();
         assert!(zero.cache().is_none(), "0 MiB means disabled");
         assert!(Dispatch::scalar_only().cache().is_none());
+    }
+
+    #[test]
+    fn observe_knob_builds_a_registry() {
+        assert!(DispatchPolicy::auto().standard().metrics().is_none());
+        assert!(DispatchPolicy::auto()
+            .observe(true)
+            .standard()
+            .metrics()
+            .is_some());
+        assert!(Dispatch::scalar_only().with_metrics().metrics().is_some());
     }
 
     #[test]

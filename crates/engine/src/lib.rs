@@ -76,15 +76,17 @@ pub mod cache;
 pub mod dispatch;
 #[allow(clippy::module_inception)]
 pub mod engine;
+pub mod report;
 pub mod scheduler;
 pub mod spec;
 pub mod stats;
 pub mod util;
 
 pub use backends::{GpuSimEngine, ScalarEngine, SimdEngine, SimdLanes, WavefrontEngine};
-pub use cache::{CacheKey, ReqKind, ResultCache};
+pub use cache::{CacheKey, ReqKind, ResultCache, ShardStats};
 pub use dispatch::{BackendId, Dispatch, DispatchPolicy, Policy};
 pub use engine::{Caps, Engine, EngineError};
+pub use report::{stats_json, summary_with_utilization};
 pub use scheduler::{BatchCfg, BatchRun, BatchScheduler, SCHED_BYTES_COPIED};
 pub use spec::{GapSpec, KindSpec, SchemeSpec};
 pub use stats::{BackendUse, BatchStats};
@@ -95,6 +97,7 @@ pub mod prelude {
     pub use crate::cache::{CacheKey, ReqKind, ResultCache};
     pub use crate::dispatch::{BackendId, Dispatch, DispatchPolicy, Policy};
     pub use crate::engine::{Caps, Engine, EngineError};
+    pub use crate::report::{stats_json, summary_with_utilization};
     pub use crate::scheduler::{BatchCfg, BatchRun, BatchScheduler, SCHED_BYTES_COPIED};
     pub use crate::spec::{GapSpec, KindSpec, SchemeSpec};
     pub use crate::stats::{BackendUse, BatchStats};

@@ -62,6 +62,8 @@ use crate::stats::{self, BatchStats};
 use crate::util::IndexedOut;
 use anyseq_core::score::Score;
 use anyseq_core::Alignment;
+use anyseq_obs as obs;
+use anyseq_obs::Stage;
 use anyseq_seq::{BatchView, PairRef, Seq};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -130,6 +132,10 @@ struct Unit {
     cells: u64,
     /// Largest single-pair DP size (drives backend choice).
     max_cells: u64,
+    /// Index into the batch's bin-label table (span/metric tag).
+    bin: u32,
+    /// Batch-unique unit id (span tag).
+    id: u32,
 }
 
 impl BatchScheduler {
@@ -215,6 +221,22 @@ impl BatchScheduler {
         // the proof (and any future cloning path would show up here).
         batch_stats.record_counter(SCHED_BYTES_COPIED, 0);
 
+        // Observability rides on the dispatch: with a metrics registry
+        // present, a per-batch tracer collects stage spans (per-worker
+        // thread-local buffers, drained at batch end) and the registry
+        // accumulates histograms/gauges across batches. Without one,
+        // every obs:: call below is a no-op behind one TLS read.
+        let registry = dispatch.metrics();
+        let tracer = registry.map(|_| obs::BatchTracer::new());
+        let main_guard = tracer.as_ref().map(|t| t.worker(0));
+        if tracer.is_some() {
+            // Pre-seed all stage counters so observed runs always
+            // report the full `stage.*_ns` key set, active or not.
+            for stage in Stage::ALL {
+                batch_stats.record_counter(stage.counter_key(), 0);
+            }
+        }
+
         let mut out = IndexedOut::new(view.len());
         let writer = out.writer();
 
@@ -247,13 +269,21 @@ impl BatchScheduler {
                 };
                 n
             ];
+            // Two passes per chunk, not one interleaved loop, so the
+            // span boundary is honest: key derivation (the `hash`
+            // stage) is pure CPU over sequence bytes, probing (the
+            // `cache_probe` stage) is shard-locked map traffic.
             let probe = |start: usize, key_slots: &mut [CacheKey]| -> Vec<usize> {
-                let mut misses = Vec::new();
+                let t_hash = obs::timer();
                 for (i, slot) in key_slots.iter_mut().enumerate() {
+                    *slot = CacheKey::new(fingerprint, &view.get(start + i), T::KIND);
+                }
+                obs::commit(Stage::Hash, t_hash);
+                let t_probe = obs::timer();
+                let mut misses = Vec::new();
+                for (i, slot) in key_slots.iter().enumerate() {
                     let k = start + i;
-                    let pair = view.get(k);
-                    *slot = CacheKey::new(fingerprint, &pair, T::KIND);
-                    if let Some(value) = cache.get::<T>(slot, &pair) {
+                    if let Some(value) = cache.get::<T>(slot, &view.get(k)) {
                         // SAFETY: hit slots belong to no unit and no
                         // leader; each is written exactly once, here.
                         unsafe { writer.write(k, value) };
@@ -261,6 +291,7 @@ impl BatchScheduler {
                         misses.push(k);
                     }
                 }
+                obs::commit(Stage::CacheProbe, t_probe);
                 misses
             };
             let chunk = n.div_ceil(self.cfg.threads.max(1)).max(64);
@@ -268,11 +299,21 @@ impl BatchScheduler {
                 probe(0, &mut keys)
             } else {
                 let probe = &probe;
-                std::thread::scope(|sc| {
+                let tracer = &tracer;
+                let t_wait = obs::timer();
+                let misses = std::thread::scope(|sc| {
                     let handles: Vec<_> = keys
                         .chunks_mut(chunk)
                         .enumerate()
-                        .map(|(c, key_slots)| sc.spawn(move || probe(c * chunk, key_slots)))
+                        .map(|(c, key_slots)| {
+                            sc.spawn(move || {
+                                // Probe chunks reuse the pool's worker
+                                // lanes (1-based; the phases never
+                                // overlap in time).
+                                let _g = tracer.as_ref().map(|t| t.worker(c as u32 + 1));
+                                probe(c * chunk, key_slots)
+                            })
+                        })
                         .collect();
                     // Chunks are contiguous input ranges, so joining in
                     // spawn order preserves input order in the misses.
@@ -280,7 +321,9 @@ impl BatchScheduler {
                         .into_iter()
                         .flat_map(|h| h.join().expect("cache probe worker panicked"))
                         .collect()
-                })
+                });
+                obs::commit(Stage::QueueWait, t_wait);
+                misses
             };
             // In-batch duplicate dedup over the misses: the first miss
             // of each distinct key leads; later ones ride its
@@ -311,8 +354,8 @@ impl BatchScheduler {
             (0..view.len()).collect()
         };
 
-        let (units, bins) = self.build_units(view, &compute);
-        batch_stats.bins = bins as u64;
+        let (units, bin_labels) = self.build_units(view, &compute);
+        batch_stats.bins = bin_labels.len() as u64;
         batch_stats.units = units.len() as u64;
 
         // Resolve each unit's candidate chain once; it drives both the
@@ -338,20 +381,28 @@ impl BatchScheduler {
 
         let keys = &keys;
         let followers = &followers;
+        let bin_labels = &bin_labels;
         let run_unit = |unit: &Unit,
                         chain: &[crate::dispatch::BackendId],
                         threads: usize,
                         local: &mut BatchStats| {
+            obs::set_context("sched", unit.bin, unit.id);
             // Gather the unit's pair *references* contiguously
             // just-in-time: 32 bytes of pointers per pair. The sequence
             // bytes stay where the caller put them — for an exclusive
             // unit holding a multi-Mbp genome this is the difference
             // between a dispatch and a deep copy.
-            let unit_pairs: Vec<PairRef<'v>> = unit.indices.iter().map(|&k| view.get(k)).collect();
+            let unit_pairs: Vec<PairRef<'v>> = obs::span(Stage::Gather, || {
+                unit.indices.iter().map(|&k| view.get(k)).collect()
+            });
             for (k, id) in chain.iter().enumerate() {
                 let engine = dispatch
                     .engine(*id)
                     .expect("candidates only returns registered backends");
+                // Spans the engine emits (kernel, transpose, traceback)
+                // must attribute to the engine that actually executes,
+                // not the chain's first pick.
+                obs::set_context(engine.caps().name, unit.bin, unit.id);
                 let t0 = Instant::now();
                 match exec(engine, &unit_pairs, threads) {
                     Ok(values) => {
@@ -366,6 +417,7 @@ impl BatchScheduler {
                             values.len(),
                             unit.indices.len()
                         );
+                        let t_insert = obs::timer();
                         let mut unit_ingest = 0u64;
                         for (slot, value) in unit.indices.iter().zip(values) {
                             if let Some(cache) = cache {
@@ -389,7 +441,23 @@ impl BatchScheduler {
                             unsafe { writer.write(*slot, value) };
                         }
                         if cache.is_some() {
+                            // Without a cache the write-out above is a
+                            // plain move loop — only insert traffic is
+                            // worth a span.
+                            obs::commit(Stage::CacheInsert, t_insert);
                             local.record_counter(CACHE_INGEST_BYTES, unit_ingest);
+                        }
+                        if let Some(reg) = registry {
+                            let labels = obs::labels(&[
+                                ("backend", engine.caps().name),
+                                ("bin", &bin_labels[unit.bin as usize]),
+                            ]);
+                            reg.observe(
+                                "anyseq_unit_pairs",
+                                labels.clone(),
+                                unit.indices.len() as u64,
+                            );
+                            reg.observe("anyseq_unit_cells", labels, unit.cells * cell_factor);
                         }
                         local.fallbacks += k as u64;
                         // Backend-internal telemetry (e.g. the SIMD
@@ -410,7 +478,18 @@ impl BatchScheduler {
                         );
                         return;
                     }
-                    Err(EngineError::Unsupported { .. }) => continue,
+                    Err(EngineError::Unsupported { .. }) => {
+                        // A declining engine may still have accumulated
+                        // internal counters (capability probes, partial
+                        // setup). Drain them *now* so they attribute to
+                        // this unit instead of silently leaking into
+                        // whichever unit this engine executes next.
+                        for (name, value) in engine.drain_counters() {
+                            local.record_counter(name, value);
+                        }
+                        local.record_counter(id.declined_counter(), 1);
+                        continue;
+                    }
                 }
             }
             unreachable!("the scalar backend terminates every candidate chain");
@@ -422,19 +501,30 @@ impl BatchScheduler {
             let next = AtomicUsize::new(0);
             let pooled = &pooled;
             let run_unit = &run_unit;
+            let tracer = &tracer;
+            let t_wait = obs::timer();
             let worker_stats: Vec<BatchStats> = {
                 let next = &next;
                 std::thread::scope(|sc| {
                     let handles: Vec<_> = (0..pool_threads)
-                        .map(|_| {
+                        .map(|w| {
                             sc.spawn(move || {
+                                let _g = tracer.as_ref().map(|t| t.worker(w as u32 + 1));
                                 let mut local = BatchStats::default();
                                 loop {
+                                    // The wait span opens at the top of
+                                    // every pull so worker lanes stay
+                                    // contiguous; it closes only when a
+                                    // unit was actually drawn (the final
+                                    // empty pull just drops the timer).
+                                    let t_idle = obs::timer();
                                     let k = next.fetch_add(1, Ordering::Relaxed);
                                     if k >= pooled.len() {
                                         break;
                                     }
                                     let (unit, chain) = pooled[k];
+                                    obs::set_context("sched", unit.bin, unit.id);
+                                    obs::commit(Stage::QueueWait, t_idle);
                                     run_unit(unit, chain, 1, &mut local);
                                 }
                                 local
@@ -447,9 +537,15 @@ impl BatchScheduler {
                         .collect()
                 })
             };
+            // The coordinator lane spent the pooled phase blocked on
+            // the join — account it as queue wait so its lane has no
+            // unexplained hole in the trace.
+            obs::commit(Stage::QueueWait, t_wait);
+            let t_merge = obs::timer();
             for local in &worker_stats {
                 batch_stats.merge(local);
             }
+            obs::commit(Stage::Merge, t_merge);
         }
 
         // Exclusive phase: serial over units, full budget inside each.
@@ -457,7 +553,9 @@ impl BatchScheduler {
         for (unit, chain) in &exclusive {
             run_unit(unit, chain, self.cfg.threads, &mut exclusive_stats);
         }
+        let t_merge = obs::timer();
         batch_stats.merge(&exclusive_stats);
+        obs::commit(Stage::Merge, t_merge);
 
         if let (Some(cache), Some((evictions0, collisions0))) = (cache, cache_baseline) {
             // `cache.bytes` is a resident-size gauge snapshot; the
@@ -482,6 +580,55 @@ impl BatchScheduler {
         // is deterministic across runs.
         batch_stats.per_backend.sort_by_key(|b| b.backend);
         batch_stats.wall_seconds = started.elapsed().as_secs_f64();
+
+        // Drain the tracer: fold every span into the additive
+        // `stage.*_ns` counters, feed the registry's per-(stage,
+        // backend, bin) latency histograms, and keep the raw spans on
+        // the stats for the Chrome-trace exporter.
+        drop(main_guard);
+        if let Some(tracer) = tracer {
+            let spans = tracer.finish();
+            for span in &spans {
+                batch_stats.record_counter(span.stage.counter_key(), span.dur_ns);
+            }
+            if let Some(reg) = registry {
+                for span in &spans {
+                    let bin = if span.bin == obs::NO_ID {
+                        "-"
+                    } else {
+                        &bin_labels[span.bin as usize]
+                    };
+                    let labels = obs::labels(&[
+                        ("stage", span.stage.name()),
+                        ("backend", span.backend),
+                        ("bin", bin),
+                    ]);
+                    reg.observe("anyseq_stage_duration_ns", labels, span.dur_ns);
+                }
+                reg.inc("anyseq_batches_total", String::new(), 1);
+                reg.inc("anyseq_batch_pairs_total", String::new(), batch_stats.pairs);
+                reg.inc("anyseq_batch_cells_total", String::new(), batch_stats.cells);
+                reg.inc(
+                    "anyseq_batch_fallbacks_total",
+                    String::new(),
+                    batch_stats.fallbacks,
+                );
+                if let Some(cache) = cache {
+                    for (i, shard) in cache.shard_stats().iter().enumerate() {
+                        let l = obs::labels(&[("shard", &i.to_string())]);
+                        reg.set_gauge("anyseq_cache_shard_bytes", l.clone(), shard.bytes as f64);
+                        reg.set_gauge(
+                            "anyseq_cache_shard_entries",
+                            l.clone(),
+                            shard.entries as f64,
+                        );
+                        reg.set_gauge("anyseq_cache_shard_hits", l.clone(), shard.hits as f64);
+                        reg.set_gauge("anyseq_cache_shard_evictions", l, shard.evictions as f64);
+                    }
+                }
+            }
+            batch_stats.spans = spans;
+        }
         BatchRun {
             results,
             stats: batch_stats,
@@ -496,7 +643,10 @@ impl BatchScheduler {
     /// small relative to the pool, so a batch never collapses into
     /// fewer units than there are workers (idle-core guard); a floor
     /// of 32 pairs keeps SIMD lane groups dense.
-    fn build_units(&self, view: &BatchView<'_>, indices: &[usize]) -> (Vec<Unit>, usize) {
+    /// Returns the units plus one label per bin (`"<q>x<s>"`, the
+    /// quantized dimensions in bases) — the `bin` tag vocabulary for
+    /// spans and metrics.
+    fn build_units(&self, view: &BatchView<'_>, indices: &[usize]) -> (Vec<Unit>, Vec<String>) {
         let quantum = self.cfg.bin_quantum.max(1);
         let fill_chunk = indices.len().div_ceil(self.cfg.threads.max(1)).max(32);
         let chunk = self.cfg.chunk_pairs.max(1).min(fill_chunk);
@@ -520,11 +670,11 @@ impl BatchScheduler {
                 .or_default()
                 .push(k);
         }
-        let bin_count = bins.len();
-
+        let mut bin_labels = Vec::with_capacity(bins.len());
         let mut units = Vec::new();
-        for indices in bins.into_values() {
-            let mut indices = indices;
+        for ((qk, sk), mut indices) in bins {
+            let bin = bin_labels.len() as u32;
+            bin_labels.push(format!("{}x{}", qk * quantum, sk * quantum));
             // Exact-dimension order maximizes full SIMD lane groups.
             indices.sort_by_key(|&k| (view.get(k).q.len(), view.get(k).s.len(), k));
             for piece in indices.chunks(chunk) {
@@ -535,10 +685,12 @@ impl BatchScheduler {
                     indices: piece.to_vec(),
                     cells,
                     max_cells,
+                    bin,
+                    id: units.len() as u32,
                 });
             }
         }
-        (units, bin_count)
+        (units, bin_labels)
     }
 }
 
@@ -716,8 +868,13 @@ mod tests {
         let view = BatchView::from_pairs(&pairs);
         let sched = scheduler(3);
         let all: Vec<usize> = (0..view.len()).collect();
-        let (units, bins) = sched.build_units(&view, &all);
-        assert!(bins >= 1);
+        let (units, bin_labels) = sched.build_units(&view, &all);
+        assert!(!bin_labels.is_empty());
+        for unit in &units {
+            assert!((unit.bin as usize) < bin_labels.len());
+        }
+        let ids: Vec<u32> = units.iter().map(|u| u.id).collect();
+        assert_eq!(ids, (0..units.len() as u32).collect::<Vec<_>>());
         let mut seen: Vec<usize> = units.iter().flat_map(|u| u.indices.clone()).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..pairs.len()).collect::<Vec<_>>());

@@ -3,6 +3,7 @@
 //! (`anyseq-bench` computes its `Measurement` through these functions,
 //! so both layers count work identically).
 
+use anyseq_obs::Span;
 use anyseq_seq::Seq;
 use std::collections::BTreeMap;
 
@@ -79,6 +80,13 @@ pub struct BatchStats {
     /// `simd.band_widenings` band telemetry. The `BTreeMap` keeps the
     /// report order deterministic.
     pub counters: BTreeMap<&'static str, u64>,
+    /// Stage-timing spans drained from the tracer at batch end, sorted
+    /// by `(worker, start_ns)`. Empty unless the dispatch was built
+    /// with observability enabled (`DispatchPolicy::observe`). Their
+    /// per-stage totals are also folded into `counters` as
+    /// `stage.<name>_ns`, so summaries and bench reports work from the
+    /// counter map alone; the raw spans feed the Chrome-trace exporter.
+    pub spans: Vec<Span>,
 }
 
 impl BatchStats {
@@ -136,8 +144,20 @@ impl BatchStats {
             .sum()
     }
 
-    /// Merges another accumulator (used to combine per-worker stats).
+    /// Merges another accumulator. Every field is additive: worker
+    /// locals carry zeros for the batch-level fields (`pairs`, `cells`,
+    /// `bins`, `units`, `wall_seconds`), so merging them is a no-op
+    /// there, while merging two *complete* batch stats (e.g. a serving
+    /// layer aggregating sequential batches) sums the real totals.
+    /// `wall_seconds` is summed too — correct for sequential batches,
+    /// an overcount for concurrent ones (utilization/GCUPS of a merged
+    /// concurrent aggregate are not meaningful).
     pub fn merge(&mut self, other: &BatchStats) {
+        self.pairs += other.pairs;
+        self.cells += other.cells;
+        self.wall_seconds += other.wall_seconds;
+        self.bins += other.bins;
+        self.units += other.units;
         self.fallbacks += other.fallbacks;
         for b in &other.per_backend {
             self.record(b.backend, b.pairs, b.cells, b.busy_seconds);
@@ -145,6 +165,7 @@ impl BatchStats {
         for (&name, &value) in &other.counters {
             self.record_counter(name, value);
         }
+        self.spans.extend_from_slice(&other.spans);
     }
 
     /// One-line human summary.
@@ -212,6 +233,39 @@ mod tests {
         assert_eq!(a.counters["simd.band_overflows"], 4);
         assert!(a.summary().contains("fallbacks"));
         assert!(a.summary().contains("simd.band_overflows=4"));
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        // Regression: merge used to accumulate only fallbacks,
+        // per_backend, and counters — pairs/cells/bins/units (and
+        // wall) were silently dropped, so aggregating complete batch
+        // stats undercounted work.
+        let mut a = BatchStats {
+            pairs: 10,
+            cells: 1_000,
+            wall_seconds: 0.5,
+            bins: 2,
+            units: 3,
+            fallbacks: 1,
+            ..BatchStats::default()
+        };
+        let b = BatchStats {
+            pairs: 4,
+            cells: 500,
+            wall_seconds: 0.25,
+            bins: 1,
+            units: 2,
+            fallbacks: 0,
+            ..BatchStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.pairs, 14);
+        assert_eq!(a.cells, 1_500);
+        assert_eq!(a.bins, 3);
+        assert_eq!(a.units, 5);
+        assert_eq!(a.fallbacks, 1);
+        assert!((a.wall_seconds - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use anyseq_core::pass::{init_left_f, init_left_h, init_top_e, init_top_h};
 use anyseq_core::scheme::Scheme;
 use anyseq_core::score::Score;
 use anyseq_core::scoring::GapModel;
+use anyseq_obs::Stage;
 use anyseq_seq::PairRef;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -115,38 +116,47 @@ where
         let bytes_copied = &bytes_copied;
         let gap = &gap;
         let subst = &subst;
-        std::thread::scope(|sc| {
-            for _ in 0..threads {
-                sc.spawn(move || {
-                    let mut local_bytes = 0u64;
-                    loop {
-                        let g = next_group.fetch_add(1, Ordering::Relaxed);
-                        if g >= groups.len() {
-                            break;
-                        }
-                        let lanes = &groups[g];
-                        let p0 = pairs[lanes[0]];
-                        local_bytes += ((p0.q.len() + p0.s.len()) * L) as u64;
-                        let results = score_lane_group::<G, SS, L>(gap, subst, pairs, lanes);
-                        for (l, &idx) in lanes.iter().enumerate() {
-                            // SAFETY: each pair index is written exactly once.
-                            unsafe { *out.0.add(idx) = results[l] };
-                        }
-                    }
-                    bytes_copied.fetch_add(local_bytes, Ordering::Relaxed);
-                    loop {
-                        let k = next_scalar.fetch_add(1, Ordering::Relaxed);
-                        if k >= scalar_idx.len() {
-                            break;
-                        }
-                        let idx = scalar_idx[k];
-                        let p = pairs[idx];
-                        let score = scheme.score_codes(p.q, p.s);
-                        unsafe { *out.0.add(idx) = score };
-                    }
-                });
+        let worker = move || {
+            let mut local_bytes = 0u64;
+            loop {
+                let g = next_group.fetch_add(1, Ordering::Relaxed);
+                if g >= groups.len() {
+                    break;
+                }
+                let lanes = &groups[g];
+                let p0 = pairs[lanes[0]];
+                local_bytes += ((p0.q.len() + p0.s.len()) * L) as u64;
+                let results = score_lane_group::<G, SS, L>(gap, subst, pairs, lanes);
+                for (l, &idx) in lanes.iter().enumerate() {
+                    // SAFETY: each pair index is written exactly once.
+                    unsafe { *out.0.add(idx) = results[l] };
+                }
             }
-        });
+            bytes_copied.fetch_add(local_bytes, Ordering::Relaxed);
+            loop {
+                let k = next_scalar.fetch_add(1, Ordering::Relaxed);
+                if k >= scalar_idx.len() {
+                    break;
+                }
+                let idx = scalar_idx[k];
+                let p = pairs[idx];
+                let score = anyseq_obs::span(Stage::Kernel, || scheme.score_codes(p.q, p.s));
+                unsafe { *out.0.add(idx) = score };
+            }
+        };
+        if threads == 1 {
+            // Inline: no spawn/join for a single-thread budget (the
+            // scheduler pools units at 1 thread each), and stage spans
+            // land on the caller's recorder instead of anonymous
+            // threads.
+            worker();
+        } else {
+            std::thread::scope(|sc| {
+                for _ in 0..threads {
+                    sc.spawn(worker);
+                }
+            });
+        }
     }
     let stats = TraceStats {
         lane_pairs: (groups.len() * L) as u64,
@@ -186,14 +196,19 @@ where
         left_f: left_f.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
     };
     // The lane transpose: the only copy of sequence bytes on this path.
-    let q_rows: Vec<[u8; L]> = (0..n)
-        .map(|r| std::array::from_fn(|l| pairs[lanes[l]].q[r]))
-        .collect();
-    let s_cols: Vec<[u8; L]> = (0..m)
-        .map(|c| std::array::from_fn(|l| pairs[lanes[l]].s[c]))
-        .collect();
+    let (q_rows, s_cols) = anyseq_obs::span(Stage::Transpose, || {
+        let q_rows: Vec<[u8; L]> = (0..n)
+            .map(|r| std::array::from_fn(|l| pairs[lanes[l]].q[r]))
+            .collect();
+        let s_cols: Vec<[u8; L]> = (0..m)
+            .map(|c| std::array::from_fn(|l| pairs[lanes[l]].s[c]))
+            .collect();
+        (q_rows, s_cols)
+    });
 
-    block_kernel(gap, subst, &q_rows, &s_cols, &mut block);
+    anyseq_obs::span(Stage::Kernel, || {
+        block_kernel(gap, subst, &q_rows, &s_cols, &mut block)
+    });
 
     std::array::from_fn(|l| from16(block.top_h[m].0[l], 0))
 }

@@ -42,6 +42,7 @@ use anyseq_core::pass::{init_left_f, init_left_h, init_top_e, init_top_h};
 use anyseq_core::scheme::Scheme;
 use anyseq_core::score::Score;
 use anyseq_core::scoring::GapModel;
+use anyseq_obs::Stage;
 use anyseq_seq::PairRef;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -366,12 +367,15 @@ where
     // The lane transpose: the only sequence-byte copy on this path
     // (built once per group; band retries reuse it).
     stats.bytes_copied += ((n + m) * L) as u64;
-    let q_rows: Vec<[u8; L]> = (0..n)
-        .map(|r| std::array::from_fn(|l| pairs[lanes[l]].q[r]))
-        .collect();
-    let s_cols: Vec<[u8; L]> = (0..m)
-        .map(|c| std::array::from_fn(|l| pairs[lanes[l]].s[c]))
-        .collect();
+    let (q_rows, s_cols) = anyseq_obs::span(Stage::Transpose, || {
+        let q_rows: Vec<[u8; L]> = (0..n)
+            .map(|r| std::array::from_fn(|l| pairs[lanes[l]].q[r]))
+            .collect();
+        let s_cols: Vec<[u8; L]> = (0..m)
+            .map(|c| std::array::from_fn(|l| pairs[lanes[l]].s[c]))
+            .collect();
+        (q_rows, s_cols)
+    });
 
     // Exact corner scores from the full-width score kernel: the
     // oracle every banded lane must reproduce before it is decoded.
@@ -385,7 +389,9 @@ where
         left_h: left_h.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
         left_f: left_f.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
     };
-    block_kernel(gap, subst, &q_rows, &s_cols, &mut borders);
+    anyseq_obs::span(Stage::Kernel, || {
+        block_kernel(gap, subst, &q_rows, &s_cols, &mut borders)
+    });
     let exact = borders.top_h[m];
 
     let mut w = band.initial.max(1);
@@ -393,7 +399,9 @@ where
         let (dlo, dhi) = band_range(n, m, w);
         let bw = (dhi - dlo + 1) as usize;
         let mut store = DirStore::new(n * bw, G::AFFINE);
-        let banded = banded_group_kernel(gap, subst, &q_rows, &s_cols, dlo, dhi, &mut store);
+        let banded = anyseq_obs::span(Stage::Kernel, || {
+            banded_group_kernel(gap, subst, &q_rows, &s_cols, dlo, dhi, &mut store)
+        });
         stats.band_cells += (n * bw * L) as u64;
         stats.max_band = stats.max_band.max(bw as u64);
 
@@ -402,21 +410,23 @@ where
         let all = if L == 32 { u32::MAX } else { (1u32 << L) - 1 };
         if in_band & all == all || full_matrix || w >= band.max {
             debug_assert!(!full_matrix || in_band & all == all);
-            return std::array::from_fn(|l| {
-                if in_band & (1 << l) == 0 {
-                    stats.band_overflows += 1;
-                    return None;
-                }
-                stats.lane_pairs += 1;
-                let p = pairs[lanes[l]];
-                let ops = decode_lane(&store, n, m, dlo, bw, l, p.q, p.s, G::AFFINE);
-                Some(Alignment {
-                    score: from16(exact.0[l], 0),
-                    ops,
-                    q_start: 0,
-                    q_end: n,
-                    s_start: 0,
-                    s_end: m,
+            return anyseq_obs::span(Stage::Traceback, || {
+                std::array::from_fn(|l| {
+                    if in_band & (1 << l) == 0 {
+                        stats.band_overflows += 1;
+                        return None;
+                    }
+                    stats.lane_pairs += 1;
+                    let p = pairs[lanes[l]];
+                    let ops = decode_lane(&store, n, m, dlo, bw, l, p.q, p.s, G::AFFINE);
+                    Some(Alignment {
+                        score: from16(exact.0[l], 0),
+                        ops,
+                        q_start: 0,
+                        q_end: n,
+                        s_start: 0,
+                        s_end: m,
+                    })
                 })
             });
         }
@@ -470,46 +480,56 @@ where
         let total = &total;
         let gap = &gap;
         let subst = &subst;
-        std::thread::scope(|sc| {
-            for _ in 0..threads {
-                sc.spawn(move || {
-                    let mut local = TraceStats::default();
-                    loop {
-                        let g = next_group.fetch_add(1, Ordering::Relaxed);
-                        if g >= groups.len() {
-                            break;
-                        }
-                        let lanes = &groups[g];
-                        let alns = align_lane_group::<G, SS, L>(
-                            gap, subst, pairs, lanes, band, &mut local,
-                        );
-                        for (l, aln) in alns.into_iter().enumerate() {
-                            let idx = lanes[l];
-                            let aln = aln.unwrap_or_else(|| {
-                                // Band overflow: scalar rescue for this
-                                // lane only (already counted).
-                                let p = pairs[idx];
-                                scheme.align_codes(p.q, p.s)
-                            });
-                            // SAFETY: each pair index is written exactly once.
-                            unsafe { *out.0.add(idx) = aln };
-                        }
-                    }
-                    loop {
-                        let k = next_scalar.fetch_add(1, Ordering::Relaxed);
-                        if k >= scalar_idx.len() {
-                            break;
-                        }
-                        let idx = scalar_idx[k];
+        let worker = move || {
+            let mut local = TraceStats::default();
+            loop {
+                let g = next_group.fetch_add(1, Ordering::Relaxed);
+                if g >= groups.len() {
+                    break;
+                }
+                let lanes = &groups[g];
+                let alns = align_lane_group::<G, SS, L>(gap, subst, pairs, lanes, band, &mut local);
+                for (l, aln) in alns.into_iter().enumerate() {
+                    let idx = lanes[l];
+                    let aln = aln.unwrap_or_else(|| {
+                        // Band overflow: scalar rescue for this
+                        // lane only (already counted).
                         let p = pairs[idx];
-                        local.scalar_pairs += 1;
-                        // SAFETY: scalar indices are disjoint from groups.
-                        unsafe { *out.0.add(idx) = scheme.align_codes(p.q, p.s) };
-                    }
-                    total.lock().unwrap().merge(&local);
-                });
+                        anyseq_obs::span(Stage::Traceback, || scheme.align_codes(p.q, p.s))
+                    });
+                    // SAFETY: each pair index is written exactly once.
+                    unsafe { *out.0.add(idx) = aln };
+                }
             }
-        });
+            loop {
+                let k = next_scalar.fetch_add(1, Ordering::Relaxed);
+                if k >= scalar_idx.len() {
+                    break;
+                }
+                let idx = scalar_idx[k];
+                let p = pairs[idx];
+                local.scalar_pairs += 1;
+                // SAFETY: scalar indices are disjoint from groups.
+                unsafe {
+                    *out.0.add(idx) =
+                        anyseq_obs::span(Stage::Traceback, || scheme.align_codes(p.q, p.s))
+                };
+            }
+            total.lock().unwrap().merge(&local);
+        };
+        if threads == 1 {
+            // Inline: no spawn/join for a single-thread budget (the
+            // scheduler pools units at 1 thread each), and stage spans
+            // land on the caller's recorder instead of anonymous
+            // threads.
+            worker();
+        } else {
+            std::thread::scope(|sc| {
+                for _ in 0..threads {
+                    sc.spawn(worker);
+                }
+            });
+        }
     }
     let stats = *total.lock().unwrap();
     (results, stats)

@@ -84,6 +84,41 @@ impl BorderStore {
         BorderStore { col, row }
     }
 
+    /// Resident stripe bytes right now (score payloads only; the slot
+    /// vectors and mutexes are O(tiles) and excluded). Observability
+    /// reads this to account the wavefront's O(n + m) working set —
+    /// the structural reason the tiled pass beats an O(n·m) matrix.
+    pub fn bytes(&self) -> usize {
+        let score = std::mem::size_of::<Score>();
+        let col: usize = self
+            .col
+            .iter()
+            .map(|s| {
+                let g = s.lock();
+                (g.h.len() + g.e.len()) * score
+            })
+            .sum();
+        let row: usize = self
+            .row
+            .iter()
+            .map(|s| {
+                let g = s.lock();
+                (g.h.len() + g.f.len()) * score
+            })
+            .sum();
+        col + row
+    }
+
+    /// Stripe bytes a store for `grid` retains, without building one:
+    /// `H` needs `m + mt` (column slots, one corner each) plus `n`
+    /// (row slots); affine gap models add `E` (`m`) and `F` (`n`).
+    /// Matches [`BorderStore::bytes`] immediately after `init`.
+    pub fn estimated_bytes(grid: &TileGrid, affine: bool) -> usize {
+        let h = grid.m + grid.mt + grid.n;
+        let ef = if affine { grid.m + grid.n } else { 0 };
+        (h + ef) * std::mem::size_of::<Score>()
+    }
+
     /// Assembles the final DP row `H(n, 0..=m)` and `E(n, 1..=m)` from the
     /// column slots (after the pass, each slot holds the bottom stripe of
     /// its column's last tile).
@@ -134,5 +169,26 @@ mod tests {
         assert_eq!(e.len(), 10);
         assert_eq!(h[0], 0);
         assert_eq!(h[10], -12);
+    }
+
+    #[test]
+    fn byte_accounting_matches_estimate() {
+        let gap = AffineGap {
+            open: -2,
+            extend: -1,
+        };
+        let grid = TileGrid::new(10, 10, 4);
+        let store = BorderStore::init::<Global, _>(&grid, &gap, gap.open());
+        assert_eq!(
+            store.bytes(),
+            BorderStore::estimated_bytes(&grid, true),
+            "fresh affine store"
+        );
+        // Linear stores carry no E/F stripes.
+        use anyseq_core::scoring::LinearGap;
+        let lin = LinearGap { gap: -1 };
+        let store = BorderStore::init::<Global, _>(&grid, &lin, lin.gap);
+        assert_eq!(store.bytes(), BorderStore::estimated_bytes(&grid, false));
+        assert!(BorderStore::estimated_bytes(&grid, true) > store.bytes());
     }
 }

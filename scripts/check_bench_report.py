@@ -7,6 +7,12 @@ Fails (exit 1) if the report is missing any required key:
   * `<mode>.<backend>_1t` and `<mode>.<backend>_<threads>t` for every
     mode in {score, align} and backend in {scalar, simd, gpu-sim},
   * `<mode>.bytes_copied` and `<mode>.peak_batch_mb` per mode,
+  * the observability keys (the section always runs):
+    `obs.score_gcups_{off,on}` and `obs.kernel_spans` /
+    `obs.kernel_p{50,95,99}_ns` positive, `obs.overhead_frac` and
+    `obs.trace_spans` present, plus all nine `stage.<name>_ns` wall
+    totals with a non-zero `stage.kernel_ns` (a traced run that spent
+    no time in kernels means the span plumbing is broken),
   * `long.score_gcups` / `long.align_gcups` when `long_len` > 0,
   * the duplicated-read / result-cache keys when `dup_frac` > 0:
     `dup.hit_rate`, `dup.{score,align}_gcups` (+ `_nocache` baselines
@@ -24,6 +30,17 @@ import sys
 
 MODES = ("score", "align")
 BACKENDS = ("scalar", "simd", "gpu-sim")
+STAGES = (
+    "queue_wait",
+    "cache_probe",
+    "hash",
+    "gather",
+    "transpose",
+    "kernel",
+    "traceback",
+    "cache_insert",
+    "merge",
+)
 
 
 def main() -> int:
@@ -44,6 +61,18 @@ def main() -> int:
                 required.append((f"{mode}.{backend}_{threads}t", True))
         required.append((f"{mode}.bytes_copied", False))
         required.append((f"{mode}.peak_batch_mb", False))
+    # Observability section (always present): off/on throughput, the
+    # merged kernel-latency histogram summary, and the stage wall
+    # totals drained from the traced run's spans.
+    required.append(("obs.score_gcups_off", True))
+    required.append(("obs.score_gcups_on", True))
+    required.append(("obs.overhead_frac", False))
+    required.append(("obs.trace_spans", True))
+    required.append(("obs.kernel_spans", True))
+    for q in ("p50", "p95", "p99"):
+        required.append((f"obs.kernel_{q}_ns", True))
+    for stage in STAGES:
+        required.append((f"stage.{stage}_ns", stage == "kernel"))
     if long_len > 0:
         required.append(("long.score_gcups", True))
         required.append(("long.align_gcups", True))

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace JSON file produced by `anyseq-obs`.
+
+Usage: check_trace.py <trace.json> [--min-coverage FRAC]
+
+Fails (exit 1) unless the trace is a well-formed event array:
+  * every event carries name/ph/pid/tid, with ph one of B/E/M and a
+    numeric `ts` on B and E,
+  * per tid, timestamps are monotone non-decreasing, every B is closed
+    by an E with the same name, no E arrives without an open B, and
+    spans on one lane never nest or overlap (the per-worker recorder
+    emits strictly sequential stage spans),
+  * a thread_name metadata event names the coordinator lane (tid 0),
+  * with `--min-coverage FRAC`, the union of all spans must cover at
+    least that fraction of the wall clock (first B to last E) — holes
+    mean a pipeline stage is running untraced.
+
+Guards the `--trace-out` / bench trace artifact (format documented in
+docs/ARCHITECTURE.md) against malformed or incomplete span streams.
+"""
+
+import json
+import sys
+
+REQUIRED_FIELDS = ("name", "ph", "pid", "tid")
+
+
+def main() -> int:
+    argv = list(sys.argv[1:])
+    min_coverage = 0.0
+    if "--min-coverage" in argv:
+        i = argv.index("--min-coverage")
+        try:
+            min_coverage = float(argv[i + 1])
+        except (IndexError, ValueError):
+            print(__doc__, file=sys.stderr)
+            return 2
+        del argv[i : i + 2]
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[0]
+
+    with open(path) as fh:
+        events = json.load(fh)
+    if not isinstance(events, list):
+        print(f"{path}: top-level JSON value must be an array", file=sys.stderr)
+        return 1
+
+    errors = []
+    open_span = {}  # tid -> (name, ts) of the currently open B
+    last_ts = {}  # tid -> ts of the lane's previous B/E event
+    intervals = []  # matched (start, end) pairs across all lanes
+    names = set()  # thread_name metadata values
+    spans = 0
+
+    for k, ev in enumerate(events):
+        where = f"event {k}"
+        if not isinstance(ev, dict) or any(f not in ev for f in REQUIRED_FIELDS):
+            errors.append(f"{where}: missing one of {'/'.join(REQUIRED_FIELDS)}")
+            continue
+        ph, tid = ev["ph"], ev["tid"]
+        if ph == "M":
+            if ev["name"] == "thread_name":
+                names.add(ev.get("args", {}).get("name"))
+            continue
+        if ph not in ("B", "E"):
+            errors.append(f"{where}: unexpected ph {ph!r}")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: {ph} event without numeric ts")
+            continue
+        if ts < last_ts.get(tid, float("-inf")):
+            errors.append(
+                f"{where}: tid {tid} timestamps go backwards "
+                f"({ts} after {last_ts[tid]})"
+            )
+        last_ts[tid] = ts
+        if ph == "B":
+            if tid in open_span:
+                errors.append(
+                    f"{where}: tid {tid} opens {ev['name']!r} while "
+                    f"{open_span[tid][0]!r} is still open (lanes must not nest)"
+                )
+            open_span[tid] = (ev["name"], ts)
+        else:
+            if tid not in open_span:
+                errors.append(f"{where}: tid {tid} E {ev['name']!r} without an open B")
+                continue
+            b_name, b_ts = open_span.pop(tid)
+            if b_name != ev["name"]:
+                errors.append(
+                    f"{where}: tid {tid} E {ev['name']!r} closes B {b_name!r}"
+                )
+            intervals.append((b_ts, ts))
+            spans += 1
+
+    for tid, (name, ts) in sorted(open_span.items()):
+        errors.append(f"tid {tid}: B {name!r} at ts {ts} never closed")
+    if "coordinator" not in names:
+        errors.append("no thread_name metadata names the coordinator lane")
+    if spans == 0:
+        errors.append("trace contains no complete spans")
+
+    coverage = 0.0
+    if intervals:
+        intervals.sort()
+        wall_start = intervals[0][0]
+        wall_end = max(end for _, end in intervals)
+        covered, cursor = 0.0, wall_start
+        for start, end in intervals:
+            if end > cursor:
+                covered += end - max(start, cursor)
+                cursor = end
+        wall = wall_end - wall_start
+        coverage = covered / wall if wall > 0 else 1.0
+        if coverage < min_coverage:
+            errors.append(
+                f"span union covers {coverage:.1%} of wall time "
+                f"(required {min_coverage:.0%})"
+            )
+
+    if errors:
+        for e in errors:
+            print(f"{path}: {e}", file=sys.stderr)
+        return 1
+    print(
+        f"{path}: {spans} spans on {len(last_ts)} lanes, "
+        f"balanced and monotone, {coverage:.1%} wall coverage"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
