@@ -1,0 +1,180 @@
+//! Serving-layer throughput: concurrent clients against the
+//! `anyseq-serve` daemon, measuring how well the deadline
+//! micro-batching window coalesces independent requests into engine
+//! batches.
+//!
+//! Run: `cargo run --release -p anyseq-bench --bin serve_throughput \
+//!       [clients] [reqs_per_client] [pairs_per_req] [--socket PATH]`
+//!
+//! Without `--socket` the daemon runs in-process (50 ms window so the
+//! whole burst coalesces); with it, the bench drives an external
+//! `anyseq serve` daemon — the CI `serve-smoke` job uses that mode.
+//! Every reply is checked bit-exactly against a local engine baseline,
+//! then the final `STATS` scrape is parsed into the report keys
+//! `scripts/check_bench_report.py --serve` validates:
+//! `serve.{requests,batches,rejected,window_occupancy}` plus the
+//! client-side throughput (`serve.pairs_per_s`, `serve.gcups`).
+//!
+//! The coalescing figure of merit is `serve.window_occupancy` — mean
+//! pairs per engine batch. With ≥ 4 concurrent clients it must reach
+//! at least 4× the single-request size (the acceptance bar: batching
+//! must actually batch).
+
+use anyseq_bench::report::dump_json;
+use anyseq_engine::{BatchCfg, BatchScheduler, Dispatch, Policy};
+use anyseq_seq::testsupport::read_pairs;
+use anyseq_seq::{BatchView, Seq};
+use anyseq_serve::{ReqKind, SchemeSpec, ServeClient, ServeConfig, Server, SystemClock, WindowCfg};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Extracts one value from a Prometheus text exposition.
+fn metric(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(name)?.trim().parse().ok())
+        .unwrap_or_else(|| panic!("STATS scrape is missing {name}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let clients: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let reqs: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let pairs_per_req: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(64);
+    let socket: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--socket")
+        .and_then(|k| args.get(k + 1))
+        .map(PathBuf::from);
+
+    // In-process daemon unless --socket points at an external one. The
+    // wide window lets the full client burst coalesce; the default
+    // 512-pair target still flushes early once the window fills.
+    let server = if socket.is_none() {
+        let cfg = ServeConfig {
+            window: WindowCfg {
+                max_delay_ns: 50_000_000,
+                ..WindowCfg::default()
+            },
+            ..ServeConfig::default()
+        };
+        let path = std::env::temp_dir().join(format!(
+            "anyseq-serve-throughput-{}.sock",
+            std::process::id()
+        ));
+        Some(Server::start(path, cfg, Arc::new(SystemClock::new())).expect("daemon start failed"))
+    } else {
+        None
+    };
+    let sock = socket
+        .clone()
+        .unwrap_or_else(|| server.as_ref().unwrap().path().to_path_buf());
+
+    let spec = SchemeSpec::global_linear(2, -1, -1);
+    println!(
+        "{clients} clients x {reqs} requests x {pairs_per_req} pairs -> {}",
+        sock.display()
+    );
+
+    // Per-client workloads and the local baseline, computed up front so
+    // the timed section is pure daemon traffic.
+    let workloads: Vec<Vec<(Seq, Seq)>> = (0..clients)
+        .map(|c| read_pairs(reqs * pairs_per_req, 0x5e7e + c as u64))
+        .collect();
+    let dispatch = Dispatch::standard(Policy::Auto);
+    let scheduler = BatchScheduler::new(BatchCfg::default());
+    let baselines: Vec<Vec<i32>> = workloads
+        .iter()
+        .map(|pairs| {
+            scheduler
+                .score_batch(&dispatch, &spec, &BatchView::from_pairs(pairs))
+                .results
+        })
+        .collect();
+    let cells: f64 = workloads
+        .iter()
+        .flatten()
+        .map(|(q, s)| (q.len() * s.len()) as f64)
+        .sum();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = workloads
+        .into_iter()
+        .zip(baselines)
+        .map(|(pairs, expected)| {
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&sock).expect("connect failed");
+                // Pipeline the whole workload, then drain the replies.
+                for chunk in pairs.chunks(pairs_per_req) {
+                    client
+                        .submit_seqs(ReqKind::Score, spec, chunk)
+                        .expect("submit failed");
+                }
+                let mut got = Vec::with_capacity(expected.len());
+                for _ in 0..pairs.len().div_ceil(pairs_per_req) {
+                    match client.recv().expect("recv failed") {
+                        anyseq_serve::ServerReply::Response { results, .. } => match results {
+                            anyseq_serve::proto::Results::Scores(v) => got.extend(v),
+                            other => panic!("score request answered with {other:?}"),
+                        },
+                        other => panic!("unexpected reply: {other:?}"),
+                    }
+                }
+                assert_eq!(got, expected, "daemon scores diverged from the baseline");
+                client.stats().expect("stats scrape failed")
+            })
+        })
+        .collect();
+    let stats = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .next_back()
+        .unwrap();
+    let wall = t0.elapsed().as_secs_f64();
+
+    let requests = metric(&stats, "anyseq_serve_requests_total");
+    let batches = metric(&stats, "anyseq_serve_batches_total");
+    let rejected = metric(&stats, "anyseq_serve_rejected_total");
+    let occupancy = metric(&stats, "anyseq_serve_window_occupancy");
+    let total_pairs = (clients * reqs * pairs_per_req) as f64;
+
+    println!(
+        "wall {wall:.3}s  {:.0} pairs/s  {:.3} GCUPS (client-side, verified)",
+        total_pairs / wall,
+        cells / wall / 1e9
+    );
+    println!(
+        "daemon: {requests} requests -> {batches} batches \
+         (occupancy {occupancy:.1} pairs/batch), {rejected} rejected"
+    );
+
+    // The acceptance bar: under real concurrency the window must
+    // coalesce, not pass requests through one at a time.
+    if clients >= 4 {
+        let bar = 4.0 * pairs_per_req as f64;
+        assert!(
+            occupancy >= bar,
+            "window occupancy {occupancy:.1} below the {bar:.0}-pair bar \
+             ({clients} clients x {pairs_per_req} pairs)"
+        );
+    }
+
+    let mut json: BTreeMap<String, f64> = BTreeMap::new();
+    json.insert("serve.requests".into(), requests);
+    json.insert("serve.batches".into(), batches);
+    json.insert("serve.rejected".into(), rejected);
+    json.insert("serve.window_occupancy".into(), occupancy);
+    json.insert("serve.clients".into(), clients as f64);
+    json.insert("serve.pairs_per_req".into(), pairs_per_req as f64);
+    json.insert("serve.wall_s".into(), wall);
+    json.insert("serve.pairs_per_s".into(), total_pairs / wall);
+    json.insert("serve.gcups".into(), cells / wall / 1e9);
+    dump_json("serve_throughput", &json);
+
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    println!("serve throughput OK");
+}

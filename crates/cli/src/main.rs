@@ -12,6 +12,10 @@
 //!              [--alignments] [--seed N] [--quiet]
 //!              [--metrics [PATH]] [--trace-out PATH] [--stats-json [PATH]]
 //! anyseq simulate --length N [--gc F] [--seed N]    # emit a FASTA genome
+//! anyseq serve --socket PATH [--window-ms N] [--target-pairs N]
+//!              [--batch-mb N] [--queue-mb N] [--max-frame-mb N]
+//!              [--backend NAME] [--auto-crossover CELLS]
+//!              [--cache-mb N] [--threads N]
 //! ```
 //!
 //! `batch` drives the `anyseq-engine` subsystem: pairs are length-
@@ -40,6 +44,15 @@
 //! as a Chrome-trace JSON (load in `chrome://tracing` / Perfetto, one
 //! lane per worker); `--stats-json [PATH]` dumps the run's
 //! `BatchStats` as a stable-keyed JSON object.
+//!
+//! `serve` runs the `anyseq-serve` daemon on a unix socket: concurrent
+//! client requests are coalesced into engine batches by a deadline
+//! micro-batching window (`--window-ms`, flushed early at
+//! `--target-pairs` pairs or `--batch-mb` MiB) behind a queued-bytes
+//! admission gate (`--queue-mb`; overflow gets a typed `Overloaded`
+//! refusal). One engine dispatch, result cache and metrics registry
+//! are shared across all connections; the wire protocol's `STATS` verb
+//! scrapes the Prometheus exposition.
 
 use anyseq_core::kind::{Global, Local, SemiGlobal};
 use anyseq_core::prelude::*;
@@ -65,7 +78,11 @@ fn usage() -> ! {
          \x20              [--auto-crossover CELLS] [--cache-mb N] [--threads N]\n\
          \x20              [--alignments] [--seed N] [--quiet]\n\
          \x20              [--metrics [PATH]] [--trace-out PATH] [--stats-json [PATH]]\n\
-         \x20 anyseq simulate --length N [--gc F] [--seed N]"
+         \x20 anyseq simulate --length N [--gc F] [--seed N]\n\
+         \x20 anyseq serve --socket PATH [--window-ms N] [--target-pairs N]\n\
+         \x20              [--batch-mb N] [--queue-mb N] [--max-frame-mb N]\n\
+         \x20              [--backend NAME] [--auto-crossover CELLS]\n\
+         \x20              [--cache-mb N] [--threads N]"
     );
     exit(2)
 }
@@ -105,6 +122,7 @@ fn main() {
         Some("align") => cmd_align(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => usage(),
     }
 }
@@ -353,6 +371,56 @@ fn cmd_simulate(args: &[String]) {
         quality: None,
     };
     fasta::write_fasta(std::io::stdout().lock(), &[record], 70).expect("stdout write");
+}
+
+fn cmd_serve(args: &[String]) {
+    let flags = parse_flags(args);
+    let socket = flags.get("socket").unwrap_or_else(|| usage());
+
+    let mut window = anyseq_serve::WindowCfg::default();
+    window.max_delay_ns = numeric_flag(&flags, "window-ms", 2u64) * 1_000_000;
+    window.target_pairs = numeric_flag(&flags, "target-pairs", window.target_pairs);
+    window.max_batch_bytes = numeric_flag(&flags, "batch-mb", 8u64) * (1 << 20);
+    window.queue_budget_bytes = numeric_flag(&flags, "queue-mb", 64u64) * (1 << 20);
+
+    let policy = match flags.get("backend").map(String::as_str) {
+        None | Some("auto") => Policy::Auto,
+        Some(name) => match BackendId::parse(name) {
+            Some(id) => Policy::Fixed(id),
+            None => {
+                eprintln!("unknown backend {name}");
+                usage()
+            }
+        },
+    };
+    // The daemon always observes: the STATS verb is part of the wire
+    // protocol, so the engine registry must exist.
+    let mut policy_cfg = DispatchPolicy::new(policy).observe(true);
+    if flags.contains_key("auto-crossover") {
+        let crossover: u64 = numeric_flag(&flags, "auto-crossover", policy_cfg.auto_crossover);
+        if crossover == 0 {
+            eprintln!("--auto-crossover: must be >= 1 DP cells (0 would route every pair to the exclusive wavefront)");
+            usage()
+        }
+        policy_cfg = policy_cfg.auto_crossover(crossover);
+    }
+    policy_cfg = policy_cfg.cache_mb(numeric_flag(&flags, "cache-mb", 32));
+
+    let cfg = anyseq_serve::ServeConfig {
+        window,
+        threads: numeric_flag(&flags, "threads", 0),
+        policy: policy_cfg,
+        max_frame_bytes: numeric_flag(&flags, "max-frame-mb", 64usize) * (1 << 20),
+    };
+    let clock = std::sync::Arc::new(anyseq_serve::SystemClock::new());
+    let handle = anyseq_serve::Server::start(socket, cfg, clock).unwrap_or_else(|e| {
+        eprintln!("cannot start daemon on {socket}: {e}");
+        exit(1)
+    });
+    eprintln!("anyseq serve: listening on {socket}");
+    // Parks until the accept loop exits (i.e. the process is killed;
+    // the socket file is cleaned up by the next daemon's bind).
+    handle.wait();
 }
 
 fn cmd_align(args: &[String]) {

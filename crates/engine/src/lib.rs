@@ -78,6 +78,7 @@ pub mod dispatch;
 pub mod engine;
 pub mod report;
 pub mod scheduler;
+pub mod shared;
 pub mod spec;
 pub mod stats;
 pub mod util;
@@ -88,6 +89,7 @@ pub use dispatch::{BackendId, Dispatch, DispatchPolicy, Policy};
 pub use engine::{Caps, Engine, EngineError};
 pub use report::{stats_json, summary_with_utilization};
 pub use scheduler::{BatchCfg, BatchRun, BatchScheduler, SCHED_BYTES_COPIED};
+pub use shared::SharedDispatcher;
 pub use spec::{GapSpec, KindSpec, SchemeSpec};
 pub use stats::{BackendUse, BatchStats};
 
@@ -99,6 +101,7 @@ pub mod prelude {
     pub use crate::engine::{Caps, Engine, EngineError};
     pub use crate::report::{stats_json, summary_with_utilization};
     pub use crate::scheduler::{BatchCfg, BatchRun, BatchScheduler, SCHED_BYTES_COPIED};
+    pub use crate::shared::SharedDispatcher;
     pub use crate::spec::{GapSpec, KindSpec, SchemeSpec};
     pub use crate::stats::{BackendUse, BatchStats};
 }

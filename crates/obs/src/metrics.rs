@@ -217,6 +217,19 @@ impl MetricsRegistry {
         g.gauges.insert((name, labels), v);
     }
 
+    /// Adjusts the gauge `name{labels}` by `delta` (negative to
+    /// decrement), creating it at 0 first, and returns the new value.
+    /// This is the API for *level* gauges — queue depth, in-flight
+    /// bytes, window occupancy — where concurrent holders each add
+    /// their share and release it later, so no single caller knows the
+    /// absolute value ([`MetricsRegistry::set_gauge`] would race).
+    pub fn add_gauge(&self, name: &'static str, labels: String, delta: f64) -> f64 {
+        let mut g = self.inner.lock().expect("metrics registry poisoned");
+        let v = g.gauges.entry((name, labels)).or_insert(0.0);
+        *v += delta;
+        *v
+    }
+
     /// Records `v` into the histogram `name{labels}`.
     pub fn observe(&self, name: &'static str, labels: String, v: u64) {
         let mut g = self.inner.lock().expect("metrics registry poisoned");
@@ -327,6 +340,31 @@ mod tests {
                 .count(),
             0
         );
+    }
+
+    #[test]
+    fn add_gauge_accumulates_and_interoperates_with_set() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(
+            reg.add_gauge("anyseq_queue_bytes", String::new(), 64.0),
+            64.0
+        );
+        assert_eq!(
+            reg.add_gauge("anyseq_queue_bytes", String::new(), 32.0),
+            96.0
+        );
+        assert_eq!(
+            reg.add_gauge("anyseq_queue_bytes", String::new(), -96.0),
+            0.0
+        );
+        // set_gauge overrides the accumulated level; add resumes from it.
+        reg.set_gauge("anyseq_queue_bytes", String::new(), 10.0);
+        assert_eq!(
+            reg.add_gauge("anyseq_queue_bytes", String::new(), 5.0),
+            15.0
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges[&("anyseq_queue_bytes", String::new())], 15.0);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! A small blocking client for the serve protocol.
+//!
+//! Used by the tests, the bench harness, and
+//! `examples/serve_roundtrip.rs`. The client supports *pipelining*:
+//! [`ServeClient::submit`] only writes the request frame, so a caller
+//! can queue many requests before reading any reply — the server
+//! guarantees replies come back in submission order, and each carries
+//! the submitted id as a cross-check. [`ServeClient::roundtrip`] is
+//! the one-shot convenience wrapper.
+
+use crate::proto::{
+    decode_message, encode_request, encode_stats, read_frame, write_frame, CodePair, ErrorFrame,
+    Message, Request, Results, MAX_FRAME_BYTES,
+};
+use anyseq_engine::{ReqKind, SchemeSpec};
+use anyseq_seq::Seq;
+use std::io::BufReader;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One frame from the server, from the client's point of view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerReply {
+    /// A successful response (id + per-pair results).
+    Response {
+        /// The echoed request id.
+        id: u64,
+        /// Per-pair results in the request's pair order.
+        results: Results,
+    },
+    /// A typed refusal.
+    Error(ErrorFrame),
+    /// The metrics exposition answering a `STATS` scrape.
+    Stats(String),
+}
+
+/// A blocking connection to a serve daemon.
+pub struct ServeClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl ServeClient {
+    /// Connects to the daemon's unix socket.
+    pub fn connect(path: impl AsRef<Path>) -> std::io::Result<ServeClient> {
+        let writer = UnixStream::connect(path)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(ServeClient {
+            reader,
+            writer,
+            next_id: 1,
+            max_frame: MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Sends one request frame without waiting for the reply, and
+    /// returns the id it will come back under. Replies arrive in
+    /// submission order via [`ServeClient::recv`].
+    pub fn submit(
+        &mut self,
+        mode: ReqKind,
+        spec: SchemeSpec,
+        pairs: Vec<CodePair>,
+    ) -> std::io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request {
+            id,
+            mode,
+            spec,
+            pairs,
+        };
+        write_frame(&mut self.writer, &encode_request(&req))?;
+        Ok(id)
+    }
+
+    /// [`ServeClient::submit`] over owned [`Seq`]s (copies the codes
+    /// onto the wire — the client side of the socket is where the
+    /// zero-copy domain ends).
+    pub fn submit_seqs(
+        &mut self,
+        mode: ReqKind,
+        spec: SchemeSpec,
+        pairs: &[(Seq, Seq)],
+    ) -> std::io::Result<u64> {
+        let code_pairs = pairs
+            .iter()
+            .map(|(q, s)| (q.codes().to_vec(), s.codes().to_vec()))
+            .collect();
+        self.submit(mode, spec, code_pairs)
+    }
+
+    /// Sends a raw pre-framed payload — the fault-injection tests use
+    /// this to put malformed frames on the wire.
+    pub fn send_raw(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        write_frame(&mut self.writer, payload)
+    }
+
+    /// Reads the next server frame. An EOF here is an error: the
+    /// caller asked for a reply it never got.
+    pub fn recv(&mut self) -> std::io::Result<ServerReply> {
+        let payload = read_frame(&mut self.reader, self.max_frame)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )
+        })?;
+        match decode_message(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+        {
+            Message::Response(resp) => Ok(ServerReply::Response {
+                id: resp.id,
+                results: resp.results,
+            }),
+            Message::Error(err) => Ok(ServerReply::Error(err)),
+            Message::StatsText(text) => Ok(ServerReply::Stats(text)),
+            Message::Request(_) | Message::Stats => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "client-side verb received from server",
+            )),
+        }
+    }
+
+    /// Submit + recv in one call: `Ok(Ok(results))` on success,
+    /// `Ok(Err(frame))` on a typed server refusal (e.g. `Overloaded`).
+    pub fn roundtrip(
+        &mut self,
+        mode: ReqKind,
+        spec: SchemeSpec,
+        pairs: Vec<CodePair>,
+    ) -> std::io::Result<Result<Results, ErrorFrame>> {
+        let id = self.submit(mode, spec, pairs)?;
+        match self.recv()? {
+            ServerReply::Response { id: got, results } => {
+                if got != id {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("response id {got} does not match request id {id}"),
+                    ));
+                }
+                Ok(Ok(results))
+            }
+            ServerReply::Error(err) => Ok(Err(err)),
+            ServerReply::Stats(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "stats frame answering an alignment request",
+            )),
+        }
+    }
+
+    /// Scrapes the daemon's metrics (Prometheus text exposition).
+    /// Queued behind any pipelined requests — replies are FIFO.
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        write_frame(&mut self.writer, &encode_stats())?;
+        match self.recv()? {
+            ServerReply::Stats(text) => Ok(text),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected stats text, got {other:?}"),
+            )),
+        }
+    }
+}

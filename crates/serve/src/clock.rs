@@ -1,0 +1,122 @@
+//! Injected time for the batching window.
+//!
+//! The micro-batcher never reads the system clock directly: every
+//! "what time is it" and "how long may I park" question goes through a
+//! [`Clock`]. Production uses [`SystemClock`]; the concurrency test
+//! harness uses [`FakeClock`], whose time only moves when the test
+//! calls [`FakeClock::advance`] — so a test can pile requests into a
+//! window, prove nothing flushes, then advance past the deadline and
+//! prove exactly one batch forms. Flush decisions depend only on
+//! `now_ns()` and queue state, never on how often the flush loop woke
+//! up, which is what makes the fake-clock runs outcome-deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond clock the batcher's flush loop polls.
+pub trait Clock: Send + Sync + 'static {
+    /// Monotonic nanoseconds since an arbitrary (per-clock) epoch.
+    fn now_ns(&self) -> u64;
+
+    /// Longest the flush loop may block on its condvar before
+    /// re-checking state, given that the nearest deadline is `wait_ns`
+    /// away (`None`: no window is open). Submissions always wake the
+    /// loop early, so this is an upper bound, not a schedule.
+    fn max_park(&self, wait_ns: Option<u64>) -> Duration;
+}
+
+/// Real time: parks until the nearest deadline.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock with its epoch at construction time.
+    pub fn new() -> SystemClock {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn max_park(&self, wait_ns: Option<u64>) -> Duration {
+        match wait_ns {
+            // +1 ns so a park never wakes just *before* its deadline
+            // and burns a spin iteration on rounding.
+            Some(ns) => Duration::from_nanos(ns.saturating_add(1)),
+            None => Duration::from_millis(100),
+        }
+    }
+}
+
+/// Test time: an atomic counter that only moves on [`FakeClock::advance`].
+///
+/// `max_park` returns a short real-time poll interval (fake time can
+/// move between any two polls, and the advancing thread cannot notify
+/// the batcher's condvar), so fake-clock runs trade a little idle
+/// polling for fully controlled deadlines.
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    now: AtomicU64,
+}
+
+impl FakeClock {
+    /// A fake clock at t=0.
+    pub fn new() -> FakeClock {
+        FakeClock::default()
+    }
+
+    /// Moves time forward by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn max_park(&self, _wait_ns: Option<u64>) -> Duration {
+        Duration::from_millis(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+        assert_eq!(c.max_park(Some(5)), Duration::from_nanos(6));
+        assert!(c.max_park(None) > Duration::from_millis(1));
+    }
+
+    #[test]
+    fn fake_clock_moves_only_on_advance() {
+        let c = FakeClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0);
+        c.advance(1_000);
+        assert_eq!(c.now_ns(), 1_000);
+        c.advance(u64::from(u32::MAX));
+        assert_eq!(c.now_ns(), 1_000 + u64::from(u32::MAX));
+        assert_eq!(c.max_park(Some(1 << 40)), Duration::from_millis(1));
+    }
+}

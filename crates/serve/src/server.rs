@@ -1,0 +1,318 @@
+//! The daemon: unix-socket accept loop + the batch dispatcher.
+//!
+//! [`Server::start`] binds the socket and spawns two long-lived
+//! threads — an accept loop (one detached session per connection, see
+//! the private `session` module) and the *dispatcher loop*, the single consumer
+//! of the [`MicroBatcher`]: it takes each flushed window, builds one
+//! zero-copy [`BatchView`] over every coalesced request's codes, runs
+//! it through the shared [`SharedDispatcher`] (one engine registry,
+//! one [`ResultCache`](anyseq_engine::ResultCache), one metrics
+//! registry for the whole daemon), and splits the results back per
+//! request in admission order.
+//!
+//! Serving metrics live in their own registry (names below, all
+//! pre-seeded so a scrape never misses a key); the `STATS` verb
+//! returns its Prometheus exposition concatenated with the engine
+//! registry's (stage histograms, cache gauges) when observability is
+//! on.
+
+use crate::batcher::{Batch, MicroBatcher, WindowCfg};
+use crate::clock::Clock;
+use crate::proto::{Results, MAX_FRAME_BYTES};
+use crate::session::run_session;
+use anyseq_engine::{BatchCfg, DispatchPolicy, ReqKind, SharedDispatcher};
+use anyseq_obs::{prometheus_text, MetricsRegistry, MetricsSnapshot};
+use anyseq_seq::{BatchView, PairRef};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Counter: requests received (admitted or not).
+pub const SERVE_REQUESTS_TOTAL: &str = "anyseq_serve_requests_total";
+/// Counter: requests refused by admission control.
+pub const SERVE_REJECTED_TOTAL: &str = "anyseq_serve_rejected_total";
+/// Counter: frames that failed to decode (answered with a typed error).
+pub const SERVE_MALFORMED_TOTAL: &str = "anyseq_serve_malformed_total";
+/// Counter: engine batches formed by the micro-batcher.
+pub const SERVE_BATCHES_TOTAL: &str = "anyseq_serve_batches_total";
+/// Counter: pairs dispatched across all batches.
+pub const SERVE_BATCH_PAIRS_TOTAL: &str = "anyseq_serve_batch_pairs_total";
+/// Histogram: per-batch pair counts (the occupancy distribution).
+pub const SERVE_BATCH_PAIRS_HIST: &str = "anyseq_serve_batch_pairs";
+/// Gauge: mean pairs per batch so far — the coalescing figure of
+/// merit (≥4× the single-request size under concurrent load is the
+/// acceptance bar).
+pub const SERVE_WINDOW_OCCUPANCY: &str = "anyseq_serve_window_occupancy";
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Micro-batching window (flush triggers + queue budget).
+    pub window: WindowCfg,
+    /// Engine worker threads; 0 means all available cores.
+    pub threads: usize,
+    /// Dispatch policy for the shared engine. The default enables
+    /// observability (the `STATS` verb is half the point of a daemon)
+    /// and a 32 MiB result cache shared across all connections.
+    pub policy: DispatchPolicy,
+    /// Per-frame payload cap for client connections.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            window: WindowCfg::default(),
+            threads: 0,
+            policy: DispatchPolicy::auto().observe(true).cache_mb(32),
+            max_frame_bytes: MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// State shared by the accept loop, every session, and the dispatcher.
+pub(crate) struct Shared {
+    /// The micro-batching queue sessions submit into.
+    pub batcher: MicroBatcher,
+    /// The one engine handle every batch runs through.
+    pub engine: SharedDispatcher,
+    /// The serving-layer metrics registry.
+    pub metrics: Arc<MetricsRegistry>,
+    /// Per-frame payload cap.
+    pub max_frame: usize,
+}
+
+impl Shared {
+    /// Renders the `STATS` exposition: serving metrics first, then the
+    /// engine registry (when the dispatch observes).
+    pub(crate) fn render_stats(&self) -> String {
+        let mut text = prometheus_text(&self.metrics.snapshot());
+        if let Some(reg) = self.engine.dispatch().metrics() {
+            text.push_str(&prometheus_text(&reg.snapshot()));
+        }
+        text
+    }
+}
+
+/// The serve daemon (constructor namespace; see [`Server::start`]).
+pub struct Server;
+
+impl Server {
+    /// Binds `path` (replacing a stale socket file) and starts the
+    /// accept + dispatcher threads. The returned handle owns the
+    /// daemon: [`ServerHandle::shutdown`] flushes and joins it, and
+    /// dropping the handle does the same best-effort.
+    pub fn start(
+        path: impl AsRef<Path>,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> std::io::Result<ServerHandle> {
+        let path = path.as_ref().to_path_buf();
+        // A leftover socket file from a dead daemon would fail the
+        // bind with AddrInUse; a *live* daemon also holds no lock on
+        // the file, so replacing is the conventional unix-socket move.
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+
+        let metrics = Arc::new(MetricsRegistry::new());
+        // Pre-seed every serving metric so scrapes (and the report
+        // checker) always see the full key set, zeros included.
+        for name in [
+            SERVE_REQUESTS_TOTAL,
+            SERVE_REJECTED_TOTAL,
+            SERVE_MALFORMED_TOTAL,
+            SERVE_BATCHES_TOTAL,
+            SERVE_BATCH_PAIRS_TOTAL,
+        ] {
+            metrics.inc(name, String::new(), 0);
+        }
+        metrics.set_gauge(SERVE_WINDOW_OCCUPANCY, String::new(), 0.0);
+        metrics.add_gauge(crate::batcher::QUEUE_BYTES_GAUGE, String::new(), 0.0);
+        metrics.add_gauge(crate::batcher::QUEUE_DEPTH_GAUGE, String::new(), 0.0);
+
+        let threads = if cfg.threads == 0 {
+            BatchCfg::default()
+        } else {
+            BatchCfg::threads(cfg.threads)
+        };
+        let shared = Arc::new(Shared {
+            batcher: MicroBatcher::new(cfg.window, clock).with_metrics(Arc::clone(&metrics)),
+            engine: SharedDispatcher::new(cfg.policy.standard(), threads),
+            metrics,
+            max_frame: cfg.max_frame_bytes,
+        });
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || dispatcher_loop(&shared))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || accept_loop(listener, &shared, &shutdown))
+        };
+        Ok(ServerHandle {
+            path,
+            shared,
+            shutdown,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+        })
+    }
+}
+
+fn accept_loop(listener: UnixListener, shared: &Arc<Shared>, shutdown: &AtomicBool) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // Sessions are detached: they end when their client hangs up,
+        // and shutdown flushes their admitted work first.
+        std::thread::spawn(move || run_session(stream, shared));
+    }
+}
+
+/// The single batch consumer: coalesced window → one engine run →
+/// per-request result slices, in admission order.
+fn dispatcher_loop(shared: &Arc<Shared>) {
+    let mut batches = 0u64;
+    let mut pairs_total = 0u64;
+    while let Some(batch) = shared.batcher.next_batch() {
+        let pair_count = batch.pair_count() as u64;
+        let results = run_batch(shared, &batch);
+        distribute(batch, results);
+        batches += 1;
+        pairs_total += pair_count;
+        shared.metrics.inc(SERVE_BATCHES_TOTAL, String::new(), 1);
+        shared
+            .metrics
+            .inc(SERVE_BATCH_PAIRS_TOTAL, String::new(), pair_count);
+        shared
+            .metrics
+            .observe(SERVE_BATCH_PAIRS_HIST, String::new(), pair_count);
+        shared.metrics.set_gauge(
+            SERVE_WINDOW_OCCUPANCY,
+            String::new(),
+            pairs_total as f64 / batches as f64,
+        );
+    }
+}
+
+fn run_batch(shared: &Arc<Shared>, batch: &Batch) -> Results {
+    // One borrowed view over every request's codes — the engine sees a
+    // single coalesced batch; no sequence bytes are copied here.
+    let refs: Vec<PairRef<'_>> = batch
+        .requests
+        .iter()
+        .flat_map(|r| r.pairs.iter().map(|(q, s)| PairRef::new(q, s)))
+        .collect();
+    let view = BatchView::from_refs(refs);
+    match batch.mode {
+        ReqKind::Score => Results::Scores(shared.engine.score_batch(&batch.spec, &view).results),
+        ReqKind::Align => {
+            Results::Alignments(shared.engine.align_batch(&batch.spec, &view).results)
+        }
+    }
+}
+
+fn distribute(batch: Batch, results: Results) {
+    let mut offset = 0;
+    for req in batch.requests {
+        let n = req.pairs.len();
+        let chunk = match &results {
+            Results::Scores(v) => Results::Scores(v[offset..offset + n].to_vec()),
+            Results::Alignments(v) => Results::Alignments(v[offset..offset + n].to_vec()),
+        };
+        offset += n;
+        // A disconnected client dropped its receiver; everyone else's
+        // results are unaffected.
+        let _ = req.tx.send(chunk);
+    }
+}
+
+/// Owns the running daemon's threads and socket path.
+pub struct ServerHandle {
+    path: PathBuf,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The socket path clients connect to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The shared engine handle (cumulative cross-batch stats, cache,
+    /// engine metrics registry).
+    pub fn engine(&self) -> &SharedDispatcher {
+        &self.shared.engine
+    }
+
+    /// A snapshot of the serving-layer metrics registry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Sequence bytes currently queued in the batcher.
+    pub fn queued_bytes(&self) -> u64 {
+        self.shared.batcher.queued_bytes()
+    }
+
+    /// High-water mark of queued bytes (bounded by the queue budget).
+    pub fn peak_queued_bytes(&self) -> u64 {
+        self.shared.batcher.peak_queued_bytes()
+    }
+
+    /// The rendered `STATS` exposition (same text a client scrape gets).
+    pub fn stats_text(&self) -> String {
+        self.shared.render_stats()
+    }
+
+    /// Blocks until the accept loop exits — i.e. forever, until
+    /// another thread (or a signal handler) shuts the process down.
+    /// This is what the CLI daemon parks on.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Flushes admitted work, stops both threads, and removes the
+    /// socket file. Idle connected clients keep their sessions until
+    /// they hang up; everything admitted before shutdown is answered.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.accept.is_none() && self.dispatcher.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.shared.batcher.close();
+        // The accept loop only re-checks its flag per connection; poke
+        // it with a throwaway connect so it wakes and exits.
+        let _ = UnixStream::connect(&self.path);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-connection frame pump: decode → admit → reply in order.
+//!
+//! Each accepted connection gets one *reader* (the session thread
+//! itself) and one *writer* thread, glued by a FIFO reply queue. The
+//! reader decodes frames and — for admitted requests — enqueues a
+//! pending slot holding the channel the dispatcher will answer on;
+//! instant replies (overload rejections, protocol errors, `STATS`)
+//! enqueue pre-encoded frames. The writer pops the FIFO and blocks on
+//! each pending slot in turn, so **responses always leave the socket
+//! in the order the requests arrived**, no matter how the dispatcher
+//! interleaves batches.
+//!
+//! Fault containment: a client disconnecting mid-flight just ends both
+//! loops — its pending result channels drop, the dispatcher's sends to
+//! them fail silently, and nothing it queued stalls the window or
+//! leaks budget (queue bytes are released when the batch is taken,
+//! which happens regardless of who is still listening). A malformed
+//! frame gets a typed [`ErrCode::Malformed`](crate::proto::ErrCode)
+//! error and the connection stays open; only a frame the stream cannot
+//! recover from (oversized length prefix, mid-frame EOF) closes it.
+
+use crate::batcher::SubmitError;
+use crate::proto::{
+    decode_message, encode_error, encode_response, encode_stats_text, read_frame, write_frame,
+    ErrCode, ErrorFrame, Message, Response, Results,
+};
+use crate::server::{Shared, SERVE_MALFORMED_TOTAL, SERVE_REJECTED_TOTAL, SERVE_REQUESTS_TOTAL};
+use std::io::BufReader;
+use std::os::unix::net::UnixStream;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+/// One slot in the per-connection reply FIFO.
+enum Reply {
+    /// An already-encoded frame payload (errors, stats).
+    Ready(Vec<u8>),
+    /// A request awaiting its batch: the writer blocks on `rx`.
+    Pending { id: u64, rx: Receiver<Results> },
+}
+
+/// Runs one connection to completion (reader loop; owns a writer
+/// thread). Returns when the client disconnects or the stream breaks.
+pub(crate) fn run_session(stream: UnixStream, shared: Arc<Shared>) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (reply_tx, reply_rx) = channel::<Reply>();
+    let writer = std::thread::spawn(move || writer_loop(write_half, reply_rx));
+    reader_loop(stream, &shared, &reply_tx);
+    // Closing the FIFO lets the writer drain queued replies and exit;
+    // every admitted request is eventually answered by the dispatcher
+    // (even during shutdown, which flushes rather than drops), so the
+    // join cannot hang.
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+fn reader_loop(stream: UnixStream, shared: &Arc<Shared>, reply_tx: &Sender<Reply>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader, shared.max_frame) {
+            Ok(Some(p)) => p,
+            // Clean EOF, unrecoverable framing, or a broken socket all
+            // end the session; in-frame problems are handled below.
+            Ok(None) | Err(_) => return,
+        };
+        let reply = match decode_message(&payload) {
+            Ok(Message::Request(req)) => {
+                shared.metrics.inc(SERVE_REQUESTS_TOTAL, String::new(), 1);
+                let (tx, rx) = channel();
+                match shared.batcher.submit(req.spec, req.mode, req.pairs, tx) {
+                    Ok(()) => Reply::Pending { id: req.id, rx },
+                    Err(err @ SubmitError::Overloaded { .. }) => {
+                        shared.metrics.inc(SERVE_REJECTED_TOTAL, String::new(), 1);
+                        Reply::Ready(encode_error(&ErrorFrame {
+                            id: req.id,
+                            code: ErrCode::Overloaded,
+                            message: err.to_string(),
+                        }))
+                    }
+                    Err(err @ SubmitError::Closed) => Reply::Ready(encode_error(&ErrorFrame {
+                        id: req.id,
+                        code: ErrCode::Internal,
+                        message: err.to_string(),
+                    })),
+                }
+            }
+            Ok(Message::Stats) => Reply::Ready(encode_stats_text(&shared.render_stats())),
+            Ok(_) => {
+                // Response / Error / StatsText are server→client verbs;
+                // a client sending one is protocol misuse, not a
+                // connection-fatal condition.
+                shared.metrics.inc(SERVE_MALFORMED_TOTAL, String::new(), 1);
+                Reply::Ready(encode_error(&ErrorFrame {
+                    id: 0,
+                    code: ErrCode::Malformed,
+                    message: "server-side verb sent by client".into(),
+                }))
+            }
+            Err(err) => {
+                shared.metrics.inc(SERVE_MALFORMED_TOTAL, String::new(), 1);
+                Reply::Ready(encode_error(&ErrorFrame {
+                    id: 0,
+                    code: ErrCode::Malformed,
+                    message: err.to_string(),
+                }))
+            }
+        };
+        if reply_tx.send(reply).is_err() {
+            // Writer gone (socket broke): stop reading too.
+            return;
+        }
+    }
+}
+
+fn writer_loop(mut stream: UnixStream, rx: Receiver<Reply>) {
+    for reply in rx {
+        let payload = match reply {
+            Reply::Ready(p) => p,
+            Reply::Pending { id, rx } => match rx.recv() {
+                Ok(results) => encode_response(&Response { id, results }),
+                // The dispatcher only drops a result channel if it
+                // died before answering — surface that instead of
+                // silently truncating the response stream.
+                Err(_) => encode_error(&ErrorFrame {
+                    id,
+                    code: ErrCode::Internal,
+                    message: "dispatcher exited before answering".into(),
+                }),
+            },
+        };
+        if write_frame(&mut stream, &payload).is_err() {
+            // Client went away mid-stream: dropping the remaining
+            // replies (and their pending receivers) detaches this
+            // connection from the dispatcher — its sends fail silently
+            // and other clients' results are untouched.
+            return;
+        }
+    }
+}

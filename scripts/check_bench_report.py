@@ -1,7 +1,14 @@
 #!/usr/bin/env python3
-"""Validate a batch_throughput JSON report.
+"""Validate a batch_throughput (or serve_throughput) JSON report.
 
 Usage: check_bench_report.py <report.json> <threads> [long_len] [dup_frac]
+       check_bench_report.py --serve <report.json>
+
+`--serve` validates a `serve_throughput` report instead: the serving
+metrics `serve.requests`, `serve.batches` and `serve.window_occupancy`
+must be present and positive, `serve.rejected` present (zero is the
+healthy value), and the client-side throughput keys `serve.wall_s` /
+`serve.pairs_per_s` / `serve.gcups` positive.
 
 Fails (exit 1) if the report is missing any required key:
   * `<mode>.<backend>_1t` and `<mode>.<backend>_<threads>t` for every
@@ -43,15 +50,54 @@ STAGES = (
 )
 
 
+def check(path: str, required: list) -> int:
+    """Shared validator: every (key, must_be_positive) pair present and sane."""
+    with open(path) as fh:
+        report = json.load(fh)
+    missing = [key for key, _ in required if key not in report]
+    bad = [
+        key
+        for key, positive in required
+        if key in report
+        and (
+            not isinstance(report[key], (int, float))
+            or (positive and not report[key] > 0)
+        )
+    ]
+    if missing:
+        print(f"{path}: missing keys: {', '.join(sorted(missing))}", file=sys.stderr)
+    if bad:
+        print(f"{path}: non-positive/invalid values: {', '.join(sorted(bad))}", file=sys.stderr)
+    if missing or bad:
+        return 1
+    print(f"{path}: {len(required)} required keys present and sane")
+    return 0
+
+
+def main_serve(path: str) -> int:
+    required = [
+        ("serve.requests", True),
+        ("serve.batches", True),
+        ("serve.rejected", False),
+        ("serve.window_occupancy", True),
+        ("serve.clients", True),
+        ("serve.pairs_per_req", True),
+        ("serve.wall_s", True),
+        ("serve.pairs_per_s", True),
+        ("serve.gcups", True),
+    ]
+    return check(path, required)
+
+
 def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--serve":
+        return main_serve(sys.argv[2])
     if len(sys.argv) not in (3, 4, 5):
         print(__doc__, file=sys.stderr)
         return 2
     path, threads = sys.argv[1], int(sys.argv[2])
     long_len = int(sys.argv[3]) if len(sys.argv) >= 4 else 0
     dup_frac = float(sys.argv[4]) if len(sys.argv) >= 5 else 0.0
-    with open(path) as fh:
-        report = json.load(fh)
 
     required = []
     for mode in MODES:
@@ -88,24 +134,7 @@ def main() -> int:
             required.append((f"dup.{mode}_gcups_nocache", True))
             required.append((f"dup.{mode}_speedup", True))
 
-    missing = [key for key, _ in required if key not in report]
-    bad = [
-        key
-        for key, positive in required
-        if key in report
-        and (
-            not isinstance(report[key], (int, float))
-            or (positive and not report[key] > 0)
-        )
-    ]
-    if missing:
-        print(f"{path}: missing keys: {', '.join(sorted(missing))}", file=sys.stderr)
-    if bad:
-        print(f"{path}: non-positive/invalid values: {', '.join(sorted(bad))}", file=sys.stderr)
-    if missing or bad:
-        return 1
-    print(f"{path}: {len(required)} required keys present and sane")
-    return 0
+    return check(path, required)
 
 
 if __name__ == "__main__":

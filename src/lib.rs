@@ -22,6 +22,7 @@ pub use anyseq_fpga_sim as fpga;
 pub use anyseq_gpu_sim as gpu;
 pub use anyseq_obs as obs;
 pub use anyseq_seq as seq;
+pub use anyseq_serve as serve;
 pub use anyseq_simd as simd;
 pub use anyseq_wavefront as wavefront;
 

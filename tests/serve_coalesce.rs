@@ -1,0 +1,247 @@
+//! The serving layer's central correctness property: **coalescing is
+//! invisible**. However the deadline micro-batching window happens to
+//! group concurrent clients' requests into engine batches, every
+//! client must get bit-identical results to dispatching its requests
+//! alone, sequentially — and must get them back in its own submission
+//! order.
+//!
+//! The daemon runs on a [`FakeClock`], and a pump thread walks fake
+//! time forward while clients are in flight, so window deadlines fire
+//! at arbitrary points relative to the submission interleaving: each
+//! proptest case explores a different batch composition, and the
+//! assertion is that composition never shows through.
+//!
+//! CIGAR bit-identity is asserted under `Policy::Fixed(Scalar)` — the
+//! scalar backend's traceback is per-pair deterministic, while the
+//! SIMD banded traceback may legally shape CIGARs by lane-group
+//! composition (shared band width). Scores are additionally asserted
+//! under full `Policy::Auto` in a separate test: the engine contract
+//! makes scores bit-exact across backends, so score identity must
+//! survive any backend mix the coalesced batch is routed to.
+
+use anyseq::serve::proto::Results;
+use anyseq::serve::{
+    FakeClock, ReqKind, SchemeSpec, ServeClient, ServeConfig, Server, ServerReply, WindowCfg,
+};
+use anyseq_engine::{BackendId, BatchCfg, BatchScheduler, Dispatch, DispatchPolicy, Policy};
+use anyseq_seq::testsupport::read_pairs;
+use anyseq_seq::{BatchView, PairRef};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A unique socket path per daemon (pid + counter: parallel test
+/// binaries and parallel cases within one binary cannot collide).
+fn socket_path(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "anyseq-{tag}-{}-{}.sock",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Walks the fake clock forward until `stop` is raised, so window
+/// deadlines fire at arbitrary real-time points while clients run.
+fn pump_clock(clock: Arc<FakeClock>, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            clock.advance(2_000_000); // 2 ms fake per tick
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    })
+}
+
+/// One client's scripted traffic: `(align?, spec, pairs)` per request.
+type ClientScript = Vec<(bool, SchemeSpec, Vec<(Vec<u8>, Vec<u8>)>)>;
+
+/// Runs every script against a fake-clock daemon (one connection per
+/// script, all requests pipelined before any reply is read), asserts
+/// per-connection submission-order replies, and returns each client's
+/// results in submission order.
+fn run_through_daemon(
+    scripts: &[ClientScript],
+    policy: DispatchPolicy,
+    target_pairs: usize,
+) -> Vec<Vec<Results>> {
+    let clock = Arc::new(FakeClock::new());
+    let cfg = ServeConfig {
+        window: WindowCfg {
+            max_delay_ns: 1_000_000,
+            target_pairs,
+            ..WindowCfg::default()
+        },
+        threads: 1,
+        policy,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(socket_path("coalesce"), cfg, clock.clone() as Arc<_>)
+        .expect("daemon start failed");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let pump = pump_clock(clock, stop.clone());
+
+    let handles: Vec<_> = scripts
+        .iter()
+        .cloned()
+        .map(|script| {
+            let sock = server.path().to_path_buf();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&sock).expect("connect failed");
+                let ids: Vec<u64> = script
+                    .iter()
+                    .map(|(align, spec, pairs)| {
+                        let mode = if *align {
+                            ReqKind::Align
+                        } else {
+                            ReqKind::Score
+                        };
+                        client
+                            .submit(mode, *spec, pairs.clone())
+                            .expect("submit failed")
+                    })
+                    .collect();
+                ids.into_iter()
+                    .map(|id| match client.recv().expect("recv failed") {
+                        ServerReply::Response { id: got, results } => {
+                            // The FIFO reply contract: each reply is for
+                            // the oldest outstanding request.
+                            assert_eq!(got, id, "reply out of submission order");
+                            results
+                        }
+                        other => panic!("unexpected reply: {other:?}"),
+                    })
+                    .collect::<Vec<Results>>()
+            })
+        })
+        .collect();
+    let results = handles
+        .into_iter()
+        .map(|h| h.join().expect("client panicked"))
+        .collect();
+
+    stop.store(true, Ordering::Relaxed);
+    pump.join().expect("clock pump panicked");
+    server.shutdown();
+    results
+}
+
+/// The sequential baseline: each request dispatched on its own, in
+/// submission order, through the same policy — no coalescing at all.
+fn run_sequentially(scripts: &[ClientScript], policy: DispatchPolicy) -> Vec<Vec<Results>> {
+    let dispatch = policy.standard();
+    let scheduler = BatchScheduler::new(BatchCfg::threads(1));
+    scripts
+        .iter()
+        .map(|script| {
+            script
+                .iter()
+                .map(|(align, spec, pairs)| {
+                    let refs: Vec<PairRef<'_>> =
+                        pairs.iter().map(|(q, s)| PairRef::new(q, s)).collect();
+                    let view = BatchView::from_refs(refs);
+                    if *align {
+                        Results::Alignments(scheduler.align_batch(&dispatch, spec, &view).results)
+                    } else {
+                        Results::Scores(scheduler.score_batch(&dispatch, spec, &view).results)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn seq_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..5, 1..40) // includes N (code 4)
+}
+
+/// A request before interpretation: `(align?, (mismatch, gap), pairs)`
+/// — the shim has no `prop_map`, so [`to_scripts`] builds the
+/// [`SchemeSpec`]s in the test body.
+type RawRequest = (u8, (i32, i32), Vec<(Vec<u8>, Vec<u8>)>);
+
+fn request_strategy() -> impl Strategy<Value = RawRequest> {
+    (
+        0u8..2,
+        (-3i32..=-1, -3i32..=-1),
+        prop::collection::vec((seq_strategy(), seq_strategy()), 1..4),
+    )
+}
+
+fn to_scripts(raw: Vec<Vec<RawRequest>>) -> Vec<ClientScript> {
+    raw.into_iter()
+        .map(|client| {
+            client
+                .into_iter()
+                .map(|(align, (mismatch, gap), pairs)| {
+                    (
+                        align == 1,
+                        SchemeSpec::global_linear(2, mismatch, gap),
+                        pairs,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// 256 random multi-client interleavings: scores AND CIGARs from
+    /// the coalescing daemon are bit-identical to the sequential
+    /// baseline, per client, in submission order.
+    #[test]
+    fn coalesced_results_are_bit_identical_to_sequential_dispatch(
+        raw in prop::collection::vec(prop::collection::vec(request_strategy(), 1..4), 2..5),
+        target_pairs in prop_oneof![Just(1usize), Just(4), Just(1000)],
+    ) {
+        let scripts = to_scripts(raw);
+        let policy = DispatchPolicy::fixed(BackendId::Scalar);
+        let got = run_through_daemon(&scripts, policy, target_pairs);
+        let expected = run_sequentially(&scripts, policy);
+        prop_assert_eq!(got, expected);
+    }
+}
+
+/// Score bit-identity under the full auto registry: whatever backend
+/// mix the coalesced batches are routed to, scores match a sequential
+/// auto-dispatch baseline bit-exactly (the engine's cross-backend
+/// score contract, observed through the serving layer).
+#[test]
+fn auto_dispatch_scores_survive_coalescing() {
+    let pairs = read_pairs(48, 0xC0A1);
+    let scripts: Vec<ClientScript> = (0..3)
+        .map(|c| {
+            pairs[c * 16..(c + 1) * 16]
+                .chunks(4)
+                .map(|chunk| {
+                    let wire = chunk
+                        .iter()
+                        .map(|(q, s)| (q.codes().to_vec(), s.codes().to_vec()))
+                        .collect();
+                    (false, SchemeSpec::global_linear(2, -1, -1), wire)
+                })
+                .collect()
+        })
+        .collect();
+    let policy = DispatchPolicy::auto();
+    let got = run_through_daemon(&scripts, policy, 1000);
+    let expected = run_sequentially(&scripts, policy);
+    assert_eq!(got, expected);
+
+    // Belt and braces: the same scores through a plain single-batch
+    // auto dispatch (no serving layer at all).
+    let dispatch = Dispatch::standard(Policy::Auto);
+    let scheduler = BatchScheduler::new(BatchCfg::threads(1));
+    for (script, client_results) in scripts.iter().zip(&got) {
+        for ((_, spec, wire), results) in script.iter().zip(client_results) {
+            let refs: Vec<PairRef<'_>> = wire.iter().map(|(q, s)| PairRef::new(q, s)).collect();
+            let plain = scheduler
+                .score_batch(&dispatch, spec, &BatchView::from_refs(refs))
+                .results;
+            assert_eq!(results, &Results::Scores(plain));
+        }
+    }
+}
