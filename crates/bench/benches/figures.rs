@@ -74,10 +74,10 @@ fn bench_fig5b_row(c: &mut Criterion) {
         b.iter(|| score_batch_parallel(&lin, &batch, threads))
     });
     group.bench_function("anyseq_avx2_batch", |b| {
-        b.iter(|| score_batch_simd::<_, _, 16>(&lin, view.refs(), threads))
+        b.iter(|| score_batch_simd::<_, _, _, 16>(&lin, view.refs(), threads))
     });
     group.bench_function("anyseq_avx512_batch", |b| {
-        b.iter(|| score_batch_simd::<_, _, 32>(&lin, view.refs(), threads))
+        b.iter(|| score_batch_simd::<_, _, _, 32>(&lin, view.refs(), threads))
     });
     group.finish();
 }

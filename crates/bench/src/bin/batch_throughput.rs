@@ -5,12 +5,24 @@
 //! statistics (utilization, fallbacks, band telemetry, copy counters).
 //!
 //! Run: `cargo run --release -p anyseq-bench --bin batch_throughput \
-//!       [pairs] [threads] [repeats] [long_len] [dup_frac]`
+//!       [pairs] [threads] [repeats] [long_len] [dup_frac] [semi_len] [local_len]`
 //!
 //! `long_len > 0` appends a long-genome section: one `long_len` bp
 //! pair (2% divergence) scored and aligned through `Policy::Auto`
 //! (exclusive wavefront bin) — the workload the zero-copy gather was
 //! built for. JSON keys: `long.score_gcups` / `long.align_gcups`.
+//!
+//! `semi_len > 0` appends a semi-global bin: `semi_len` bp reads
+//! contained in 1.5× windows, scored and aligned through
+//! `Policy::Auto` (which routes the short non-global bins to the
+//! kind-generic SIMD kernels) with a `Fixed(Scalar)` baseline for the
+//! speedup ratio. A second score run enables X-drop on a half-decoy
+//! batch (off-target filtering, the workload the knob exists for).
+//! JSON keys: `semi.{score,align}_gcups`, `semi.score_gcups_scalar`,
+//! `semi.score_speedup`, `semi.score_gcups_xdrop` and
+//! `xdrop.retired_lanes`. `local_len > 0` does the same for Local
+//! over amplicon pairs (no X-drop sub-run): `local.{score,align}_gcups`,
+//! `local.score_gcups_scalar`, `local.score_speedup`.
 //!
 //! `dup_frac > 0` appends a duplicated-read section modeling PCR /
 //! resequencing duplication: a batch where `dup_frac` of the pairs
@@ -51,14 +63,14 @@
 
 use anyseq_bench::gcups::measure_gcups;
 use anyseq_bench::report::{dump_json, Table};
-use anyseq_bench::workloads::{amplicon_batch, read_batch};
+use anyseq_bench::workloads::{amplicon_batch, contained_read_batch, read_batch};
 use anyseq_engine::stats::TRACEBACK_CELL_FACTOR;
 use anyseq_engine::{
-    BackendId, BatchCfg, BatchScheduler, Dispatch, DispatchPolicy, Policy, SchemeSpec, SimdLanes,
-    SCHED_BYTES_COPIED,
+    BackendId, BatchCfg, BatchScheduler, Dispatch, DispatchPolicy, GapSpec, KindSpec, Policy,
+    SchemeSpec, SimdLanes, SCHED_BYTES_COPIED,
 };
 use anyseq_seq::genome::GenomeSim;
-use anyseq_seq::BatchView;
+use anyseq_seq::{BatchView, Seq};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -72,6 +84,8 @@ fn main() {
     let repeats: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(3);
     let long_len: usize = args.get(4).and_then(|a| a.parse().ok()).unwrap_or(0);
     let dup_frac: f64 = args.get(5).and_then(|a| a.parse().ok()).unwrap_or(0.0);
+    let semi_len: usize = args.get(6).and_then(|a| a.parse().ok()).unwrap_or(0);
+    let local_len: usize = args.get(7).and_then(|a| a.parse().ok()).unwrap_or(0);
 
     println!("simulating {pairs_n} read pairs...");
     let pairs = read_batch(pairs_n, 7);
@@ -241,6 +255,93 @@ fn main() {
             "long-genome gather copied sequence bytes"
         );
         assert_eq!(align_run.results[0].score, score_run.results[0]);
+    }
+
+    // Optional semi-global bin: reads contained in longer windows, the
+    // headline workload of the kind-generic SIMD kernels. Auto routes
+    // the whole (uniform-dims) bin to the lanes; the Fixed(Scalar) run
+    // is the speedup denominator. A second score run turns on X-drop
+    // against a half-decoy batch — the off-target filtering scenario
+    // the knob exists for — and reports how many lanes retired early.
+    if semi_len > 0 {
+        let window = semi_len + semi_len / 2;
+        println!(
+            "\n== mode: semi-global ({semi_len} bp reads in {window} bp windows, auto dispatch) =="
+        );
+        let semi_pairs = contained_read_batch(pairs_n, semi_len, window, 0x5e31);
+        let semi_view = BatchView::from_pairs(&semi_pairs);
+        let spec = SchemeSpec {
+            kind: KindSpec::SemiGlobal,
+            match_score: 2,
+            mismatch: -1,
+            gap: GapSpec::Affine {
+                open: -2,
+                extend: -1,
+            },
+        };
+        run_kind_bin("semi", &spec, &semi_view, threads, repeats, &mut json);
+
+        // X-drop sub-run: every other read replaced by a chimera —
+        // first half copied from the window (a strong seed match),
+        // second half a poly-C artifact tail (adapter read-through /
+        // index-hopping regime). SemiGlobal frees both begin borders,
+        // so a read that is junk from base 0 never climbs and never
+        // drops far below its running max; it is exactly the
+        // climb-then-diverge lanes X-drop exists to retire. Scores are
+        // intentionally not compared to scalar here — X-drop is
+        // inexact by design on retired lanes.
+        let decoy_pairs: Vec<_> = semi_pairs
+            .iter()
+            .enumerate()
+            .map(|(k, (q, s))| {
+                if k % 2 == 1 {
+                    let mut codes = s.subseq(0..semi_len / 2).codes().to_vec();
+                    codes.resize(semi_len, 1u8);
+                    (Seq::from_codes(codes).expect("codes 0..4"), s.clone())
+                } else {
+                    (q.clone(), s.clone())
+                }
+            })
+            .collect();
+        let decoy_view = BatchView::from_pairs(&decoy_pairs);
+        let xdrop = 20;
+        let xdispatch = DispatchPolicy::auto().xdrop(xdrop).standard();
+        let scheduler = BatchScheduler::new(BatchCfg::threads(threads));
+        let mut last_stats = None;
+        let xm = measure_gcups(decoy_view.total_cells(), repeats, || {
+            last_stats = Some(scheduler.score_batch(&xdispatch, &spec, &decoy_view).stats);
+        });
+        let stats = last_stats.expect("at least one repeat ran");
+        let retired = stats
+            .counters
+            .get("simd.xdrop_retired")
+            .copied()
+            .unwrap_or(0);
+        println!(
+            "xdrop {xdrop} (half-decoy batch): {:.3} GCUPS, {retired} of {} lanes retired early",
+            xm.gcups,
+            decoy_pairs.len()
+        );
+        json.insert("semi.score_gcups_xdrop".into(), xm.gcups);
+        json.insert("xdrop.retired_lanes".into(), retired as f64);
+    }
+
+    // Optional local bin: amplicon pairs under Local — same harness,
+    // no X-drop sub-run (Local seeds keep every lane competitive).
+    if local_len > 0 {
+        println!("\n== mode: local ({local_len} bp amplicon pairs, auto dispatch) ==");
+        let local_pairs = amplicon_batch(pairs_n, local_len, 0x10ca);
+        let local_view = BatchView::from_pairs(&local_pairs);
+        let spec = SchemeSpec {
+            kind: KindSpec::Local,
+            match_score: 2,
+            mismatch: -1,
+            gap: GapSpec::Affine {
+                open: -2,
+                extend: -1,
+            },
+        };
+        run_kind_bin("local", &spec, &local_view, threads, repeats, &mut json);
     }
 
     // Optional duplicated-read bin: the result-cache workload. The
@@ -439,4 +540,64 @@ fn main() {
     }
 
     dump_json("batch_throughput", &json);
+}
+
+/// Shared harness for the non-global short-read bins: score via
+/// `Fixed(Scalar)` (the speedup denominator), score and align via
+/// `Policy::Auto` — asserting the auto runs stay on the SIMD path with
+/// scores bit-identical to scalar — and emit
+/// `<label>.{score,align}_gcups`, `<label>.score_gcups_scalar` and
+/// `<label>.score_speedup`.
+fn run_kind_bin(
+    label: &str,
+    spec: &SchemeSpec,
+    view: &BatchView,
+    threads: usize,
+    repeats: usize,
+    json: &mut BTreeMap<String, f64>,
+) {
+    let scheduler = BatchScheduler::new(BatchCfg::threads(threads));
+    let auto = Dispatch::standard(Policy::Auto);
+    let scalar = Dispatch::standard(Policy::Fixed(BackendId::Scalar));
+    let cells = view.total_cells();
+
+    let mut expected: Vec<i32> = Vec::new();
+    let base = measure_gcups(cells, repeats, || {
+        expected = scheduler.score_batch(&scalar, spec, view).results.clone();
+    });
+    let mut last_stats = None;
+    let fast = measure_gcups(cells, repeats, || {
+        let run = scheduler.score_batch(&auto, spec, view);
+        assert_eq!(
+            run.results, expected,
+            "{label}: auto scores diverged from scalar"
+        );
+        last_stats = Some(run.stats);
+    });
+    let stats = last_stats.expect("at least one repeat ran");
+    assert_eq!(stats.fallbacks, 0, "{label}: auto score left the SIMD path");
+    let speedup = if base.gcups > 0.0 {
+        fast.gcups / base.gcups
+    } else {
+        0.0
+    };
+    println!(
+        "score: scalar {:.3} GCUPS, auto(simd) {:.3} GCUPS ({speedup:.2}x)",
+        base.gcups, fast.gcups
+    );
+    json.insert(format!("{label}.score_gcups"), fast.gcups);
+    json.insert(format!("{label}.score_gcups_scalar"), base.gcups);
+    json.insert(format!("{label}.score_speedup"), speedup);
+
+    let align_cells = cells * TRACEBACK_CELL_FACTOR;
+    let aln = measure_gcups(align_cells, repeats, || {
+        let run = scheduler.align_batch(&auto, spec, view);
+        let scores: Vec<i32> = run.results.iter().map(|a| a.score).collect();
+        assert_eq!(
+            scores, expected,
+            "{label}: align scores diverged from scalar"
+        );
+    });
+    println!("align: auto(simd) {:.3} GCUPS", aln.gcups);
+    json.insert(format!("{label}.align_gcups"), aln.gcups);
 }

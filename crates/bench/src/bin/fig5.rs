@@ -524,14 +524,14 @@ fn part_b(cfg: &Cfg) {
         .gcups;
         let anyseq_avx2 = measure_gcups(cells, cfg.repeats, || match gapk {
             GapKind::Linear => {
-                std::hint::black_box(anyseq_simd::score_batch_simd::<_, _, 16>(
+                std::hint::black_box(anyseq_simd::score_batch_simd::<_, _, _, 16>(
                     &lin,
                     batch_view.refs(),
                     cfg.threads,
                 ));
             }
             GapKind::Affine => {
-                std::hint::black_box(anyseq_simd::score_batch_simd::<_, _, 16>(
+                std::hint::black_box(anyseq_simd::score_batch_simd::<_, _, _, 16>(
                     &aff,
                     batch_view.refs(),
                     cfg.threads,
@@ -541,14 +541,14 @@ fn part_b(cfg: &Cfg) {
         .gcups;
         let anyseq_avx512 = measure_gcups(cells, cfg.repeats, || match gapk {
             GapKind::Linear => {
-                std::hint::black_box(anyseq_simd::score_batch_simd::<_, _, 32>(
+                std::hint::black_box(anyseq_simd::score_batch_simd::<_, _, _, 32>(
                     &lin,
                     batch_view.refs(),
                     cfg.threads,
                 ));
             }
             GapKind::Affine => {
-                std::hint::black_box(anyseq_simd::score_batch_simd::<_, _, 32>(
+                std::hint::black_box(anyseq_simd::score_batch_simd::<_, _, _, 32>(
                     &aff,
                     batch_view.refs(),
                     cfg.threads,

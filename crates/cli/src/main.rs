@@ -8,13 +8,13 @@
 //!              [--type KIND] [--match N] [--mismatch N]
 //!              [--gap N | --open N --extend N]
 //!              [--backend auto|scalar|simd|wavefront|gpu-sim]
-//!              [--auto-crossover CELLS] [--cache-mb N] [--threads N]
-//!              [--alignments] [--seed N] [--quiet]
+//!              [--auto-crossover CELLS] [--xdrop X] [--cache-mb N]
+//!              [--threads N] [--alignments] [--seed N] [--quiet]
 //!              [--metrics [PATH]] [--trace-out PATH] [--stats-json [PATH]]
 //! anyseq simulate --length N [--gc F] [--seed N]    # emit a FASTA genome
 //! anyseq serve --socket PATH [--window-ms N] [--target-pairs N]
 //!              [--batch-mb N] [--queue-mb N] [--max-frame-mb N]
-//!              [--backend NAME] [--auto-crossover CELLS]
+//!              [--backend NAME] [--auto-crossover CELLS] [--xdrop X]
 //!              [--cache-mb N] [--threads N]
 //! ```
 //!
@@ -26,6 +26,14 @@
 //! per-pair DP size at which `auto` dispatch switches from the SIMD
 //! lanes to the exclusive wavefront (must be ≥ 1 — 0 would serialize
 //! every pair through the exclusive path and is rejected).
+//! `--xdrop X` enables X-drop early termination on the SIMD score
+//! path for semi-global/local batches: a lane whose row maximum falls
+//! more than X below its running best retires with the best-so-far —
+//! faster on diverged pairs, inexact by design (a late-recovering
+//! alignment may be missed), so it is opt-in and never touches global
+//! batches, tracebacks or the scalar reference. `--xdrop 0` is
+//! rejected (it would retire every lane immediately; omit the flag for
+//! the exact path).
 //! `--cache-mb N` enables the content-hash result cache: repeated
 //! `(scheme, query, subject)` pairs — PCR duplicates, resequenced
 //! reads — are served from an N-MiB LRU instead of re-running the DP,
@@ -75,13 +83,13 @@ fn usage() -> ! {
          \x20              [--type KIND] [--match N] [--mismatch N]\n\
          \x20              [--gap N | --open N --extend N]\n\
          \x20              [--backend auto|scalar|simd|wavefront|gpu-sim]\n\
-         \x20              [--auto-crossover CELLS] [--cache-mb N] [--threads N]\n\
-         \x20              [--alignments] [--seed N] [--quiet]\n\
+         \x20              [--auto-crossover CELLS] [--xdrop X] [--cache-mb N]\n\
+         \x20              [--threads N] [--alignments] [--seed N] [--quiet]\n\
          \x20              [--metrics [PATH]] [--trace-out PATH] [--stats-json [PATH]]\n\
          \x20 anyseq simulate --length N [--gc F] [--seed N]\n\
          \x20 anyseq serve --socket PATH [--window-ms N] [--target-pairs N]\n\
          \x20              [--batch-mb N] [--queue-mb N] [--max-frame-mb N]\n\
-         \x20              [--backend NAME] [--auto-crossover CELLS]\n\
+         \x20              [--backend NAME] [--auto-crossover CELLS] [--xdrop X]\n\
          \x20              [--cache-mb N] [--threads N]"
     );
     exit(2)
@@ -277,6 +285,17 @@ fn cmd_batch(args: &[String]) {
         }
         policy_cfg = policy_cfg.auto_crossover(crossover);
     }
+    if flags.contains_key("xdrop") {
+        let xdrop: i32 = numeric_flag(&flags, "xdrop", 0);
+        // 0 would retire every lane at the first row below its running
+        // best and corrupt essentially every score; "off" is expressed
+        // by omitting the flag, so refuse instead of silently clamping.
+        if xdrop < 1 {
+            eprintln!("--xdrop: must be >= 1 (omit the flag for the exact path)");
+            usage()
+        }
+        policy_cfg = policy_cfg.xdrop(xdrop);
+    }
     policy_cfg = policy_cfg.cache_mb(numeric_flag(&flags, "cache-mb", 0));
     // Any observability sink switches the span/metrics layer on; with
     // none requested the instrumented pipeline stays a no-op.
@@ -403,6 +422,14 @@ fn cmd_serve(args: &[String]) {
             usage()
         }
         policy_cfg = policy_cfg.auto_crossover(crossover);
+    }
+    if flags.contains_key("xdrop") {
+        let xdrop: i32 = numeric_flag(&flags, "xdrop", 0);
+        if xdrop < 1 {
+            eprintln!("--xdrop: must be >= 1 (omit the flag for the exact path)");
+            usage()
+        }
+        policy_cfg = policy_cfg.xdrop(xdrop);
     }
     policy_cfg = policy_cfg.cache_mb(numeric_flag(&flags, "cache-mb", 32));
 

@@ -1,27 +1,27 @@
 //! [`Engine`] adapters over the workspace's execution substrates.
 //!
-//! | backend     | scores | alignments | kinds       | shape                         |
-//! |-------------|--------|------------|-------------|-------------------------------|
-//! | `scalar`    | ✓      | ✓          | all four    | per-pair scalar kernels       |
-//! | `simd`      | ✓      | ✓          | global      | one alignment per 16-bit lane |
-//! | `wavefront` | ✓      | ✓          | all four    | tiled intra-pair parallelism  |
-//! | `gpu-sim`   | ✓      | ✓          | global      | device queue, modeled cycles  |
+//! | backend     | scores | alignments | kinds             | shape                         |
+//! |-------------|--------|------------|-------------------|-------------------------------|
+//! | `scalar`    | ✓      | ✓          | all four          | per-pair scalar kernels       |
+//! | `simd`      | ✓      | ✓          | global/semi/local | one alignment per 16-bit lane |
+//! | `wavefront` | ✓      | ✓          | all four          | tiled intra-pair parallelism  |
+//! | `gpu-sim`   | ✓      | ✓          | global            | device queue, modeled cycles  |
 //!
 //! Every adapter reduces to the same monomorphized kernels the typed
 //! API uses ([`with_scheme!`](crate::with_scheme) bridges the runtime
 //! [`SchemeSpec`] to them), so results stay bit-identical across
 //! backends.
 
-use crate::engine::{Caps, Engine, EngineError, ALL_KINDS, GLOBAL_ONLY};
+use crate::engine::{Caps, Engine, EngineError, ALL_KINDS, GLOBAL_ONLY, SIMD_KINDS};
 use crate::spec::{GapSpec, SchemeSpec};
 use crate::util::parallel_map;
-use crate::{with_global_scheme, with_scheme};
+use crate::{with_global_scheme, with_scheme, with_simd_scheme};
 use anyseq_core::score::Score;
 use anyseq_core::Alignment;
 use anyseq_gpu_sim::{Device, GpuAligner, KernelShape};
 use anyseq_obs::Stage;
 use anyseq_seq::PairRef;
-use anyseq_simd::{align_batch_simd, score_batch_simd_stats, BandCfg, TraceStats};
+use anyseq_simd::{align_batch_simd, score_batch_simd_xdrop, BandCfg, TraceStats};
 use anyseq_wavefront::{borders::BorderStore, ParallelCfg, ParallelExt, TileGrid};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -105,9 +105,10 @@ impl SimdLanes {
 
 /// Inter-sequence SIMD batching: one whole alignment per vector lane,
 /// pairs bucketed by matrix dimensions (`anyseq_simd::batch`). Scores
-/// *and* banded-traceback alignments, global-only; oversized pairs and
-/// band overflows take the internal scalar fallback, so acceptance is
-/// still unconditional for global specs.
+/// *and* banded-traceback alignments for global, semi-global and local
+/// specs (`FreeEnd` is the one refusal); oversized pairs and band
+/// overflows take the internal scalar fallback, so acceptance is still
+/// unconditional for supported kinds.
 ///
 /// Band telemetry from the traceback path accumulates in internal
 /// atomic counters, drained by the scheduler into
@@ -118,6 +119,12 @@ pub struct SimdEngine {
     pub lanes: SimdLanes,
     /// Adaptive-band tuning for the traceback path.
     pub band: BandCfg,
+    /// X-drop threshold for the score path: lanes whose row maximum
+    /// falls more than this below the running best retire early.
+    /// `0` (the default) disables early termination and keeps scores
+    /// bit-exact; ignored for global specs and the align path, which
+    /// are always exact.
+    pub xdrop: i32,
     counters: SimdCounters,
 }
 
@@ -131,6 +138,7 @@ struct SimdCounters {
     band_overflows: AtomicU64,
     band_cells: AtomicU64,
     bytes_copied: AtomicU64,
+    xdrop_retired: AtomicU64,
 }
 
 impl SimdCounters {
@@ -145,6 +153,8 @@ impl SimdCounters {
         self.band_cells.fetch_add(t.band_cells, Ordering::Relaxed);
         self.bytes_copied
             .fetch_add(t.bytes_copied, Ordering::Relaxed);
+        self.xdrop_retired
+            .fetch_add(t.xdrop_retired, Ordering::Relaxed);
     }
 }
 
@@ -170,14 +180,21 @@ impl SimdEngine {
         self.band = band;
         self
     }
+
+    /// Same engine with an X-drop threshold for the score path
+    /// (clamped to ≥ 1; use the default engine for the exact path).
+    pub fn with_xdrop(mut self, xdrop: i32) -> SimdEngine {
+        self.xdrop = xdrop.max(1);
+        self
+    }
 }
 
 impl Engine for SimdEngine {
     fn caps(&self) -> Caps {
         Caps {
             name: "simd",
-            score_kinds: GLOBAL_ONLY,
-            align_kinds: GLOBAL_ONLY,
+            score_kinds: SIMD_KINDS,
+            align_kinds: SIMD_KINDS,
             alphabet: "dna4+n",
             // The 16-bit differential budget under the default ±2
             // scoring; per-spec the exact bound is
@@ -193,17 +210,23 @@ impl Engine for SimdEngine {
         pairs: &[PairRef<'_>],
         threads: usize,
     ) -> Result<Vec<Score>, EngineError> {
-        with_global_scheme!(
+        with_simd_scheme!(
             spec,
-            |scheme| {
+            |scheme, _K| {
                 let (scores, trace) = match self.lanes {
-                    SimdLanes::L8 => score_batch_simd_stats::<_, _, 8>(&scheme, pairs, threads),
-                    SimdLanes::L16 => score_batch_simd_stats::<_, _, 16>(&scheme, pairs, threads),
-                    SimdLanes::L32 => score_batch_simd_stats::<_, _, 32>(&scheme, pairs, threads),
+                    SimdLanes::L8 => {
+                        score_batch_simd_xdrop::<_, _, _, 8>(&scheme, pairs, threads, self.xdrop)
+                    }
+                    SimdLanes::L16 => {
+                        score_batch_simd_xdrop::<_, _, _, 16>(&scheme, pairs, threads, self.xdrop)
+                    }
+                    SimdLanes::L32 => {
+                        score_batch_simd_xdrop::<_, _, _, 32>(&scheme, pairs, threads, self.xdrop)
+                    }
                 };
-                // Full telemetry: lane/scalar split and transpose bytes
-                // (band fields are zero on the score path and filtered
-                // out by drain_counters).
+                // Full telemetry: lane/scalar split, transpose bytes and
+                // X-drop retirements (band fields are zero on the score
+                // path and filtered out by drain_counters).
                 self.counters.add(&trace);
                 Ok(scores)
             },
@@ -211,8 +234,8 @@ impl Engine for SimdEngine {
                 Err(EngineError::unsupported(
                     "simd",
                     format!(
-                        "inter-sequence lanes track corner optima only; kind {} needs another \
-                         backend",
+                        "the striped kernel covers global/semiglobal/local; kind {} needs \
+                         another backend",
                         spec.kind.name()
                     ),
                 ))
@@ -226,18 +249,19 @@ impl Engine for SimdEngine {
         pairs: &[PairRef<'_>],
         threads: usize,
     ) -> Result<Vec<Alignment>, EngineError> {
-        with_global_scheme!(
+        with_simd_scheme!(
             spec,
-            |scheme| {
+            |scheme, _K| {
+                // X-drop never applies here: tracebacks stay exact.
                 let (alns, trace) = match self.lanes {
                     SimdLanes::L8 => {
-                        align_batch_simd::<_, _, 8>(&scheme, pairs, threads, self.band)
+                        align_batch_simd::<_, _, _, 8>(&scheme, pairs, threads, self.band)
                     }
                     SimdLanes::L16 => {
-                        align_batch_simd::<_, _, 16>(&scheme, pairs, threads, self.band)
+                        align_batch_simd::<_, _, _, 16>(&scheme, pairs, threads, self.band)
                     }
                     SimdLanes::L32 => {
-                        align_batch_simd::<_, _, 32>(&scheme, pairs, threads, self.band)
+                        align_batch_simd::<_, _, _, 32>(&scheme, pairs, threads, self.band)
                     }
                 };
                 self.counters.add(&trace);
@@ -247,8 +271,8 @@ impl Engine for SimdEngine {
                 Err(EngineError::unsupported(
                     "simd",
                     format!(
-                        "banded lane traceback tracks corner optima only; kind {} needs another \
-                         backend",
+                        "the banded lane traceback covers global/semiglobal/local; kind {} \
+                         needs another backend",
                         spec.kind.name()
                     ),
                 ))
@@ -264,6 +288,7 @@ impl Engine for SimdEngine {
             ("simd.band_overflows", &self.counters.band_overflows),
             ("simd.band_cells", &self.counters.band_cells),
             ("simd.bytes_copied", &self.counters.bytes_copied),
+            ("simd.xdrop_retired", &self.counters.xdrop_retired),
         ]
         .into_iter()
         .filter_map(|(name, cell)| {
@@ -500,7 +525,7 @@ mod tests {
     use super::*;
     use crate::spec::KindSpec;
     use anyseq_seq::testsupport::read_pairs;
-    use anyseq_seq::BatchView;
+    use anyseq_seq::{BatchView, Seq};
 
     #[test]
     fn all_backends_score_identically_global() {
@@ -593,20 +618,22 @@ mod tests {
         let pairs = read_pairs(4, 7);
         let view = BatchView::from_pairs(&pairs);
         let refs = view.refs();
-        let spec = SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::Local);
-        assert!(SimdEngine::avx2().score_batch(&spec, refs, 1).is_err());
-        assert!(GpuSimEngine::titan_v().score_batch(&spec, refs, 1).is_err());
-        // Traceback is global-only on the SIMD lanes…
-        assert!(SimdEngine::avx2().align_batch(&spec, refs, 1).is_err());
-        // …but global alignment requests are accepted since the banded
-        // traceback landed.
-        assert!(SimdEngine::avx2()
-            .align_batch(&SchemeSpec::global_linear(2, -1, -1), refs, 1)
-            .is_ok());
+        let local = SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::Local);
+        // The kind-generic striped kernel covers local lanes now…
+        assert!(SimdEngine::avx2().score_batch(&local, refs, 1).is_ok());
+        assert!(SimdEngine::avx2().align_batch(&local, refs, 1).is_ok());
+        // …the GPU simulator's device queue does not.
+        assert!(GpuSimEngine::titan_v()
+            .score_batch(&local, refs, 1)
+            .is_err());
+        // FreeEnd is the one kind the SIMD lanes still refuse.
+        let free_end = SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::FreeEnd);
+        assert!(SimdEngine::avx2().score_batch(&free_end, refs, 1).is_err());
+        assert!(SimdEngine::avx2().align_batch(&free_end, refs, 1).is_err());
         // The generic engines accept all kinds.
-        assert!(ScalarEngine.score_batch(&spec, refs, 1).is_ok());
+        assert!(ScalarEngine.score_batch(&free_end, refs, 1).is_ok());
         assert!(WavefrontEngine::default()
-            .score_batch(&spec, refs, 2)
+            .score_batch(&free_end, refs, 2)
             .is_ok());
     }
 
@@ -619,10 +646,74 @@ mod tests {
         assert!(SimdEngine::avx2()
             .caps()
             .supports_align(&SchemeSpec::global_linear(2, -1, -1)));
-        assert!(!SimdEngine::avx2()
+        assert!(SimdEngine::avx2()
             .caps()
             .supports_align(&SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::Local)));
+        assert!(SimdEngine::avx2()
+            .caps()
+            .supports_score(&SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::SemiGlobal)));
+        assert!(!SimdEngine::avx2()
+            .caps()
+            .supports_align(&SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::FreeEnd)));
         assert!(SimdEngine::avx2().caps().batch_native);
         assert!(!WavefrontEngine::default().caps().batch_native);
+    }
+
+    #[test]
+    fn simd_nonglobal_scores_match_scalar() {
+        let pairs = read_pairs(60, 9);
+        let view = BatchView::from_pairs(&pairs);
+        for kind in [KindSpec::SemiGlobal, KindSpec::Local] {
+            let spec = SchemeSpec::global_affine(2, -3, -3, -1).with_kind(kind);
+            let expected: Vec<Score> = pairs.iter().map(|(q, s)| spec.score_scalar(q, s)).collect();
+            let engine = SimdEngine::avx2();
+            let got = engine.score_batch(&spec, view.refs(), 4).unwrap();
+            assert_eq!(got, expected, "{kind:?}");
+            let counters = engine.drain_counters();
+            assert!(
+                counters
+                    .iter()
+                    .any(|&(n, v)| n == "simd.lane_pairs" && v > 0),
+                "{kind:?}: lanes must have run: {counters:?}"
+            );
+            assert!(
+                !counters.iter().any(|&(n, _)| n == "simd.xdrop_retired"),
+                "{kind:?}: the exact path must not retire lanes: {counters:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn simd_xdrop_retires_and_counts() {
+        // Prefix-divergence pairs: a matched prefix then pure mismatch,
+        // so the running best flatlines and every lane crosses the
+        // threshold long before the last row.
+        let q = Seq::from_ascii(&[b"A".repeat(10), b"C".repeat(60)].concat()).unwrap();
+        let s = Seq::from_ascii(&[b"A".repeat(10), b"G".repeat(60)].concat()).unwrap();
+        let pairs: Vec<(Seq, Seq)> = (0..32).map(|_| (q.clone(), s.clone())).collect();
+        let view = BatchView::from_pairs(&pairs);
+        let spec = SchemeSpec::global_linear(2, -3, -2).with_kind(KindSpec::SemiGlobal);
+        let engine = SimdEngine::avx2().with_xdrop(20);
+        engine.score_batch(&spec, view.refs(), 1).unwrap();
+        let counters = engine.drain_counters();
+        assert!(
+            counters
+                .iter()
+                .any(|&(n, v)| n == "simd.xdrop_retired" && v == 32),
+            "every lane should retire: {counters:?}"
+        );
+        // Global requests ignore the threshold entirely.
+        let engine = SimdEngine::avx2().with_xdrop(20);
+        let got = engine
+            .score_batch(&SchemeSpec::global_linear(2, -3, -2), view.refs(), 1)
+            .unwrap();
+        assert_eq!(
+            got[0],
+            spec.with_kind(KindSpec::Global).score_scalar(&q, &s)
+        );
+        assert!(!engine
+            .drain_counters()
+            .iter()
+            .any(|&(n, _)| n == "simd.xdrop_retired"));
     }
 }

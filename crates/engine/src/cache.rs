@@ -650,6 +650,73 @@ mod tests {
     }
 
     #[test]
+    fn warm_entries_never_serve_a_different_kind() {
+        use crate::spec::KindSpec;
+        // Property sweep: for many pseudo-random pairs, a warm Global
+        // entry must never answer a SemiGlobal/Local/FreeEnd probe for
+        // the *same* pair — the alignment kind changes the optimum, so
+        // serving across kinds would silently corrupt scores. The kind
+        // lives in the scheme fingerprint; this pins that derivation.
+        let cache = ResultCache::with_budget(1 << 20);
+        let base = SchemeSpec::global_linear(2, -1, -1);
+        let kinds = [
+            KindSpec::Global,
+            KindSpec::SemiGlobal,
+            KindSpec::Local,
+            KindSpec::FreeEnd,
+        ];
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        for trial in 0..200 {
+            let mut bytes = |n: usize| -> Vec<u8> {
+                (0..n)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        (state >> 33) as u8 % 5
+                    })
+                    .collect()
+            };
+            let q = bytes(16 + trial % 48);
+            let s = bytes(16 + (trial * 7) % 48);
+            let pair = PairRef::new(&q, &s);
+            let global_key = pair_key(&base, &q, &s, ReqKind::Score);
+            cache.insert(&global_key, &pair, &(trial as i32));
+            for kind in kinds.iter().skip(1) {
+                let probe = pair_key(&base.with_kind(*kind), &q, &s, ReqKind::Score);
+                assert_ne!(
+                    probe, global_key,
+                    "trial {trial}: {kind:?} key aliases Global"
+                );
+                assert_eq!(
+                    cache.get::<Score>(&probe, &pair),
+                    None,
+                    "trial {trial}: a warm Global entry served a {kind:?} probe"
+                );
+            }
+            // The Global entry itself still hits.
+            assert_eq!(cache.get::<Score>(&global_key, &pair), Some(trial as i32));
+        }
+        // Kinds never collide even forged-key-style: hand-build a
+        // SemiGlobal probe that copies every field of the warm Global
+        // key *except* the scheme fingerprint (the field the kind
+        // perturbs) — the map lookup alone must reject it.
+        let q = [0u8, 1, 2, 3];
+        let s = [3u8, 2, 1];
+        let pair = PairRef::new(&q, &s);
+        let global_key = pair_key(&base, &q, &s, ReqKind::Score);
+        cache.insert(&global_key, &pair, &99i32);
+        let mut semi_probe = global_key;
+        semi_probe.scheme = base.with_kind(KindSpec::SemiGlobal).fingerprint();
+        assert_eq!(cache.get::<Score>(&semi_probe, &pair), None);
+        assert_eq!(
+            cache.collisions(),
+            0,
+            "kind misses are clean, not collisions"
+        );
+    }
+
+    #[test]
     fn lru_budget_evicts_oldest_first() {
         // Budget for a handful of entries per shard; same shard is
         // guaranteed by using one key with varying value only — so

@@ -2,8 +2,9 @@
 //!
 //! A [`Dispatch`] owns the registered engines and decides, per length
 //! bin, which backend should run it — either a fixed user choice or
-//! the `Auto` heuristic (SIMD lanes for short-read-shaped global bins,
-//! the wavefront for huge pairs, scalar otherwise). Selection returns
+//! the `Auto` heuristic (SIMD lanes for short-read-shaped global,
+//! semi-global and local bins, the wavefront for huge pairs, scalar
+//! otherwise). Selection returns
 //! a *candidate chain* ending in the scalar engine, so a backend that
 //! refuses a unit (unsupported kind, score-only, …) degrades
 //! gracefully instead of failing the batch.
@@ -19,7 +20,8 @@ use anyseq_obs::MetricsRegistry;
 pub enum BackendId {
     /// Per-pair scalar kernels (reference; always available).
     Scalar,
-    /// Inter-sequence SIMD lanes (scores + banded traceback, global).
+    /// Inter-sequence SIMD lanes (scores + banded traceback;
+    /// global, semi-global and local).
     Simd,
     /// Tiled wavefront (intra-pair threading).
     Wavefront,
@@ -105,6 +107,10 @@ pub struct DispatchPolicy {
     /// Result-cache budget in MiB; 0 disables caching (the default).
     /// See [`DispatchPolicy::cache_mb`].
     pub cache_mb: usize,
+    /// X-drop threshold the built SIMD backend applies on the score
+    /// path for semi-global/local bins; 0 (the default) keeps every
+    /// path bit-exact. See [`DispatchPolicy::xdrop`].
+    pub xdrop: i32,
     /// Whether the built dispatch carries an observability substrate
     /// (span tracer + metrics registry); off by default so the
     /// recorder stays a no-op. See [`DispatchPolicy::observe`].
@@ -124,6 +130,7 @@ impl DispatchPolicy {
             policy: Policy::Auto,
             auto_crossover: AUTO_WAVEFRONT_MIN_CELLS,
             cache_mb: 0,
+            xdrop: 0,
             observe: false,
         }
     }
@@ -160,6 +167,24 @@ impl DispatchPolicy {
         self
     }
 
+    /// Enables X-drop early termination on the built SIMD backend's
+    /// score path: a lane whose row maximum falls more than `x` below
+    /// its running best retires with the best-so-far as its score.
+    /// Inexact by design (a late-recovering alignment may be missed),
+    /// so it is opt-in and never applies to global bins, tracebacks or
+    /// the scalar reference.
+    ///
+    /// Degenerate values are clamped to 1: a threshold of 0 would
+    /// retire every lane at the first row below the running best and
+    /// return scores that are wrong on essentially every input —
+    /// "off" is expressed by not calling this knob, mirroring
+    /// [`DispatchPolicy::auto_crossover`]'s clamp semantics. The CLI
+    /// rejects `--xdrop 0` outright for the same reason.
+    pub fn xdrop(mut self, x: i32) -> DispatchPolicy {
+        self.xdrop = x.max(1);
+        self
+    }
+
     /// Gives the built dispatch a content-hash [`ResultCache`] bounded
     /// to `mb` MiB (0 disables caching). Cached pairs are recognized
     /// by the scheduler *before* work units form, so repeated reads
@@ -184,10 +209,15 @@ impl DispatchPolicy {
 
     /// Builds the standard four-backend registry under this policy.
     pub fn standard(self) -> Dispatch {
+        let simd = if self.xdrop > 0 {
+            SimdEngine::avx2().with_xdrop(self.xdrop)
+        } else {
+            SimdEngine::avx2()
+        };
         Dispatch {
             engines: vec![
                 (BackendId::Scalar, Box::new(ScalarEngine) as Box<dyn Engine>),
-                (BackendId::Simd, Box::new(SimdEngine::avx2())),
+                (BackendId::Simd, Box::new(simd)),
                 (BackendId::Wavefront, Box::new(WavefrontEngine::default())),
                 (BackendId::GpuSim, Box::new(GpuSimEngine::titan_v())),
             ],
@@ -384,14 +414,22 @@ mod tests {
             d.candidates(&spec, 5000 * 5000, false)[0],
             BackendId::Wavefront
         );
-        // Local kind: SIMD refuses by caps, scalar picked directly.
+        // Local and semi-global kinds ride the lanes too since the
+        // kernel went kind-generic.
         let local = spec.with_kind(KindSpec::Local);
-        assert_eq!(d.candidates(&local, 150 * 150, false)[0], BackendId::Scalar);
-        // Alignment requests for short-read global bins also stay on
-        // the SIMD lanes (banded traceback)…
+        assert_eq!(d.candidates(&local, 150 * 150, false)[0], BackendId::Simd);
+        let semi = spec.with_kind(KindSpec::SemiGlobal);
+        assert_eq!(d.candidates(&semi, 150 * 150, false)[0], BackendId::Simd);
+        // Alignment requests for short-read bins also stay on the SIMD
+        // lanes (banded traceback)…
         assert_eq!(d.candidates(&spec, 150 * 150, true)[0], BackendId::Simd);
-        // …but non-global kinds still fall through to scalar.
-        assert_eq!(d.candidates(&local, 150 * 150, true)[0], BackendId::Scalar);
+        assert_eq!(d.candidates(&local, 150 * 150, true)[0], BackendId::Simd);
+        // …but free-end bins still fall through to scalar.
+        let free_end = spec.with_kind(KindSpec::FreeEnd);
+        assert_eq!(
+            d.candidates(&free_end, 150 * 150, true)[0],
+            BackendId::Scalar
+        );
         // Huge alignment bins prefer intra-pair wavefront parallelism.
         assert_eq!(
             d.candidates(&spec, 5000 * 5000, true)[0],
@@ -466,6 +504,7 @@ mod tests {
             policy: Policy::Auto,
             auto_crossover: 0,
             cache_mb: 0,
+            xdrop: 0,
             observe: false,
         }
         .standard();
@@ -477,13 +516,27 @@ mod tests {
         assert_eq!(chain, vec![BackendId::Wavefront, BackendId::Scalar]);
         // …and kinds outside a backend's caps are never routed to it —
         // the wavefront accepts all kinds, so `Auto` still picks it
-        // for local pairs, but caps-restricted backends (SIMD) are
+        // for free-end pairs, but caps-restricted backends (SIMD) are
         // skipped by the same check that the crossover feeds into.
-        let local = spec.with_kind(KindSpec::Local);
-        let chain = d.candidates(&local, 1, true);
+        let free_end = spec.with_kind(KindSpec::FreeEnd);
+        let chain = d.candidates(&free_end, 1, true);
         assert_eq!(chain, vec![BackendId::Wavefront, BackendId::Scalar]);
         let high = DispatchPolicy::auto().auto_crossover(u64::MAX).standard();
-        assert_eq!(high.candidates(&local, 1, true)[0], BackendId::Scalar);
+        assert_eq!(high.candidates(&free_end, 1, true)[0], BackendId::Scalar);
+    }
+
+    #[test]
+    fn xdrop_knob_clamps_like_the_crossover() {
+        assert_eq!(DispatchPolicy::auto().xdrop, 0, "off by default");
+        assert_eq!(DispatchPolicy::auto().xdrop(20).xdrop, 20);
+        // 0 would retire every lane immediately; the builder clamps it
+        // to the smallest meaningful threshold (the CLI rejects it).
+        assert_eq!(DispatchPolicy::auto().xdrop(0).xdrop, 1);
+        assert_eq!(DispatchPolicy::auto().xdrop(-5).xdrop, 1);
+        // The knob builds a dispatch without disturbing routing.
+        let d = DispatchPolicy::auto().xdrop(20).standard();
+        let semi = SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::SemiGlobal);
+        assert_eq!(d.candidates(&semi, 150 * 150, false)[0], BackendId::Simd);
     }
 
     #[test]

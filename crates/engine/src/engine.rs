@@ -165,7 +165,12 @@ pub const ALL_KINDS: &[KindSpec] = &[
     KindSpec::FreeEnd,
 ];
 
-/// Global only (the inter-sequence SIMD batcher and the GPU
-/// simulator's device queue, whose border-tracked optimum excludes
-/// `Local`).
+/// Global only (the GPU simulator's device queue, whose border-tracked
+/// optimum excludes `Local`).
 pub const GLOBAL_ONLY: &[KindSpec] = &[KindSpec::Global];
+
+/// Kinds the lane-packed inter-sequence SIMD batcher implements
+/// natively: the corner optimum plus the border/anywhere optima its
+/// kind-generic striped kernel tracks in-register. `FreeEnd` is the
+/// one hold-out (no striped kernel yet).
+pub const SIMD_KINDS: &[KindSpec] = &[KindSpec::Global, KindSpec::SemiGlobal, KindSpec::Local];

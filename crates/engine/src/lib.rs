@@ -49,7 +49,8 @@
 //! ## Adding a backend
 //!
 //! 1. Implement [`Engine`] for your substrate. Use
-//!    [`with_scheme!`]/[`with_global_scheme!`] to lower the runtime
+//!    [`with_scheme!`]/[`with_simd_scheme!`]/[`with_global_scheme!`]
+//!    to lower the runtime
 //!    [`SchemeSpec`] onto monomorphized kernels; return
 //!    [`EngineError::Unsupported`] for anything you cannot run
 //!    bit-exactly — never approximate.
@@ -88,7 +89,9 @@ pub use cache::{CacheKey, ReqKind, ResultCache, ShardStats};
 pub use dispatch::{BackendId, Dispatch, DispatchPolicy, Policy};
 pub use engine::{Caps, Engine, EngineError};
 pub use report::{stats_json, summary_with_utilization};
-pub use scheduler::{BatchCfg, BatchRun, BatchScheduler, SCHED_BYTES_COPIED};
+pub use scheduler::{
+    BatchCfg, BatchRun, BatchScheduler, FALLBACK_KIND_UNSUPPORTED, SCHED_BYTES_COPIED,
+};
 pub use shared::SharedDispatcher;
 pub use spec::{GapSpec, KindSpec, SchemeSpec};
 pub use stats::{BackendUse, BatchStats};
@@ -100,7 +103,9 @@ pub mod prelude {
     pub use crate::dispatch::{BackendId, Dispatch, DispatchPolicy, Policy};
     pub use crate::engine::{Caps, Engine, EngineError};
     pub use crate::report::{stats_json, summary_with_utilization};
-    pub use crate::scheduler::{BatchCfg, BatchRun, BatchScheduler, SCHED_BYTES_COPIED};
+    pub use crate::scheduler::{
+        BatchCfg, BatchRun, BatchScheduler, FALLBACK_KIND_UNSUPPORTED, SCHED_BYTES_COPIED,
+    };
     pub use crate::shared::SharedDispatcher;
     pub use crate::spec::{GapSpec, KindSpec, SchemeSpec};
     pub use crate::stats::{BackendUse, BatchStats};

@@ -75,6 +75,16 @@ use std::time::Instant;
 /// hot path.
 pub const SCHED_BYTES_COPIED: &str = "sched.bytes_copied";
 
+/// Name of the counter bumped when a backend declines a unit because
+/// its [`Caps`](crate::engine::Caps) exclude the request's alignment
+/// *kind* (as opposed to score-only/alphabet refusals). A non-zero
+/// value under `Auto` means the router proposed a backend whose
+/// capability table it should have consulted — with the kind-generic
+/// SIMD kernels, short non-global bins route to the lanes directly and
+/// this counter stays 0 outside `Fixed` policies that force a
+/// mismatched backend.
+pub const FALLBACK_KIND_UNSUPPORTED: &str = "dispatch.fallback_kind_unsupported";
+
 /// Scheduler tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchCfg {
@@ -450,6 +460,7 @@ impl BatchScheduler {
                         if let Some(reg) = registry {
                             let labels = obs::labels(&[
                                 ("backend", engine.caps().name),
+                                ("kind", spec.kind.name()),
                                 ("bin", &bin_labels[unit.bin as usize]),
                             ]);
                             reg.observe(
@@ -488,6 +499,19 @@ impl BatchScheduler {
                             local.record_counter(name, value);
                         }
                         local.record_counter(id.declined_counter(), 1);
+                        // Distinguish kind-capability refusals from the
+                        // rest: the capability table already knew this
+                        // backend cannot run the kind, so the chain paid
+                        // a probe it could have skipped.
+                        let caps = engine.caps();
+                        let kind_refused = if align {
+                            !caps.supports_align(spec)
+                        } else {
+                            !caps.supports_score(spec)
+                        };
+                        if kind_refused {
+                            local.record_counter(FALLBACK_KIND_UNSUPPORTED, 1);
+                        }
                         continue;
                     }
                 }
@@ -794,14 +818,56 @@ mod tests {
     #[test]
     fn fixed_unsupported_backend_falls_back() {
         let pairs = read_pairs(40, 3);
-        // Local kind on the SIMD backend: every unit must fall back.
-        let spec = SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::Local);
+        // Free-end kind on the SIMD backend (the one kind its lanes
+        // still refuse): every unit must fall back.
+        let spec = SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::FreeEnd);
         let dispatch = Dispatch::standard(Policy::Fixed(BackendId::Simd));
         let run = scheduler(2).score_pairs(&dispatch, &spec, &pairs);
         assert!(run.stats.fallbacks > 0);
         assert!(run.stats.per_backend.iter().all(|b| b.backend == "scalar"));
+        // Every fallback here is a kind-capability refusal, and the
+        // dedicated counter says so.
+        assert_eq!(
+            run.stats.counters[FALLBACK_KIND_UNSUPPORTED],
+            run.stats.fallbacks
+        );
         for (k, (q, s)) in pairs.iter().enumerate() {
             assert_eq!(run.results[k], spec.score_scalar(q, s), "pair {k}");
+        }
+    }
+
+    #[test]
+    fn kind_unsupported_counter_is_zero_for_auto_nonglobal_bins() {
+        // Before the kind-generic SIMD kernels, every short semi-global
+        // or local bin bounced off the lanes' caps; now `Auto` routes
+        // them to SIMD directly and the kind-refusal counter stays
+        // absent (additive counters are only recorded when bumped).
+        let pairs = read_pairs(60, 17);
+        let sched = scheduler(2);
+        for kind in [KindSpec::SemiGlobal, KindSpec::Local] {
+            let spec = SchemeSpec::global_linear(2, -1, -1).with_kind(kind);
+            let auto = Dispatch::standard(Policy::Auto);
+            let run = sched.score_pairs(&auto, &spec, &pairs);
+            assert_eq!(run.stats.fallbacks, 0, "{kind:?}");
+            assert!(
+                !run.stats.counters.contains_key(FALLBACK_KIND_UNSUPPORTED),
+                "{kind:?}: {:?}",
+                run.stats.counters
+            );
+            assert!(
+                run.stats.per_backend.iter().any(|b| b.backend == "simd"),
+                "{kind:?}: {:?}",
+                run.stats.per_backend
+            );
+            // A fixed policy forcing the kind onto the device queue
+            // still fires it — the counter tracks capability mismatch,
+            // not kind support in general.
+            let forced = Dispatch::standard(Policy::Fixed(BackendId::GpuSim));
+            let run = sched.score_pairs(&forced, &spec, &pairs);
+            assert!(
+                run.stats.counters[FALLBACK_KIND_UNSUPPORTED] > 0,
+                "{kind:?}"
+            );
         }
     }
 

@@ -6,6 +6,7 @@
 //! *runtime* (CLI flags, service requests), so this module provides the
 //! value-level mirror [`SchemeSpec`] plus the
 //! [`with_scheme!`](crate::with_scheme) /
+//! [`with_simd_scheme!`](crate::with_simd_scheme) /
 //! [`with_global_scheme!`](crate::with_global_scheme) macros that
 //! lower a spec onto the
 //! monomorphized kernels — the runtime↔compile-time bridge every
@@ -238,9 +239,8 @@ macro_rules! with_scheme {
 
 /// Like [`with_scheme!`](crate::with_scheme) but only for
 /// [`KindSpec::Global`] specs; the
-/// fallback arm `$other` runs for every other kind (backends such as
-/// the inter-sequence SIMD batcher and the GPU simulator only implement
-/// corner-optimum kinds).
+/// fallback arm `$other` runs for every other kind (the GPU simulator's
+/// device queue only implements the corner-optimum kind).
 #[macro_export]
 macro_rules! with_global_scheme {
     ($spec:expr, |$scheme:ident| $body:block, $other:block) => {{
@@ -254,6 +254,71 @@ macro_rules! with_global_scheme {
             }
             ($crate::spec::KindSpec::Global, $crate::spec::GapSpec::Affine { open, extend }) => {
                 let $scheme = ::anyseq_core::scheme::global(::anyseq_core::scoring::affine(
+                    __subst, open, extend,
+                ));
+                $body
+            }
+            _ => $other,
+        }
+    }};
+}
+
+/// Like [`with_scheme!`](crate::with_scheme) but only for the kinds the
+/// inter-sequence SIMD batcher implements natively — [`KindSpec::Global`],
+/// [`KindSpec::SemiGlobal`] and [`KindSpec::Local`]. Binds both `$scheme`
+/// (the monomorphized scheme value) and `$kind` (the kind type alias);
+/// the fallback arm `$other` runs for every other kind (`FreeEnd` has no
+/// striped kernel yet).
+#[macro_export]
+macro_rules! with_simd_scheme {
+    ($spec:expr, |$scheme:ident, $kind:ident| $body:block, $other:block) => {{
+        let __spec: &$crate::spec::SchemeSpec = &$spec;
+        let __subst = ::anyseq_core::scoring::simple(__spec.match_score, __spec.mismatch);
+        match (__spec.kind, __spec.gap) {
+            ($crate::spec::KindSpec::Global, $crate::spec::GapSpec::Linear { gap }) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::Global;
+                let $scheme =
+                    ::anyseq_core::scheme::global(::anyseq_core::scoring::linear(__subst, gap));
+                $body
+            }
+            ($crate::spec::KindSpec::Global, $crate::spec::GapSpec::Affine { open, extend }) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::Global;
+                let $scheme = ::anyseq_core::scheme::global(::anyseq_core::scoring::affine(
+                    __subst, open, extend,
+                ));
+                $body
+            }
+            ($crate::spec::KindSpec::SemiGlobal, $crate::spec::GapSpec::Linear { gap }) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::SemiGlobal;
+                let $scheme =
+                    ::anyseq_core::scheme::semiglobal(::anyseq_core::scoring::linear(__subst, gap));
+                $body
+            }
+            (
+                $crate::spec::KindSpec::SemiGlobal,
+                $crate::spec::GapSpec::Affine { open, extend },
+            ) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::SemiGlobal;
+                let $scheme = ::anyseq_core::scheme::semiglobal(::anyseq_core::scoring::affine(
+                    __subst, open, extend,
+                ));
+                $body
+            }
+            ($crate::spec::KindSpec::Local, $crate::spec::GapSpec::Linear { gap }) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::Local;
+                let $scheme =
+                    ::anyseq_core::scheme::local(::anyseq_core::scoring::linear(__subst, gap));
+                $body
+            }
+            ($crate::spec::KindSpec::Local, $crate::spec::GapSpec::Affine { open, extend }) => {
+                #[allow(non_camel_case_types, dead_code)]
+                type $kind = ::anyseq_core::kind::Local;
+                let $scheme = ::anyseq_core::scheme::local(::anyseq_core::scoring::affine(
                     __subst, open, extend,
                 ));
                 $body

@@ -14,10 +14,10 @@
 //! [`TraceStats::bytes_copied`] so callers can verify the pipeline
 //! above stayed zero-copy.
 
-use crate::kernel::{block_kernel, from16, max_block_extent, to16, BlockBorders, SimdSubst};
+use crate::kernel::{block_kernel_kind, from16, max_block_extent, to16, BlockBorders, SimdSubst};
 use crate::lanes::I16s;
 use crate::traceback::TraceStats;
-use anyseq_core::kind::Global;
+use anyseq_core::kind::{AlignKind, OptRegion};
 use anyseq_core::pass::{init_left_f, init_left_h, init_top_e, init_top_h};
 use anyseq_core::scheme::Scheme;
 use anyseq_core::score::Score;
@@ -66,29 +66,54 @@ impl<const L: usize> LaneGroups<L> {
 }
 
 /// Scores a batch of independent pairs with `L`-lane SIMD and
-/// `threads`-way parallelism; returns one global score per pair, in
+/// `threads`-way parallelism; returns one kind-`K` score per pair, in
 /// input order (bit-identical to `scheme.score`).
-pub fn score_batch_simd<G, SS, const L: usize>(
-    scheme: &Scheme<Global, G, SS>,
+pub fn score_batch_simd<K, G, SS, const L: usize>(
+    scheme: &Scheme<K, G, SS>,
     pairs: &[PairRef<'_>],
     threads: usize,
 ) -> Vec<Score>
 where
+    K: AlignKind,
     G: GapModel,
     SS: SimdSubst,
 {
-    score_batch_simd_stats::<G, SS, L>(scheme, pairs, threads).0
+    score_batch_simd_stats::<K, G, SS, L>(scheme, pairs, threads).0
 }
 
 /// [`score_batch_simd`] returning the run's execution counters as well
 /// (lane/scalar pair split and the transpose-buffer byte count — the
 /// only sequence bytes the batch path copies).
-pub fn score_batch_simd_stats<G, SS, const L: usize>(
-    scheme: &Scheme<Global, G, SS>,
+pub fn score_batch_simd_stats<K, G, SS, const L: usize>(
+    scheme: &Scheme<K, G, SS>,
     pairs: &[PairRef<'_>],
     threads: usize,
 ) -> (Vec<Score>, TraceStats)
 where
+    K: AlignKind,
+    G: GapModel,
+    SS: SimdSubst,
+{
+    score_batch_simd_xdrop::<K, G, SS, L>(scheme, pairs, threads, 0)
+}
+
+/// [`score_batch_simd_stats`] with opt-in X-drop early termination.
+///
+/// `xdrop > 0` enables per-lane retirement for non-corner kinds: a lane
+/// whose current-row maximum has dropped more than `xdrop` below its
+/// running best stops relaxing and reports the best it has seen (see
+/// [`block_kernel_kind`]). Retired-lane counts surface as
+/// [`TraceStats::xdrop_retired`]. `xdrop == 0` (and any corner-optimum
+/// kind, where the score lives at `(n, m)` and early exit is
+/// meaningless) runs the bit-exact path.
+pub fn score_batch_simd_xdrop<K, G, SS, const L: usize>(
+    scheme: &Scheme<K, G, SS>,
+    pairs: &[PairRef<'_>],
+    threads: usize,
+    xdrop: i32,
+) -> (Vec<Score>, TraceStats)
+where
+    K: AlignKind,
     G: GapModel,
     SS: SimdSubst,
 {
@@ -96,6 +121,13 @@ where
     let subst = *scheme.subst();
     let extent_budget = max_block_extent(&gap, &subst);
     let LaneGroups { groups, scalar_idx } = LaneGroups::<L>::build(pairs, extent_budget);
+    // X-drop only applies where an optimum can be frozen early; corner
+    // kinds always relax the full matrix. Clamp to the i16 block budget.
+    let xdrop16 = if matches!(K::OPT, OptRegion::Corner) {
+        0i16
+    } else {
+        xdrop.clamp(0, 12_000) as i16
+    };
 
     let mut scores = vec![0 as Score; pairs.len()];
     struct Out(*mut Score);
@@ -105,6 +137,7 @@ where
     let next_group = AtomicUsize::new(0);
     let next_scalar = AtomicUsize::new(0);
     let bytes_copied = AtomicU64::new(0);
+    let lanes_retired = AtomicU64::new(0);
     let threads = threads.max(1);
 
     {
@@ -114,10 +147,12 @@ where
         let next_group = &next_group;
         let next_scalar = &next_scalar;
         let bytes_copied = &bytes_copied;
+        let lanes_retired = &lanes_retired;
         let gap = &gap;
         let subst = &subst;
         let worker = move || {
             let mut local_bytes = 0u64;
+            let mut local_retired = 0u64;
             loop {
                 let g = next_group.fetch_add(1, Ordering::Relaxed);
                 if g >= groups.len() {
@@ -126,13 +161,16 @@ where
                 let lanes = &groups[g];
                 let p0 = pairs[lanes[0]];
                 local_bytes += ((p0.q.len() + p0.s.len()) * L) as u64;
-                let results = score_lane_group::<G, SS, L>(gap, subst, pairs, lanes);
+                let (results, retired) =
+                    score_lane_group::<K, G, SS, L>(gap, subst, pairs, lanes, xdrop16);
+                local_retired += retired.count_ones() as u64;
                 for (l, &idx) in lanes.iter().enumerate() {
                     // SAFETY: each pair index is written exactly once.
                     unsafe { *out.0.add(idx) = results[l] };
                 }
             }
             bytes_copied.fetch_add(local_bytes, Ordering::Relaxed);
+            lanes_retired.fetch_add(local_retired, Ordering::Relaxed);
             loop {
                 let k = next_scalar.fetch_add(1, Ordering::Relaxed);
                 if k >= scalar_idx.len() {
@@ -162,19 +200,23 @@ where
         lane_pairs: (groups.len() * L) as u64,
         scalar_pairs: scalar_idx.len() as u64,
         bytes_copied: bytes_copied.load(Ordering::Relaxed),
+        xdrop_retired: lanes_retired.load(Ordering::Relaxed),
         ..TraceStats::default()
     };
     (scores, stats)
 }
 
-/// Scores `L` equal-dimension pairs in one vector block.
-fn score_lane_group<G, SS, const L: usize>(
+/// Scores `L` equal-dimension pairs in one vector block; returns the
+/// per-lane scores plus the X-drop retirement mask (0 when disabled).
+fn score_lane_group<K, G, SS, const L: usize>(
     gap: &G,
     subst: &SS,
     pairs: &[PairRef<'_>],
     lanes: &[usize; L],
-) -> [Score; L]
+    xdrop: i16,
+) -> ([Score; L], u32)
 where
+    K: AlignKind,
     G: GapModel,
     SS: SimdSubst,
 {
@@ -184,10 +226,10 @@ where
         .iter()
         .all(|&k| pairs[k].q.len() == n && pairs[k].s.len() == m));
 
-    // Global init stripes are lane-uniform (base 0).
-    let top_h = init_top_h::<Global, G>(gap, m);
-    let top_e = init_top_e::<Global, G>(gap, m);
-    let left_h = init_left_h::<Global, G>(gap, n, gap.open());
+    // Kind `K`'s init stripes are lane-uniform (base 0).
+    let top_h = init_top_h::<K, G>(gap, m);
+    let top_e = init_top_e::<K, G>(gap, m);
+    let left_h = init_left_h::<K, G>(gap, n, gap.open());
     let left_f = init_left_f::<G>(n);
     let mut block = BlockBorders::<L> {
         top_h: top_h.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
@@ -206,17 +248,24 @@ where
         (q_rows, s_cols)
     });
 
-    anyseq_obs::span(Stage::Kernel, || {
-        block_kernel(gap, subst, &q_rows, &s_cols, &mut block)
+    let opt = anyseq_obs::span(Stage::Kernel, || {
+        if xdrop > 0 {
+            block_kernel_kind::<K, G, SS, true, L>(gap, subst, &q_rows, &s_cols, &mut block, xdrop)
+        } else {
+            block_kernel_kind::<K, G, SS, false, L>(gap, subst, &q_rows, &s_cols, &mut block, 0)
+        }
     });
 
-    std::array::from_fn(|l| from16(block.top_h[m].0[l], 0))
+    (
+        std::array::from_fn(|l| from16(opt.best.0[l], 0)),
+        opt.retired,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anyseq_core::prelude::{affine, global, linear, simple};
+    use anyseq_core::prelude::{affine, global, linear, local, semiglobal, simple};
     use anyseq_seq::testsupport::read_pairs;
     use anyseq_seq::{BatchView, Seq};
 
@@ -225,7 +274,7 @@ mod tests {
         let pairs = read_pairs(300, 3);
         let view = BatchView::from_pairs(&pairs);
         let scheme = global(linear(simple(2, -1), -1));
-        let (simd, stats) = score_batch_simd_stats::<_, _, 16>(&scheme, view.refs(), 8);
+        let (simd, stats) = score_batch_simd_stats::<_, _, _, 16>(&scheme, view.refs(), 8);
         for (k, (q, s)) in pairs.iter().enumerate() {
             assert_eq!(simd[k], scheme.score(q, s), "pair {k}");
         }
@@ -241,7 +290,7 @@ mod tests {
         let pairs = read_pairs(300, 5);
         let view = BatchView::from_pairs(&pairs);
         let scheme = global(affine(simple(2, -1), -2, -1));
-        let simd = score_batch_simd::<_, _, 8>(&scheme, view.refs(), 4);
+        let simd = score_batch_simd::<_, _, _, 8>(&scheme, view.refs(), 4);
         for (k, (q, s)) in pairs.iter().enumerate() {
             assert_eq!(simd[k], scheme.score(q, s), "pair {k}");
         }
@@ -250,14 +299,59 @@ mod tests {
     #[test]
     fn batch_simd_handles_empty_and_tiny() {
         let scheme = global(linear(simple(2, -1), -1));
-        assert!(score_batch_simd::<_, _, 8>(&scheme, &[], 4).is_empty());
+        assert!(score_batch_simd::<_, _, _, 8>(&scheme, &[], 4).is_empty());
         let a = Seq::from_ascii(b"ACGT").unwrap();
         let empty = Seq::new();
         let pairs = vec![(a.clone(), a.clone()), (a.clone(), empty)];
         let view = BatchView::from_pairs(&pairs);
-        let out = score_batch_simd::<_, _, 8>(&scheme, view.refs(), 2);
+        let out = score_batch_simd::<_, _, _, 8>(&scheme, view.refs(), 2);
         assert_eq!(out[0], 8);
         assert_eq!(out[1], -4);
+    }
+
+    #[test]
+    fn batch_simd_matches_scalar_semiglobal_and_local() {
+        let pairs = read_pairs(200, 11);
+        let view = BatchView::from_pairs(&pairs);
+        let semi = semiglobal(affine(simple(2, -3), -3, -1));
+        let (out, stats) = score_batch_simd_stats::<_, _, _, 16>(&semi, view.refs(), 4);
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(out[k], semi.score(q, s), "semi pair {k}");
+        }
+        assert!(stats.lane_pairs > 0, "lanes must fill for uniform reads");
+        assert_eq!(stats.xdrop_retired, 0, "x-drop is off by default");
+        let loc = local(linear(simple(2, -3), -2));
+        let out = score_batch_simd::<_, _, _, 8>(&loc, view.refs(), 4);
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(out[k], loc.score(q, s), "local pair {k}");
+        }
+    }
+
+    #[test]
+    fn xdrop_huge_threshold_exact_tiny_threshold_retires() {
+        // 32 identical prefix-then-divergence pairs fill two 16-lane
+        // groups exactly.
+        let q = Seq::from_ascii(&[b"A".repeat(10), b"C".repeat(60)].concat()).unwrap();
+        let s = Seq::from_ascii(&[b"A".repeat(10), b"G".repeat(60)].concat()).unwrap();
+        let pairs: Vec<(Seq, Seq)> = (0..32).map(|_| (q.clone(), s.clone())).collect();
+        let view = BatchView::from_pairs(&pairs);
+        let semi = semiglobal(linear(simple(2, -3), -2));
+        let exact = score_batch_simd::<_, _, _, 16>(&semi, view.refs(), 2);
+        let (huge, st_huge) = score_batch_simd_xdrop::<_, _, _, 16>(&semi, view.refs(), 2, 30_000);
+        assert_eq!(huge, exact, "huge X must not change results");
+        assert_eq!(st_huge.xdrop_retired, 0);
+        let (_tiny, st_tiny) = score_batch_simd_xdrop::<_, _, _, 16>(&semi, view.refs(), 2, 20);
+        assert_eq!(st_tiny.xdrop_retired, 32, "every lane diverges hard");
+        // Corner kinds ignore the knob entirely.
+        let glob = global(linear(simple(2, -3), -2));
+        let (g_scores, g_stats) = score_batch_simd_xdrop::<_, _, _, 16>(&semi, view.refs(), 2, 0);
+        assert_eq!(g_scores, exact);
+        assert_eq!(g_stats.xdrop_retired, 0);
+        let (gx, gs) = score_batch_simd_xdrop::<_, _, _, 16>(&glob, view.refs(), 2, 5);
+        assert_eq!(gs.xdrop_retired, 0, "corner kinds never retire");
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(gx[k], glob.score(q, s), "global pair {k}");
+        }
     }
 
     #[test]
@@ -271,7 +365,7 @@ mod tests {
         pairs.extend(extra);
         let view = BatchView::from_pairs(&pairs);
         let scheme = global(linear(simple(2, -1), -1));
-        let simd = score_batch_simd::<_, _, 16>(&scheme, view.refs(), 6);
+        let simd = score_batch_simd::<_, _, _, 16>(&scheme, view.refs(), 6);
         for (k, (q, s)) in pairs.iter().enumerate() {
             assert_eq!(simd[k], scheme.score(q, s), "pair {k}");
         }

@@ -12,6 +12,7 @@
 //! the −∞ sentinel pinned instead of wrapping.
 
 use crate::lanes::I16s;
+use anyseq_core::kind::{AlignKind, OptRegion};
 use anyseq_core::score::{Score, NEG_INF};
 use anyseq_core::scoring::{GapModel, MatrixSubst, SimpleSubst, SubstScore};
 
@@ -172,6 +173,153 @@ pub fn block_kernel<G, SS, const L: usize>(
             borders.left_f[r] = f;
         }
     }
+}
+
+/// Per-lane optimum produced by [`block_kernel_kind`].
+pub struct KernelOpt<const L: usize> {
+    /// Best score per lane over the kind's optimum region, in the same
+    /// lane-local differential representation as the block borders. For
+    /// `Corner` kinds this is the bottom-right cell.
+    pub best: I16s<L>,
+    /// Bit mask of lanes retired early by X-drop (0 when X-drop is off).
+    pub retired: u32,
+}
+
+/// Kind-generic variant of [`block_kernel`]: relaxes the same block of
+/// `L` independent `h × w` tiles but derives the per-cell dataflow from
+/// `K`'s contract. `NU_ZERO` clamps every cell at 0 (local alignment),
+/// and the per-lane optimum is tracked over `K::OPT`'s region — `Corner`:
+/// the bottom-right cell; `Border`: last row + last column + the
+/// initialization seeds `H(0,w)`/`H(h,0)`; `Anywhere`: every cell plus
+/// the empty-alignment score 0. For `Corner` kinds every extra
+/// accumulator folds out and the codegen matches [`block_kernel`].
+///
+/// With `XDROP = true` (non-`Corner` kinds only) a lane is *retired* once
+/// the maximum of its current row drops more than `xdrop` below the
+/// lane's running block maximum: its optimum freezes at the best already
+/// seen and, when every lane has retired, the remaining rows are skipped
+/// entirely. Retired lanes may under-report the true optimum — X-drop is
+/// a heuristic; the default `XDROP = false` path is bit-exact.
+#[allow(clippy::needless_range_loop)]
+pub fn block_kernel_kind<K, G, SS, const XDROP: bool, const L: usize>(
+    gap: &G,
+    subst: &SS,
+    q_rows: &[[u8; L]],
+    s_cols: &[[u8; L]],
+    borders: &mut BlockBorders<L>,
+    xdrop: i16,
+) -> KernelOpt<L>
+where
+    K: AlignKind,
+    G: GapModel,
+    SS: SimdSubst,
+{
+    let h = q_rows.len();
+    let w = s_cols.len();
+    assert!(h > 0 && w > 0);
+    assert_eq!(borders.top_h.len(), w + 1);
+    assert_eq!(borders.left_h.len(), h);
+    if G::AFFINE {
+        assert_eq!(borders.top_e.len(), w);
+        assert_eq!(borders.left_f.len(), h);
+    }
+    debug_assert!(
+        !XDROP || !matches!(K::OPT, OptRegion::Corner),
+        "X-drop is meaningless for corner-optimum kinds"
+    );
+
+    let ext = gap.extend() as i16;
+    let openext = (gap.open() + gap.extend()) as i16;
+    let all: u32 = if L >= 32 { u32::MAX } else { (1u32 << L) - 1 };
+
+    // Optimum seeds: Border kinds can end on the init stripes at H(0,w)
+    // (H(h,0) is folded in at the end, it sits in the final bottom
+    // stripe); Anywhere kinds always have the empty alignment (score 0).
+    let mut best = match K::OPT {
+        OptRegion::Corner => I16s::splat(SENT16),
+        OptRegion::Border => borders.top_h[w],
+        OptRegion::Anywhere => I16s::splat(0),
+    };
+    let mut active = all;
+    let mut retired = 0u32;
+    let mut run_max = I16s::<L>::splat(SENT16);
+
+    for r in 0..h {
+        let qc = &q_rows[r];
+        let mut diag = borders.top_h[0];
+        borders.top_h[0] = borders.left_h[r];
+        let mut left = borders.top_h[0];
+        let mut f = if G::AFFINE {
+            borders.left_f[r]
+        } else {
+            I16s::splat(SENT16)
+        };
+        let mut row_max = I16s::<L>::splat(SENT16);
+        for c in 0..w {
+            let up = borders.top_h[c + 1];
+            let e = if G::AFFINE {
+                borders.top_e[c].sat_adds(ext).max(up.sat_adds(openext))
+            } else {
+                up.sat_adds(ext)
+            };
+            f = if G::AFFINE {
+                f.sat_adds(ext).max(left.sat_adds(openext))
+            } else {
+                left.sat_adds(ext)
+            };
+            let sub = subst.lanes_score(qc, &s_cols[c]);
+            let mut hval = diag.sat_add(sub).max(e).max(f);
+            if K::NU_ZERO {
+                hval = hval.maxs(0);
+            }
+            if XDROP || matches!(K::OPT, OptRegion::Anywhere) {
+                row_max = row_max.max(hval);
+            }
+            diag = up;
+            borders.top_h[c + 1] = hval;
+            if G::AFFINE {
+                borders.top_e[c] = e;
+            }
+            left = hval;
+        }
+        borders.left_h[r] = borders.top_h[w];
+        if G::AFFINE {
+            borders.left_f[r] = f;
+        }
+        match K::OPT {
+            OptRegion::Corner => {}
+            // Right-column candidate H(r+1, w).
+            OptRegion::Border => best = borders.top_h[w].max(best).blend(active, best),
+            OptRegion::Anywhere => best = row_max.max(best).blend(active, best),
+        }
+        if XDROP {
+            run_max = run_max.max(row_max).blend(active, run_max);
+            let cutoff = run_max.sat_adds(xdrop.saturating_neg());
+            let dropped = cutoff.gt_mask(row_max) & active;
+            if dropped != 0 {
+                retired |= dropped;
+                active &= !dropped;
+                if active == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    match K::OPT {
+        OptRegion::Corner => best = borders.top_h[w],
+        // Bottom-row candidates H(h, 0..=w) — including the H(h, 0) seed,
+        // which the rolling buffers leave in `top_h[0]` after the last row.
+        OptRegion::Border => {
+            let mut bottom = borders.top_h[0];
+            for c in 1..=w {
+                bottom = bottom.max(borders.top_h[c]);
+            }
+            best = bottom.max(best).blend(active, best);
+        }
+        OptRegion::Anywhere => {}
+    }
+    KernelOpt { best, retired }
 }
 
 /// Masked-dataflow variant of [`block_kernel`] used by the SeqAn-like
@@ -352,6 +500,177 @@ mod tests {
                 },
                 seed,
             );
+        }
+    }
+
+    /// Full-width kind-generic kernel vs the scalar score pass, every
+    /// lane carrying a different random problem of the same shape.
+    fn check_kind_against_pass<K: anyseq_core::kind::AlignKind, G: GapModel + Copy>(
+        gap: G,
+        seed: u64,
+    ) {
+        const L: usize = 8;
+        let subst = simple(2, -3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = 21;
+        let w = 15;
+        let qs: Vec<Vec<u8>> = (0..L)
+            .map(|_| (0..h).map(|_| rng.gen_range(0..4u8)).collect())
+            .collect();
+        let ss: Vec<Vec<u8>> = (0..L)
+            .map(|_| (0..w).map(|_| rng.gen_range(0..4u8)).collect())
+            .collect();
+
+        let top_h_i32 = init_top_h::<K, G>(&gap, w);
+        let top_e_i32 = init_top_e::<K, G>(&gap, w);
+        let left_h_i32 = init_left_h::<K, G>(&gap, h, gap.open());
+        let left_f_i32 = init_left_f::<G>(h);
+        let mut borders = BlockBorders::<L> {
+            top_h: (0..=w)
+                .map(|c| I16s::splat(to16(top_h_i32[c], 0)))
+                .collect(),
+            top_e: (0..top_e_i32.len())
+                .map(|c| I16s::splat(to16(top_e_i32[c], 0)))
+                .collect(),
+            left_h: (0..h)
+                .map(|r| I16s::splat(to16(left_h_i32[r], 0)))
+                .collect(),
+            left_f: (0..left_f_i32.len())
+                .map(|r| I16s::splat(to16(left_f_i32[r], 0)))
+                .collect(),
+        };
+        let q_rows: Vec<[u8; L]> = (0..h).map(|r| std::array::from_fn(|l| qs[l][r])).collect();
+        let s_cols: Vec<[u8; L]> = (0..w).map(|c| std::array::from_fn(|l| ss[l][c])).collect();
+        let opt =
+            block_kernel_kind::<K, G, _, false, L>(&gap, &subst, &q_rows, &s_cols, &mut borders, 0);
+        assert_eq!(opt.retired, 0);
+        for l in 0..L {
+            let pass =
+                anyseq_core::pass::score_pass::<K, G, _>(&gap, &subst, &qs[l], &ss[l], gap.open());
+            assert_eq!(
+                from16(opt.best.0[l], 0),
+                pass.score,
+                "{} lane {l} seed {seed}",
+                K::NAME
+            );
+        }
+    }
+
+    #[test]
+    fn kind_kernel_matches_scalar_pass_all_kinds() {
+        use anyseq_core::kind::{Extension, FreeEnd, Local, SemiGlobal};
+        for seed in 0..4 {
+            let lin = LinearGap { gap: -2 };
+            let aff = AffineGap {
+                open: -3,
+                extend: -1,
+            };
+            check_kind_against_pass::<Global, _>(lin, seed);
+            check_kind_against_pass::<Global, _>(aff, seed);
+            check_kind_against_pass::<SemiGlobal, _>(lin, seed);
+            check_kind_against_pass::<SemiGlobal, _>(aff, seed);
+            check_kind_against_pass::<Local, _>(lin, seed);
+            check_kind_against_pass::<Local, _>(aff, seed);
+            check_kind_against_pass::<FreeEnd, _>(lin, seed);
+            check_kind_against_pass::<FreeEnd, _>(aff, seed);
+            check_kind_against_pass::<Extension, _>(lin, seed);
+            check_kind_against_pass::<Extension, _>(aff, seed);
+        }
+    }
+
+    #[test]
+    fn huge_xdrop_threshold_is_bit_exact() {
+        use anyseq_core::kind::SemiGlobal;
+        const L: usize = 4;
+        let gap = LinearGap { gap: -2 };
+        let subst = simple(2, -3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let h = 12;
+        let w = 9;
+        let qs: Vec<Vec<u8>> = (0..L)
+            .map(|_| (0..h).map(|_| rng.gen_range(0..4u8)).collect())
+            .collect();
+        let ss: Vec<Vec<u8>> = (0..L)
+            .map(|_| (0..w).map(|_| rng.gen_range(0..4u8)).collect())
+            .collect();
+        let build = || BlockBorders::<L> {
+            top_h: (0..=w)
+                .map(|c| I16s::splat(to16(init_top_h::<SemiGlobal, _>(&gap, w)[c], 0)))
+                .collect(),
+            top_e: Vec::new(),
+            left_h: (0..h)
+                .map(|r| {
+                    I16s::splat(to16(
+                        init_left_h::<SemiGlobal, _>(&gap, h, gap.open())[r],
+                        0,
+                    ))
+                })
+                .collect(),
+            left_f: Vec::new(),
+        };
+        let q_rows: Vec<[u8; L]> = (0..h).map(|r| std::array::from_fn(|l| qs[l][r])).collect();
+        let s_cols: Vec<[u8; L]> = (0..w).map(|c| std::array::from_fn(|l| ss[l][c])).collect();
+        let mut exact_b = build();
+        let exact = block_kernel_kind::<SemiGlobal, _, _, false, L>(
+            &gap,
+            &subst,
+            &q_rows,
+            &s_cols,
+            &mut exact_b,
+            0,
+        );
+        let mut xd_b = build();
+        let xd = block_kernel_kind::<SemiGlobal, _, _, true, L>(
+            &gap, &subst, &q_rows, &s_cols, &mut xd_b, 10_000,
+        );
+        assert_eq!(xd.retired, 0);
+        assert_eq!(xd.best.0, exact.best.0);
+    }
+
+    #[test]
+    fn xdrop_retires_diverged_lanes() {
+        use anyseq_core::kind::SemiGlobal;
+        const L: usize = 4;
+        let gap = LinearGap { gap: -2 };
+        let subst = simple(2, -3);
+        // Matching prefix, then long hard divergence: the running max is
+        // reached early and every later row only sinks.
+        let q: Vec<u8> = [vec![0u8; 10], vec![1u8; 60]].concat();
+        let s: Vec<u8> = [vec![0u8; 10], vec![2u8; 60]].concat();
+        let h = q.len();
+        let w = s.len();
+        let mut borders = BlockBorders::<L> {
+            top_h: (0..=w)
+                .map(|c| I16s::splat(to16(init_top_h::<SemiGlobal, _>(&gap, w)[c], 0)))
+                .collect(),
+            top_e: Vec::new(),
+            left_h: (0..h)
+                .map(|r| {
+                    I16s::splat(to16(
+                        init_left_h::<SemiGlobal, _>(&gap, h, gap.open())[r],
+                        0,
+                    ))
+                })
+                .collect(),
+            left_f: Vec::new(),
+        };
+        let q_rows: Vec<[u8; L]> = q.iter().map(|&b| [b; L]).collect();
+        let s_cols: Vec<[u8; L]> = s.iter().map(|&b| [b; L]).collect();
+        let opt = block_kernel_kind::<SemiGlobal, _, _, true, L>(
+            &gap,
+            &subst,
+            &q_rows,
+            &s_cols,
+            &mut borders,
+            20,
+        );
+        assert_eq!(opt.retired, (1u32 << L) - 1, "all lanes should retire");
+        // Here retirement is lossless: the exact semi-global optimum is
+        // the free-begin seed (score 0), seen before any lane retires.
+        let exact =
+            anyseq_core::pass::score_pass::<SemiGlobal, _, _>(&gap, &subst, &q, &s, gap.open());
+        for l in 0..L {
+            assert_eq!(from16(opt.best.0[l], 0), exact.score, "lane {l}");
         }
     }
 

@@ -111,6 +111,31 @@ impl<const L: usize> I16s<L> {
         mask
     }
 
+    /// Bit mask of lanes where `self > rhs` (strictly).
+    #[inline(always)]
+    pub fn gt_mask(self, rhs: I16s<L>) -> u32 {
+        let mut mask = 0u32;
+        for l in 0..L {
+            mask |= ((self.0[l] > rhs.0[l]) as u32) << l;
+        }
+        mask
+    }
+
+    /// Per-lane select by bit mask: lane `l` takes `self` when bit `l`
+    /// of `mask` is set, `rhs` otherwise (`vpblendvb` in SSE terms).
+    #[inline(always)]
+    pub fn blend(self, mask: u32, rhs: I16s<L>) -> I16s<L> {
+        let mut out = [0i16; L];
+        for l in 0..L {
+            out[l] = if mask & (1 << l) != 0 {
+                self.0[l]
+            } else {
+                rhs.0[l]
+            };
+        }
+        I16s(out)
+    }
+
     /// Horizontal maximum over all lanes.
     #[inline]
     pub fn hmax(self) -> i16 {
@@ -171,6 +196,17 @@ mod tests {
         assert_eq!(a.eq_mask(b), 0b0101);
         assert_eq!(a.ge_mask(b), 0b0111);
         assert_eq!(a.ge_mask(a), 0b1111);
+        assert_eq!(a.gt_mask(b), 0b0010);
+        assert_eq!(a.gt_mask(a), 0);
+    }
+
+    #[test]
+    fn blend_selects_per_lane() {
+        let a = I16s::<4>([1, 2, 3, 4]);
+        let b = I16s::<4>([-1, -2, -3, -4]);
+        assert_eq!(a.blend(0b0101, b).0, [1, -2, 3, -4]);
+        assert_eq!(a.blend(0, b), b);
+        assert_eq!(a.blend(0b1111, b), a);
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub mod lanes;
 pub mod tiled;
 pub mod traceback;
 
-pub use batch::{score_batch_simd, score_batch_simd_stats, LaneGroups};
-pub use kernel::{max_block_extent, BlockBorders, SimdSubst, SENT16};
+pub use batch::{score_batch_simd, score_batch_simd_stats, score_batch_simd_xdrop, LaneGroups};
+pub use kernel::{block_kernel_kind, max_block_extent, BlockBorders, KernelOpt, SimdSubst, SENT16};
 pub use lanes::I16s;
 pub use tiled::{simd_tiled_score_pass, SimdPass};
 pub use traceback::{align_batch_simd, BandCfg, TraceStats};

@@ -33,11 +33,11 @@
 
 use crate::batch::LaneGroups;
 use crate::kernel::{
-    block_kernel, from16, max_block_extent, to16, BlockBorders, SimdSubst, SENT16,
+    block_kernel_kind, from16, max_block_extent, to16, BlockBorders, SimdSubst, SENT16,
 };
 use crate::lanes::I16s;
 use anyseq_core::alignment::{AlignOp, Alignment};
-use anyseq_core::kind::Global;
+use anyseq_core::kind::{AlignKind, OptRegion};
 use anyseq_core::pass::{init_left_f, init_left_h, init_top_e, init_top_h};
 use anyseq_core::scheme::Scheme;
 use anyseq_core::score::Score;
@@ -95,6 +95,10 @@ pub struct TraceStats {
     /// `drain_counters` channel cannot carry max semantics, so this
     /// field intentionally does not flow into `BatchStats::counters`.
     pub max_band: u64,
+    /// Lanes retired early by X-drop on the score path (always 0 when
+    /// the knob is off or the kind is corner-optimum; the alignment
+    /// path never retires — tracebacks stay exact).
+    pub xdrop_retired: u64,
 }
 
 impl TraceStats {
@@ -107,6 +111,7 @@ impl TraceStats {
         self.band_cells += other.band_cells;
         self.bytes_copied += other.bytes_copied;
         self.max_band = self.max_band.max(other.max_band);
+        self.xdrop_retired += other.xdrop_retired;
     }
 }
 
@@ -122,15 +127,19 @@ struct DirStore {
     e_ext: Vec<u32>,
     /// Lane bit set ⇒ `F` extended (else it opened). Affine only.
     f_ext: Vec<u32>,
+    /// Lane bit set ⇒ the ν = 0 clamp fired (`H` would have gone
+    /// negative): a local path *starts* here. `NU_ZERO` kinds only.
+    stop: Vec<u32>,
 }
 
 impl DirStore {
-    fn new(cells: usize, affine: bool) -> DirStore {
+    fn new(cells: usize, affine: bool, nu_zero: bool) -> DirStore {
         DirStore {
             up: vec![0; cells],
             left: vec![0; cells],
             e_ext: if affine { vec![0; cells] } else { Vec::new() },
             f_ext: if affine { vec![0; cells] } else { Vec::new() },
+            stop: if nu_zero { vec![0; cells] } else { Vec::new() },
         }
     }
 }
@@ -145,15 +154,38 @@ fn band_range(n: usize, m: usize, w: usize) -> (isize, isize) {
     (dlo, dhi)
 }
 
+/// Per-lane banded optimum: best value plus the 1-based DP cell it was
+/// attained at (lane positions fit i16 — the extent budget caps n, m).
+struct BandedOpt<const L: usize> {
+    best: I16s<L>,
+    bi: I16s<L>,
+    bj: I16s<L>,
+}
+
+impl<const L: usize> BandedOpt<L> {
+    /// Strict-greater candidate update at cell `(i, j)`. Candidates
+    /// arrive in row-major order (seeds first), so first-max-wins
+    /// reproduces the scalar `BestCell` tie-break: the smallest
+    /// `(i, j)` among equal scores.
+    #[inline(always)]
+    fn update(&mut self, val: I16s<L>, i: usize, j: usize) {
+        let better = val.gt_mask(self.best);
+        self.best = val.blend(better, self.best);
+        self.bi = I16s::splat(i as i16).blend(better, self.bi);
+        self.bj = I16s::splat(j as i16).blend(better, self.bj);
+    }
+}
+
 /// Relaxes one lane group over the band, recording packed directions.
-/// Returns the corner `H(n, m)` differentials (base 0) per lane.
+/// Returns the per-lane kind-`K` optimum (differential base 0) and the
+/// cell where it is attained.
 ///
 /// Cells outside the band (or the matrix) read as the saturating
 /// sentinel, exactly like the full-width kernel's −∞ stripes, so a
 /// path that would profit from leaving the band simply scores lower
 /// than the exact optimum — which the caller detects by comparison.
 #[allow(clippy::too_many_arguments)]
-fn banded_group_kernel<G, SS, const L: usize>(
+fn banded_group_kernel<K, G, SS, const L: usize>(
     gap: &G,
     subst: &SS,
     q_rows: &[[u8; L]],
@@ -161,8 +193,9 @@ fn banded_group_kernel<G, SS, const L: usize>(
     dlo: isize,
     dhi: isize,
     store: &mut DirStore,
-) -> I16s<L>
+) -> BandedOpt<L>
 where
+    K: AlignKind,
     G: GapModel,
     SS: SimdSubst,
 {
@@ -173,12 +206,34 @@ where
     let ext = gap.extend() as i16;
     let openext = (gap.open() + gap.extend()) as i16;
 
-    // Lane-uniform global init stripes (differential base 0).
-    let top_h = init_top_h::<Global, G>(gap, m);
-    let top_e = init_top_e::<Global, G>(gap, m);
-    let left_h = init_left_h::<Global, G>(gap, n, gap.open());
+    // Lane-uniform kind-`K` init stripes (differential base 0).
+    let top_h = init_top_h::<K, G>(gap, m);
+    let top_e = init_top_e::<K, G>(gap, m);
+    let left_h = init_left_h::<K, G>(gap, n, gap.open());
     let left_f = init_left_f::<G>(n);
     debug_assert!(left_f.iter().all(|&v| v <= SENT16 as Score));
+
+    // Optimum seeds, in `BestCell` candidate order: border kinds can
+    // end on the init stripes at (0, m) — the (n, 0) seed arrives in
+    // row-major order below — and anywhere kinds always have the empty
+    // alignment at the origin.
+    let mut opt = match K::OPT {
+        OptRegion::Corner => BandedOpt {
+            best: sent,
+            bi: I16s::splat(n as i16),
+            bj: I16s::splat(m as i16),
+        },
+        OptRegion::Border => BandedOpt {
+            best: I16s::splat(to16(top_h[m], 0)),
+            bi: I16s::splat(0),
+            bj: I16s::splat(m as i16),
+        },
+        OptRegion::Anywhere => BandedOpt {
+            best: I16s::splat(0),
+            bi: I16s::splat(0),
+            bj: I16s::splat(0),
+        },
+    };
 
     // Row 0: band position p holds column j = dlo + p.
     let mut h = vec![sent; bw];
@@ -216,6 +271,10 @@ where
                     e[p] = sent;
                 }
                 f = sent;
+                // The (n, 0) border seed — skipping all of s.
+                if matches!(K::OPT, OptRegion::Border) && i == n {
+                    opt.update(h[p], n, 0);
+                }
                 continue;
             }
             let j = j as usize;
@@ -238,13 +297,20 @@ where
                 (left.sat_adds(ext), 0)
             };
             let dval = diag.sat_add(subst.lanes_score(qc, &s_cols[j - 1]));
-            let hval = dval.max(ecur).max(fcur);
+            let mut hval = dval.max(ecur).max(fcur);
 
+            // Direction masks come from the raw (pre-clamp) value: a
+            // clamped cell's directions are dead — its `stop` bit makes
+            // the decoder end the path there instead of reading them.
             let diag_mask = dval.eq_mask(hval);
             let up_mask = ecur.eq_mask(hval) & !diag_mask;
             let left_mask = fcur.eq_mask(hval) & !diag_mask & !up_mask;
             store.up[row_base + p] = up_mask;
             store.left[row_base + p] = left_mask;
+            if K::NU_ZERO {
+                store.stop[row_base + p] = I16s::splat(0).gt_mask(hval);
+                hval = hval.maxs(0);
+            }
             if G::AFFINE {
                 store.e_ext[row_base + p] = e_ext_mask;
                 store.f_ext[row_base + p] = f_ext_mask;
@@ -252,27 +318,49 @@ where
             }
             f = fcur;
             h[p] = hval;
+
+            match K::OPT {
+                OptRegion::Corner => {}
+                OptRegion::Border => {
+                    if j == m || i == n {
+                        opt.update(hval, i, j);
+                    }
+                }
+                OptRegion::Anywhere => opt.update(hval, i, j),
+            }
         }
     }
 
-    let corner = (m as isize - n as isize - dlo) as usize;
-    h[corner]
+    if matches!(K::OPT, OptRegion::Corner) {
+        let corner = (m as isize - n as isize - dlo) as usize;
+        opt.best = h[corner];
+    }
+    opt
 }
 
-/// Walks one lane's packed directions from `(n, m)` back to the
-/// origin, emitting ops front-to-back after the final reverse.
+/// Walks one lane's packed directions from the end cell `(i_e, j_e)`
+/// back to the path's start, emitting ops front-to-back after the
+/// final reverse. Returns the ops plus the 0-based `(q_start, s_start)`
+/// where the path begins.
+///
+/// `free_begin` kinds end the walk at the first border touch (the init
+/// stripes are free); anchored kinds pad the remaining edge distance
+/// with one gap run. `nu_zero` kinds additionally end the walk at the
+/// first cell whose `stop` bit is set — the ν = 0 clamp restarted the
+/// path there, so its recorded directions are dead.
 #[allow(clippy::too_many_arguments)] // one DP coordinate frame, one call site
 fn decode_lane(
     store: &DirStore,
-    n: usize,
-    m: usize,
+    end: (usize, usize),
     dlo: isize,
     bw: usize,
     lane: usize,
     q: &[u8],
     s: &[u8],
     affine: bool,
-) -> Vec<AlignOp> {
+    free_begin: bool,
+    nu_zero: bool,
+) -> (Vec<AlignOp>, usize, usize) {
     #[derive(Clone, Copy, PartialEq)]
     enum St {
         M,
@@ -280,24 +368,34 @@ fn decode_lane(
         F,
     }
     let bit = 1u32 << lane;
-    let mut ops = Vec::with_capacity(n + m);
-    let (mut i, mut j) = (n, m);
+    let (mut i, mut j) = end;
+    let mut ops = Vec::with_capacity(i + j);
     let mut st = St::M;
     while i > 0 || j > 0 {
-        // Boundary stripes carry no directions: the rest of the path
-        // runs along the matrix edge as one gap run (its score is the
-        // init stripe's, which is exactly `gap(len)`).
+        // Boundary stripes carry no directions. For anchored kinds the
+        // rest of the path runs along the matrix edge as one gap run
+        // (its score is the init stripe's, exactly `gap(len)`); for
+        // free-begin kinds the stripe is free and the path ends here.
         if i == 0 {
-            ops.extend(std::iter::repeat_n(AlignOp::GapQ, j));
+            if !free_begin {
+                ops.extend(std::iter::repeat_n(AlignOp::GapQ, j));
+                j = 0;
+            }
             break;
         }
         if j == 0 {
-            ops.extend(std::iter::repeat_n(AlignOp::GapS, i));
+            if !free_begin {
+                ops.extend(std::iter::repeat_n(AlignOp::GapS, i));
+                i = 0;
+            }
             break;
         }
         let idx = (i - 1) * bw + (j as isize - i as isize - dlo) as usize;
         match st {
             St::M => {
+                if nu_zero && store.stop[idx] & bit != 0 {
+                    break;
+                }
                 if store.up[idx] & bit != 0 {
                     if affine {
                         st = St::E;
@@ -339,14 +437,14 @@ fn decode_lane(
         }
     }
     ops.reverse();
-    ops
+    (ops, i, j)
 }
 
 /// Aligns `L` equal-dimension pairs in one banded vector pass,
 /// widening the band until every lane's corner matches its exact
 /// score. Returns `None` for lanes that still overflow at
 /// [`BandCfg::max`] (the caller rescues those with scalar traceback).
-fn align_lane_group<G, SS, const L: usize>(
+fn align_lane_group<K, G, SS, const L: usize>(
     gap: &G,
     subst: &SS,
     pairs: &[PairRef<'_>],
@@ -355,6 +453,7 @@ fn align_lane_group<G, SS, const L: usize>(
     stats: &mut TraceStats,
 ) -> [Option<Alignment>; L]
 where
+    K: AlignKind,
     G: GapModel,
     SS: SimdSubst,
 {
@@ -377,11 +476,11 @@ where
         (q_rows, s_cols)
     });
 
-    // Exact corner scores from the full-width score kernel: the
+    // Exact kind-`K` optima from the full-width score kernel: the
     // oracle every banded lane must reproduce before it is decoded.
-    let top_h = init_top_h::<Global, G>(gap, m);
-    let top_e = init_top_e::<Global, G>(gap, m);
-    let left_h = init_left_h::<Global, G>(gap, n, gap.open());
+    let top_h = init_top_h::<K, G>(gap, m);
+    let top_e = init_top_e::<K, G>(gap, m);
+    let left_h = init_left_h::<K, G>(gap, n, gap.open());
     let left_f = init_left_f::<G>(n);
     let mut borders = BlockBorders::<L> {
         top_h: top_h.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
@@ -389,23 +488,23 @@ where
         left_h: left_h.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
         left_f: left_f.iter().map(|&v| I16s::splat(to16(v, 0))).collect(),
     };
-    anyseq_obs::span(Stage::Kernel, || {
-        block_kernel(gap, subst, &q_rows, &s_cols, &mut borders)
-    });
-    let exact = borders.top_h[m];
+    let exact = anyseq_obs::span(Stage::Kernel, || {
+        block_kernel_kind::<K, G, SS, false, L>(gap, subst, &q_rows, &s_cols, &mut borders, 0)
+    })
+    .best;
 
     let mut w = band.initial.max(1);
     loop {
         let (dlo, dhi) = band_range(n, m, w);
         let bw = (dhi - dlo + 1) as usize;
-        let mut store = DirStore::new(n * bw, G::AFFINE);
+        let mut store = DirStore::new(n * bw, G::AFFINE, K::NU_ZERO);
         let banded = anyseq_obs::span(Stage::Kernel, || {
-            banded_group_kernel(gap, subst, &q_rows, &s_cols, dlo, dhi, &mut store)
+            banded_group_kernel::<K, G, SS, L>(gap, subst, &q_rows, &s_cols, dlo, dhi, &mut store)
         });
         stats.band_cells += (n * bw * L) as u64;
         stats.max_band = stats.max_band.max(bw as u64);
 
-        let in_band = banded.eq_mask(exact);
+        let in_band = banded.best.eq_mask(exact);
         let full_matrix = dlo <= -(n as isize) && dhi >= m as isize;
         let all = if L == 32 { u32::MAX } else { (1u32 << L) - 1 };
         if in_band & all == all || full_matrix || w >= band.max {
@@ -418,14 +517,26 @@ where
                     }
                     stats.lane_pairs += 1;
                     let p = pairs[lanes[l]];
-                    let ops = decode_lane(&store, n, m, dlo, bw, l, p.q, p.s, G::AFFINE);
+                    let end = (banded.bi.0[l] as usize, banded.bj.0[l] as usize);
+                    let (ops, q_start, s_start) = decode_lane(
+                        &store,
+                        end,
+                        dlo,
+                        bw,
+                        l,
+                        p.q,
+                        p.s,
+                        G::AFFINE,
+                        K::FREE_BEGIN,
+                        K::NU_ZERO,
+                    );
                     Some(Alignment {
                         score: from16(exact.0[l], 0),
                         ops,
-                        q_start: 0,
-                        q_end: n,
-                        s_start: 0,
-                        s_end: m,
+                        q_start,
+                        q_end: end.0,
+                        s_start,
+                        s_end: end.1,
                     })
                 })
             });
@@ -436,23 +547,25 @@ where
 }
 
 /// Aligns a batch of independent pairs with `L`-lane SIMD banded
-/// traceback and `threads`-way parallelism; returns one global
+/// traceback and `threads`-way parallelism; returns one kind-`K`
 /// [`Alignment`] per pair, in input order, plus the run's band
 /// telemetry. Scores are bit-identical to `scheme.align`; CIGARs are
 /// guaranteed to replay to that score (ties may be broken differently
-/// than the scalar Hirschberg traceback).
+/// than the scalar Hirschberg traceback). X-drop never applies here —
+/// tracebacks are always exact.
 ///
 /// Pairs that cannot ride a full lane group (leftovers, empty or
 /// oversized sequences) and lanes whose optimal path escapes the
 /// maximum band are aligned by the scalar `Scheme::align` inside this
 /// call — the result is complete either way.
-pub fn align_batch_simd<G, SS, const L: usize>(
-    scheme: &Scheme<Global, G, SS>,
+pub fn align_batch_simd<K, G, SS, const L: usize>(
+    scheme: &Scheme<K, G, SS>,
     pairs: &[PairRef<'_>],
     threads: usize,
     band: BandCfg,
 ) -> (Vec<Alignment>, TraceStats)
 where
+    K: AlignKind,
     G: GapModel,
     SS: SimdSubst,
 {
@@ -488,7 +601,8 @@ where
                     break;
                 }
                 let lanes = &groups[g];
-                let alns = align_lane_group::<G, SS, L>(gap, subst, pairs, lanes, band, &mut local);
+                let alns =
+                    align_lane_group::<K, G, SS, L>(gap, subst, pairs, lanes, band, &mut local);
                 for (l, aln) in alns.into_iter().enumerate() {
                     let idx = lanes[l];
                     let aln = aln.unwrap_or_else(|| {
@@ -538,31 +652,31 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anyseq_core::prelude::{affine, global, linear, simple};
+    use anyseq_core::prelude::{affine, global, linear, local, semiglobal, simple};
     use anyseq_seq::genome::GenomeSim;
     use anyseq_seq::testsupport::read_pairs;
     use anyseq_seq::{BatchView, Seq};
 
     /// Runs the traceback over a borrowed view of owned pairs.
-    fn run<G: GapModel, SS: SimdSubst, const L: usize>(
-        scheme: &Scheme<Global, G, SS>,
+    fn run<K: AlignKind, G: GapModel, SS: SimdSubst, const L: usize>(
+        scheme: &Scheme<K, G, SS>,
         pairs: &[(Seq, Seq)],
         threads: usize,
         band: BandCfg,
     ) -> (Vec<Alignment>, TraceStats) {
         let view = BatchView::from_pairs(pairs);
-        align_batch_simd::<G, SS, L>(scheme, view.refs(), threads, band)
+        align_batch_simd::<K, G, SS, L>(scheme, view.refs(), threads, band)
     }
 
-    fn check_all<G: GapModel, SS: SimdSubst>(
-        scheme: &Scheme<Global, G, SS>,
+    fn check_all<K: AlignKind, G: GapModel, SS: SimdSubst>(
+        scheme: &Scheme<K, G, SS>,
         pairs: &[(Seq, Seq)],
         alns: &[Alignment],
     ) {
         for (k, (q, s)) in pairs.iter().enumerate() {
             assert_eq!(alns[k].score, scheme.score(q, s), "pair {k} score");
             alns[k]
-                .validate::<Global, _, _>(q, s, scheme.gap(), scheme.subst())
+                .validate::<K, _, _>(q, s, scheme.gap(), scheme.subst())
                 .unwrap_or_else(|e| panic!("pair {k}: {e}"));
         }
     }
@@ -571,7 +685,7 @@ mod tests {
     fn banded_traceback_matches_scalar_linear() {
         let pairs = read_pairs(300, 3);
         let scheme = global(linear(simple(2, -1), -1));
-        let (alns, stats) = run::<_, _, 16>(&scheme, &pairs, 8, BandCfg::default());
+        let (alns, stats) = run::<_, _, _, 16>(&scheme, &pairs, 8, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
         assert!(stats.lane_pairs > 0, "lane groups must carry the batch");
         assert_eq!(stats.band_overflows, 0, "default band fits read indels");
@@ -581,7 +695,7 @@ mod tests {
     fn banded_traceback_matches_scalar_affine() {
         let pairs = read_pairs(300, 5);
         let scheme = global(affine(simple(2, -1), -2, -1));
-        let (alns, stats) = run::<_, _, 8>(&scheme, &pairs, 4, BandCfg::default());
+        let (alns, stats) = run::<_, _, _, 8>(&scheme, &pairs, 4, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
         assert!(stats.lane_pairs > 0);
     }
@@ -592,14 +706,14 @@ mod tests {
         // the adversarial case for gap-run bookkeeping.
         let pairs = read_pairs(200, 9);
         let scheme = global(affine(simple(2, -1), 0, -1));
-        let (alns, _) = run::<_, _, 16>(&scheme, &pairs, 4, BandCfg::default());
+        let (alns, _) = run::<_, _, _, 16>(&scheme, &pairs, 4, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
     }
 
     #[test]
     fn empty_and_tiny_pairs_take_the_scalar_path() {
         let scheme = global(linear(simple(2, -1), -1));
-        let (alns, _) = align_batch_simd::<_, _, 8>(&scheme, &[], 4, BandCfg::default());
+        let (alns, _) = align_batch_simd::<_, _, _, 8>(&scheme, &[], 4, BandCfg::default());
         assert!(alns.is_empty());
 
         let a = Seq::from_ascii(b"ACGT").unwrap();
@@ -609,7 +723,7 @@ mod tests {
             (a.clone(), empty.clone()),
             (empty, a.clone()),
         ];
-        let (alns, stats) = run::<_, _, 8>(&scheme, &pairs, 2, BandCfg::default());
+        let (alns, stats) = run::<_, _, _, 8>(&scheme, &pairs, 2, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
         assert_eq!(alns[0].cigar(), "4=");
         assert_eq!(alns[1].cigar(), "4I");
@@ -622,13 +736,94 @@ mod tests {
         let a = GenomeSim::new(17).generate(150);
         let pairs: Vec<(Seq, Seq)> = (0..32).map(|_| (a.clone(), a.clone())).collect();
         let scheme = global(affine(simple(2, -1), -2, -1));
-        let (alns, stats) = run::<_, _, 16>(&scheme, &pairs, 2, BandCfg::default());
+        let (alns, stats) = run::<_, _, _, 16>(&scheme, &pairs, 2, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
         for aln in &alns {
             assert_eq!(aln.cigar(), "150=");
         }
         assert_eq!(stats.lane_pairs, 32);
         assert_eq!(stats.scalar_pairs, 0);
+    }
+
+    /// Fixed-dimension contained-read pairs (substitution-only noise so
+    /// every pair lands in one `(150, 220)` lane bucket).
+    fn contained_pairs(count: usize, seed: u64) -> Vec<(Seq, Seq)> {
+        let mut sim = GenomeSim::new(seed);
+        (0..count)
+            .map(|k| {
+                let window = sim.generate(220);
+                let mut codes = window.subseq(30..180).codes().to_vec();
+                for b in codes.iter_mut().step_by(29 + k % 7) {
+                    *b = (*b + 1) % 4;
+                }
+                (Seq::from_codes(codes).unwrap(), window)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn banded_traceback_matches_scalar_semiglobal() {
+        // Reads contained in longer windows: the semi-global sweet spot.
+        let pairs = contained_pairs(40, 41);
+        let scheme = semiglobal(linear(simple(2, -3), -2));
+        let (alns, stats) = run::<_, _, _, 16>(&scheme, &pairs, 4, BandCfg::default());
+        check_all(&scheme, &pairs, &alns);
+        assert!(stats.lane_pairs > 0, "uniform dims must fill lanes");
+        let aff = semiglobal(affine(simple(2, -3), -3, -1));
+        let (alns, stats) = run::<_, _, _, 8>(&aff, &pairs, 4, BandCfg::default());
+        check_all(&aff, &pairs, &alns);
+        assert!(stats.lane_pairs > 0);
+    }
+
+    #[test]
+    fn banded_traceback_matches_scalar_local() {
+        let pairs = read_pairs(200, 13);
+        for threads in [1, 4] {
+            let scheme = local(linear(simple(2, -3), -2));
+            let (alns, stats) = run::<_, _, _, 16>(&scheme, &pairs, threads, BandCfg::default());
+            check_all(&scheme, &pairs, &alns);
+            assert!(stats.lane_pairs > 0);
+            let aff = local(affine(simple(2, -3), -3, -1));
+            let (alns, _) = run::<_, _, _, 8>(&aff, &pairs, threads, BandCfg::default());
+            check_all(&aff, &pairs, &alns);
+        }
+    }
+
+    #[test]
+    fn local_all_mismatch_lanes_decode_empty() {
+        // All-mismatch pairs: the local optimum is the empty alignment
+        // at the origin — every lane must decode to zero ops, score 0.
+        let q = Seq::from_ascii(&b"A".repeat(64)).unwrap();
+        let s = Seq::from_ascii(&b"C".repeat(64)).unwrap();
+        let pairs: Vec<(Seq, Seq)> = (0..8).map(|_| (q.clone(), s.clone())).collect();
+        let scheme = local(linear(simple(2, -3), -2));
+        let (alns, stats) = run::<_, _, _, 8>(&scheme, &pairs, 2, BandCfg::default());
+        check_all(&scheme, &pairs, &alns);
+        assert_eq!(stats.lane_pairs, 8);
+        for aln in &alns {
+            assert_eq!(aln.score, 0);
+            assert!(aln.ops.is_empty());
+            assert_eq!((aln.q_end, aln.s_end), (0, 0));
+        }
+    }
+
+    #[test]
+    fn semiglobal_containment_reports_window_offsets() {
+        // An exact read inside a window: score = 2·len and the subject
+        // region must cover exactly the containment site.
+        let mut sim = GenomeSim::new(77);
+        let window = sim.generate(200);
+        let read = window.subseq(25..175);
+        let pairs: Vec<(Seq, Seq)> = (0..16).map(|_| (read.clone(), window.clone())).collect();
+        let scheme = semiglobal(linear(simple(2, -3), -2));
+        let (alns, stats) = run::<_, _, _, 16>(&scheme, &pairs, 2, BandCfg::default());
+        check_all(&scheme, &pairs, &alns);
+        assert_eq!(stats.lane_pairs, 16);
+        for aln in &alns {
+            assert_eq!(aln.score, 300);
+            assert_eq!((aln.q_start, aln.q_end), (0, 150));
+            assert_eq!((aln.s_start, aln.s_end), (25, 175));
+        }
     }
 
     #[test]
@@ -648,7 +843,7 @@ mod tests {
 
         let scheme = global(linear(simple(2, -3), -1));
         let tiny = BandCfg { initial: 2, max: 4 };
-        let (alns, stats) = run::<_, _, 8>(&scheme, &pairs, 2, tiny);
+        let (alns, stats) = run::<_, _, _, 8>(&scheme, &pairs, 2, tiny);
         check_all(&scheme, &pairs, &alns);
         assert_eq!(stats.band_overflows, 8, "every lane must overflow");
         assert!(
@@ -663,7 +858,7 @@ mod tests {
 
         // The default band contains the same paths without fallback —
         // after adaptively widening past its initial width.
-        let (alns, stats) = run::<_, _, 8>(&scheme, &pairs, 2, BandCfg::default());
+        let (alns, stats) = run::<_, _, _, 8>(&scheme, &pairs, 2, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
         assert_eq!(stats.band_overflows, 0);
         assert!(
@@ -682,7 +877,7 @@ mod tests {
         }
         pairs.extend(extra);
         let scheme = global(affine(simple(2, -1), -2, -1));
-        let (alns, stats) = run::<_, _, 16>(&scheme, &pairs, 6, BandCfg::default());
+        let (alns, stats) = run::<_, _, _, 16>(&scheme, &pairs, 6, BandCfg::default());
         check_all(&scheme, &pairs, &alns);
         assert_eq!(
             stats.lane_pairs + stats.scalar_pairs + stats.band_overflows,

@@ -47,7 +47,7 @@ fn main() {
     let view = BatchView::from_pairs(&pairs);
 
     let t0 = Instant::now();
-    let simd = score_batch_simd::<_, _, 16>(&scheme, view.refs(), threads);
+    let simd = score_batch_simd::<_, _, _, 16>(&scheme, view.refs(), threads);
     let dt = t0.elapsed().as_secs_f64();
     println!("SIMD batch    (16 lanes):   {:.2} GCUPS", cells / dt / 1e9);
     assert_eq!(scalar, simd, "engines must agree bit-exactly");

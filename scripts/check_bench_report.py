@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate a batch_throughput (or serve_throughput) JSON report.
 
-Usage: check_bench_report.py <report.json> <threads> [long_len] [dup_frac]
+Usage: check_bench_report.py <report.json> <threads> [long_len] [dup_frac] [semi_len] [local_len]
        check_bench_report.py --serve <report.json>
 
 `--serve` validates a `serve_throughput` report instead: the serving
@@ -21,6 +21,13 @@ Fails (exit 1) if the report is missing any required key:
     totals with a non-zero `stage.kernel_ns` (a traced run that spent
     no time in kernels means the span plumbing is broken),
   * `long.score_gcups` / `long.align_gcups` when `long_len` > 0,
+  * the kind-generic SIMD bin keys when `semi_len` > 0:
+    `semi.{score,align}_gcups`, `semi.score_gcups_scalar`,
+    `semi.score_speedup`, `semi.score_gcups_xdrop` all positive and
+    `xdrop.retired_lanes` present (lane retirement is
+    workload-dependent, so zero is allowed),
+  * the Local bin keys when `local_len` > 0: `local.{score,align}_gcups`,
+    `local.score_gcups_scalar` and `local.score_speedup` positive,
   * the duplicated-read / result-cache keys when `dup_frac` > 0:
     `dup.hit_rate`, `dup.{score,align}_gcups` (+ `_nocache` baselines
     and `dup.{score,align}_speedup`) and the cache counters
@@ -92,12 +99,14 @@ def main_serve(path: str) -> int:
 def main() -> int:
     if len(sys.argv) == 3 and sys.argv[1] == "--serve":
         return main_serve(sys.argv[2])
-    if len(sys.argv) not in (3, 4, 5):
+    if len(sys.argv) not in (3, 4, 5, 6, 7):
         print(__doc__, file=sys.stderr)
         return 2
     path, threads = sys.argv[1], int(sys.argv[2])
     long_len = int(sys.argv[3]) if len(sys.argv) >= 4 else 0
     dup_frac = float(sys.argv[4]) if len(sys.argv) >= 5 else 0.0
+    semi_len = int(sys.argv[5]) if len(sys.argv) >= 6 else 0
+    local_len = int(sys.argv[6]) if len(sys.argv) >= 7 else 0
 
     required = []
     for mode in MODES:
@@ -122,6 +131,28 @@ def main() -> int:
     if long_len > 0:
         required.append(("long.score_gcups", True))
         required.append(("long.align_gcups", True))
+    if semi_len > 0:
+        # The kind-generic SIMD bin: semi-global score/align GCUPS,
+        # the scalar baseline the speedup is measured against, and the
+        # X-drop sub-run. Lane retirement depends on the decoy batch,
+        # so the counter only has to be present.
+        for key in (
+            "semi.score_gcups",
+            "semi.align_gcups",
+            "semi.score_gcups_scalar",
+            "semi.score_speedup",
+            "semi.score_gcups_xdrop",
+        ):
+            required.append((key, True))
+        required.append(("xdrop.retired_lanes", False))
+    if local_len > 0:
+        for key in (
+            "local.score_gcups",
+            "local.align_gcups",
+            "local.score_gcups_scalar",
+            "local.score_speedup",
+        ):
+            required.append((key, True))
     if dup_frac > 0:
         # A duplicated-read smoke run must actually hit the cache.
         required.append(("dup.hit_rate", True))

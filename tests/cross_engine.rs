@@ -135,8 +135,8 @@ fn read_batches_agree_across_engines() {
 
     let view = BatchView::from_pairs(&pairs);
     let scalar = score_batch_parallel(&scheme, &pairs, 8);
-    let simd16 = score_batch_simd::<_, _, 16>(&scheme, view.refs(), 8);
-    let simd32 = score_batch_simd::<_, _, 32>(&scheme, view.refs(), 8);
+    let simd16 = score_batch_simd::<_, _, _, 16>(&scheme, view.refs(), 8);
+    let simd32 = score_batch_simd::<_, _, _, 32>(&scheme, view.refs(), 8);
     assert_eq!(scalar, simd16);
     assert_eq!(scalar, simd32);
 
@@ -287,28 +287,82 @@ proptest! {
         seed in 0u64..1000,
         threads in 1usize..5,
         affine_gaps in prop_oneof![Just(false), Just(true)],
+        kind in prop_oneof![
+            Just(KindSpec::Global),
+            Just(KindSpec::SemiGlobal),
+            Just(KindSpec::Local),
+        ],
     ) {
         // The SIMD backend directly: every pair of a randomized ragged
         // batch must come back with the exact scalar score and a CIGAR
         // that replays to it — full lane groups, leftovers, and band
         // overflows (random pairs with skewed lengths push paths far
-        // off the corridor) all included.
+        // off the corridor) all included, for every kind the striped
+        // kernel advertises.
         let pairs = random_batch(&lens, seed ^ 0x51d);
-        let spec = if affine_gaps {
-            SchemeSpec::global_affine(2, -1, -2, -1)
-        } else {
-            SchemeSpec::global_linear(2, -1, -1)
+        let spec = SchemeSpec {
+            kind,
+            match_score: 2,
+            mismatch: -1,
+            gap: if affine_gaps {
+                GapSpec::Affine { open: -2, extend: -1 }
+            } else {
+                GapSpec::Linear { gap: -1 }
+            },
         };
         let engine = anyseq_engine::SimdEngine::avx2();
         let view = BatchView::from_pairs(&pairs);
         let alns = engine.align_batch(&spec, view.refs(), threads).unwrap();
         for (k, (q, s)) in pairs.iter().enumerate() {
-            assert_replays(&spec, q, s, &alns[k], &format!("simd lane pair {k}"));
+            assert_replays(&spec, q, s, &alns[k], &format!("simd {kind:?} lane pair {k}"));
         }
     }
 
     #[test]
-    fn batch_scheduler_fallback_path_stays_oracle_identical(
+    fn nonglobal_scores_are_bit_identical_on_every_backend(
+        lens in prop::collection::vec((1usize..200, 1usize..200), 1..24),
+        seed in 0u64..1000,
+        threads in 1usize..4,
+        kind in prop_oneof![Just(KindSpec::SemiGlobal), Just(KindSpec::Local)],
+        affine_gaps in prop_oneof![Just(false), Just(true)],
+    ) {
+        // SemiGlobal and Local are first-class on the SIMD path now:
+        // Auto and every Fixed backend must reproduce the scalar
+        // optimum bit-for-bit (GpuSim via its scalar fallback).
+        let pairs = random_batch(&lens, seed ^ 0x5e71);
+        let spec = SchemeSpec {
+            kind,
+            match_score: 2,
+            mismatch: -1,
+            gap: if affine_gaps {
+                GapSpec::Affine { open: -2, extend: -1 }
+            } else {
+                GapSpec::Linear { gap: -1 }
+            },
+        };
+        let expected: Vec<i32> = pairs.iter().map(|(q, s)| spec.score_scalar(q, s)).collect();
+        let sched = scheduler_for(threads, 16);
+        for policy in [
+            Policy::Auto,
+            Policy::Fixed(BackendId::Scalar),
+            Policy::Fixed(BackendId::Simd),
+            Policy::Fixed(BackendId::Wavefront),
+            Policy::Fixed(BackendId::GpuSim),
+        ] {
+            let dispatch = Dispatch::standard(policy);
+            let run = sched.score_pairs(&dispatch, &spec, &pairs);
+            prop_assert_eq!(&run.results, &expected, "{:?} policy {:?}", kind, policy);
+            if policy == Policy::Fixed(BackendId::Simd) {
+                prop_assert_eq!(
+                    run.stats.fallbacks, 0,
+                    "SIMD runs {:?} natively now", kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_sim_fallback_path_stays_oracle_identical(
         lens in prop::collection::vec((1usize..180, 1usize..180), 1..20),
         seed in 0u64..1000,
         kind in prop_oneof![
@@ -317,8 +371,9 @@ proptest! {
             Just(KindSpec::FreeEnd),
         ],
     ) {
-        // SIMD and the GPU simulator cannot run these kinds: every unit
-        // must fall back to scalar, results unchanged.
+        // The GPU simulator's device queue only implements the
+        // corner-optimum kind: every non-global unit must fall back to
+        // scalar, results unchanged.
         let pairs = random_batch(&lens, seed ^ 0xfa11);
         let spec = SchemeSpec {
             kind,
@@ -328,16 +383,42 @@ proptest! {
         };
         let expected: Vec<i32> = pairs.iter().map(|(q, s)| spec.score_scalar(q, s)).collect();
         let sched = scheduler_for(2, 16);
-        for backend in [BackendId::Simd, BackendId::GpuSim] {
-            let dispatch = Dispatch::standard(Policy::Fixed(backend));
-            let run = sched.score_pairs(&dispatch, &spec, &pairs);
-            prop_assert_eq!(&run.results, &expected, "backend {:?}", backend);
-            prop_assert!(run.stats.fallbacks > 0, "expected fallbacks for {:?}", backend);
-            prop_assert!(
-                run.stats.per_backend.iter().all(|b| b.backend == "scalar"),
-                "only scalar should have run for {:?}", backend
-            );
-        }
+        let dispatch = Dispatch::standard(Policy::Fixed(BackendId::GpuSim));
+        let run = sched.score_pairs(&dispatch, &spec, &pairs);
+        prop_assert_eq!(&run.results, &expected);
+        prop_assert!(run.stats.fallbacks > 0, "expected fallbacks for gpu-sim");
+        prop_assert!(
+            run.stats.per_backend.iter().all(|b| b.backend == "scalar"),
+            "only scalar should have run"
+        );
+    }
+
+    #[test]
+    fn simd_fallback_path_stays_oracle_identical(
+        lens in prop::collection::vec((1usize..180, 1usize..180), 1..20),
+        seed in 0u64..1000,
+    ) {
+        // FreeEnd is the one kind the striped kernel still refuses
+        // (Local and SemiGlobal run natively since the kind-generic
+        // kernels landed): every unit must fall back to scalar,
+        // results unchanged.
+        let pairs = random_batch(&lens, seed ^ 0xfa12);
+        let spec = SchemeSpec {
+            kind: KindSpec::FreeEnd,
+            match_score: 2,
+            mismatch: -1,
+            gap: GapSpec::Linear { gap: -1 },
+        };
+        let expected: Vec<i32> = pairs.iter().map(|(q, s)| spec.score_scalar(q, s)).collect();
+        let sched = scheduler_for(2, 16);
+        let dispatch = Dispatch::standard(Policy::Fixed(BackendId::Simd));
+        let run = sched.score_pairs(&dispatch, &spec, &pairs);
+        prop_assert_eq!(&run.results, &expected);
+        prop_assert!(run.stats.fallbacks > 0, "expected fallbacks for simd");
+        prop_assert!(
+            run.stats.per_backend.iter().all(|b| b.backend == "scalar"),
+            "only scalar should have run"
+        );
     }
 }
 
@@ -604,6 +685,76 @@ fn auto_alignment_batches_stay_on_the_simd_path() {
         0,
         "Illumina-profile reads fit the default band"
     );
+}
+
+#[test]
+fn auto_nonglobal_batches_stay_on_the_simd_path() {
+    // The acceptance bar for the kind-generic kernels: short
+    // SemiGlobal and Local bins under `Policy::Auto` route to the
+    // SIMD backend for both score and align — no dispatch-level
+    // fallback, no kind-capability refusal, lanes carrying the bulk.
+    let reference = GenomeSim::new(47).generate(120_000);
+    let mut rs = ReadSim::new(ReadSimProfile::default(), 48);
+    let pairs: Vec<(Seq, Seq)> = rs
+        .simulate_pairs(&reference, 240)
+        .into_iter()
+        .map(|p| (p.a, p.b))
+        .collect();
+    let dispatch = Dispatch::standard(Policy::Auto);
+    let sched = scheduler_for(4, 64);
+    for kind in [KindSpec::SemiGlobal, KindSpec::Local] {
+        let spec = SchemeSpec {
+            kind,
+            match_score: 2,
+            mismatch: -1,
+            gap: GapSpec::Affine {
+                open: -2,
+                extend: -1,
+            },
+        };
+        let expected: Vec<i32> = pairs.iter().map(|(q, s)| spec.score_scalar(q, s)).collect();
+
+        let scored = sched.score_pairs(&dispatch, &spec, &pairs);
+        assert_eq!(scored.results, expected, "{kind:?} scores");
+        assert_eq!(scored.stats.fallbacks, 0, "{kind:?} score fallbacks");
+        assert!(
+            !scored
+                .stats
+                .counters
+                .contains_key(anyseq_engine::FALLBACK_KIND_UNSUPPORTED),
+            "{kind:?}: no kind-capability refusal under Auto"
+        );
+
+        let run = sched.align_pairs(&dispatch, &spec, &pairs);
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_replays(
+                &spec,
+                q,
+                s,
+                &run.results[k],
+                &format!("auto {kind:?} align pair {k}"),
+            );
+        }
+        assert_eq!(run.stats.fallbacks, 0, "{kind:?} align fallbacks");
+        let simd = run
+            .stats
+            .per_backend
+            .iter()
+            .find(|b| b.backend == "simd")
+            .unwrap_or_else(|| panic!("{kind:?}: SIMD backend must have executed the batch"));
+        assert_eq!(simd.pairs, pairs.len() as u64);
+        let lane_pairs = run
+            .stats
+            .counters
+            .get("simd.lane_pairs")
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            lane_pairs > 0,
+            "{kind:?}: lane traceback must carry the bulk: {:?}",
+            run.stats.counters
+        );
+    }
 }
 
 #[test]

@@ -87,7 +87,7 @@ proptest! {
         let scheme = global(linear(simple(2, -1), -1));
         let view = anyseq_seq::BatchView::from_pairs(&pairs);
         let scalar = score_batch_parallel(&scheme, &pairs, 4);
-        let simd = anyseq::simd::score_batch_simd::<_, _, 8>(&scheme, view.refs(), 4);
+        let simd = anyseq::simd::score_batch_simd::<_, _, _, 8>(&scheme, view.refs(), 4);
         prop_assert_eq!(scalar, simd);
     }
 }
