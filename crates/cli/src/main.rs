@@ -15,7 +15,9 @@
 //! anyseq serve --socket PATH [--window-ms N] [--target-pairs N]
 //!              [--batch-mb N] [--queue-mb N] [--max-frame-mb N]
 //!              [--backend NAME] [--auto-crossover CELLS] [--xdrop X]
-//!              [--cache-mb N] [--threads N]
+//!              [--cache-mb N] [--threads N] [--slow-ms N]
+//! anyseq serve-ctl --socket PATH (--stats | --health | --dump)
+//!                  [--out PATH]
 //! ```
 //!
 //! `batch` drives the `anyseq-engine` subsystem: pairs are length-
@@ -60,7 +62,17 @@
 //! admission gate (`--queue-mb`; overflow gets a typed `Overloaded`
 //! refusal). One engine dispatch, result cache and metrics registry
 //! are shared across all connections; the wire protocol's `STATS` verb
-//! scrapes the Prometheus exposition.
+//! scrapes the Prometheus exposition. Every admitted request is traced
+//! through `decode → window_wait → queue_wait → dispatch →
+//! kernel_share → reply_write`; requests slower than `--slow-ms`
+//! (default 100) land in a bounded slow-request log.
+//!
+//! `serve-ctl` is the companion inspector for a running daemon:
+//! `--stats` scrapes the Prometheus exposition, `--health` returns a
+//! JSON health document (queue depth, window occupancy, slow-request
+//! log), and `--dump` pulls the flight recorder as Chrome-trace JSON
+//! (last 256 requests / 64 batches) — write it to a file with `--out`
+//! and load it in `chrome://tracing` or Perfetto.
 
 use anyseq_core::kind::{Global, Local, SemiGlobal};
 use anyseq_core::prelude::*;
@@ -90,7 +102,9 @@ fn usage() -> ! {
          \x20 anyseq serve --socket PATH [--window-ms N] [--target-pairs N]\n\
          \x20              [--batch-mb N] [--queue-mb N] [--max-frame-mb N]\n\
          \x20              [--backend NAME] [--auto-crossover CELLS] [--xdrop X]\n\
-         \x20              [--cache-mb N] [--threads N]"
+         \x20              [--cache-mb N] [--threads N] [--slow-ms N]\n\
+         \x20 anyseq serve-ctl --socket PATH (--stats | --health | --dump)\n\
+         \x20              [--out PATH]"
     );
     exit(2)
 }
@@ -131,6 +145,7 @@ fn main() {
         Some("batch") => cmd_batch(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("serve-ctl") => cmd_serve_ctl(&args[1..]),
         _ => usage(),
     }
 }
@@ -438,6 +453,8 @@ fn cmd_serve(args: &[String]) {
         threads: numeric_flag(&flags, "threads", 0),
         policy: policy_cfg,
         max_frame_bytes: numeric_flag(&flags, "max-frame-mb", 64usize) * (1 << 20),
+        slow_ms: numeric_flag(&flags, "slow-ms", 100u64),
+        ..anyseq_serve::ServeConfig::default()
     };
     let clock = std::sync::Arc::new(anyseq_serve::SystemClock::new());
     let handle = anyseq_serve::Server::start(socket, cfg, clock).unwrap_or_else(|e| {
@@ -448,6 +465,44 @@ fn cmd_serve(args: &[String]) {
     // Parks until the accept loop exits (i.e. the process is killed;
     // the socket file is cleaned up by the next daemon's bind).
     handle.wait();
+}
+
+fn cmd_serve_ctl(args: &[String]) {
+    let flags = parse_flags(args);
+    let socket = flags.get("socket").unwrap_or_else(|| usage());
+    let mut client = anyseq_serve::ServeClient::connect(socket).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {socket}: {e}");
+        exit(1)
+    });
+    // Exactly one verb per invocation: stats (Prometheus exposition),
+    // health (JSON incl. the slow-request log), dump (flight-recorder
+    // Chrome trace — load in chrome://tracing / Perfetto).
+    let verbs = ["stats", "health", "dump"];
+    let picked: Vec<&str> = verbs
+        .iter()
+        .copied()
+        .filter(|v| flags.contains_key(*v))
+        .collect();
+    let text = match picked.as_slice() {
+        ["stats"] => client.stats(),
+        ["health"] => client.health(),
+        ["dump"] => client.dump_flight(),
+        _ => {
+            eprintln!("serve-ctl: pass exactly one of --stats, --health, --dump");
+            usage()
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("serve-ctl: request failed: {e}");
+        exit(1)
+    });
+    match flags.get("out") {
+        Some(path) => std::fs::write(path, &text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        }),
+        None => print!("{text}"),
+    }
 }
 
 fn cmd_align(args: &[String]) {

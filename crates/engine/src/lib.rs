@@ -94,7 +94,7 @@ pub use scheduler::{
 };
 pub use shared::SharedDispatcher;
 pub use spec::{GapSpec, KindSpec, SchemeSpec};
-pub use stats::{BackendUse, BatchStats};
+pub use stats::{cell_share_ns, BackendUse, BatchStats};
 
 /// Convenience re-exports for applications.
 pub mod prelude {

@@ -3,7 +3,7 @@
 //! (`anyseq-bench` computes its `Measurement` through these functions,
 //! so both layers count work identically).
 
-use anyseq_obs::Span;
+use anyseq_obs::{Span, Stage};
 use anyseq_seq::Seq;
 use std::collections::BTreeMap;
 
@@ -33,6 +33,22 @@ pub fn gcups(cells: u64, seconds: f64) -> f64 {
     } else {
         0.0
     }
+}
+
+/// Apportions a batch-level duration to one request by its cell share:
+/// `total_ns · cells / batch_cells`, in u128 so the product cannot
+/// overflow. Returns 0 when `batch_cells` is 0 (nothing to attribute).
+/// This is the serving layer's attribution rule: when several requests
+/// coalesce into one engine batch, each is charged kernel time in
+/// proportion to the DP cells it contributed — the same work measure
+/// GCUPS uses — rather than by pair count, so one long pair is not
+/// charged like sixty-four short ones.
+#[inline]
+pub fn cell_share_ns(total_ns: u64, cells: u64, batch_cells: u64) -> u64 {
+    if batch_cells == 0 {
+        return 0;
+    }
+    ((total_ns as u128 * cells as u128) / batch_cells as u128) as u64
 }
 
 /// Work one backend performed inside a batch run.
@@ -125,6 +141,14 @@ impl BatchStats {
     /// Adds a named backend-internal counter (additive).
     pub fn record_counter(&mut self, name: &'static str, value: u64) {
         *self.counters.entry(name).or_insert(0) += value;
+    }
+
+    /// Wall nanoseconds this batch spent in `stage`, read from the
+    /// `stage.<name>_ns` counter the scheduler folds span durations
+    /// into. 0 when the batch ran without observability or never
+    /// entered the stage.
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        self.counters.get(stage.counter_key()).copied().unwrap_or(0)
     }
 
     /// Total sequence bytes copied below the batch view this run — the
@@ -292,6 +316,34 @@ mod tests {
         s.record_counter("cache.ingest_bytes", 999);
         s.record_counter("not_bytes_copied_total", 7);
         assert_eq!(s.bytes_copied(), 192);
+    }
+
+    #[test]
+    fn cell_share_apportions_exactly_and_never_overflows() {
+        assert_eq!(cell_share_ns(1_000, 0, 0), 0);
+        assert_eq!(cell_share_ns(1_000, 250, 1_000), 250);
+        assert_eq!(cell_share_ns(1_000, 1_000, 1_000), 1_000);
+        // Shares across a batch sum to at most the total (floor division).
+        let total = 999u64;
+        let cells = [3u64, 5, 7];
+        let batch: u64 = cells.iter().sum();
+        let sum: u64 = cells.iter().map(|&c| cell_share_ns(total, c, batch)).sum();
+        assert!(sum <= total && sum >= total - cells.len() as u64);
+        // Giant inputs would overflow u64 multiplication; u128 holds.
+        assert_eq!(
+            cell_share_ns(u64::MAX, u64::MAX / 2, u64::MAX),
+            u64::MAX / 2
+        );
+    }
+
+    #[test]
+    fn stage_ns_reads_the_folded_counter() {
+        let mut s = BatchStats::default();
+        assert_eq!(s.stage_ns(Stage::Kernel), 0);
+        s.record_counter(Stage::Kernel.counter_key(), 1_234);
+        s.record_counter(Stage::Kernel.counter_key(), 766);
+        assert_eq!(s.stage_ns(Stage::Kernel), 2_000);
+        assert_eq!(s.stage_ns(Stage::Merge), 0);
     }
 
     #[test]

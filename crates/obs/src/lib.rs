@@ -2,8 +2,10 @@
 //!
 //! A dependency-free observability layer: a fixed [`Stage`] taxonomy, a
 //! per-worker span recorder ([`BatchTracer`]), a [`MetricsRegistry`] of
-//! counters / gauges / log-bucketed [`Histogram`]s, and two exporters —
-//! [`prometheus_text`] and [`chrome_trace`].
+//! counters / gauges / log-bucketed [`Histogram`]s, two exporters —
+//! [`prometheus_text`] and [`chrome_trace`] — and a request-scoped
+//! layer for the serving daemon ([`RequestRecord`], [`SlowLog`],
+//! [`FlightRecorder`] with its [`flight_trace`] exporter).
 //!
 //! The design constraint is *zero cost when disabled*: instrumentation
 //! call-sites use the free functions [`timer`] / [`commit`] / [`span`],
@@ -32,11 +34,15 @@
 
 mod export;
 mod metrics;
+mod request;
 mod span;
 mod stage;
 
 pub use export::{chrome_trace, prometheus_text};
 pub use metrics::{labels, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use request::{
+    flight_trace, BatchRecord, FlightRecorder, FlightSnapshot, RequestRecord, SlowLog,
+};
 pub use span::{
     commit, enabled, set_context, span, timer, BatchTracer, Span, Timer, WorkerGuard, NO_ID,
 };

@@ -106,22 +106,35 @@ impl Histogram {
         self.max
     }
 
-    /// Arithmetic mean, or 0.0 when empty.
+    /// Arithmetic mean. Edge cases are explicit rather than emergent:
+    /// an empty histogram returns 0.0, and because the running sum is
+    /// *saturating*, a sum that has hit `u64::MAX` would make the raw
+    /// `sum/count` drift below values actually observed — so the mean
+    /// is clamped into the observed `[min, max]` range. (E.g. two
+    /// `u64::MAX` observations saturate the sum at `u64::MAX`; the raw
+    /// mean would be `u64::MAX / 2`, the clamped mean is `u64::MAX`.)
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
+            return 0.0;
         }
+        let raw = self.sum as f64 / self.count as f64;
+        raw.clamp(self.min as f64, self.max as f64)
     }
 
-    /// Estimated `q`-quantile (`0.0..=1.0`): the upper bound of the
-    /// bucket holding the rank-`ceil(q·count)` observation, clamped to
-    /// the observed `[min, max]` range. Returns 0 when empty.
+    /// Estimated `q`-quantile: the upper bound of the bucket holding
+    /// the rank-`ceil(q·count)` observation, clamped to the observed
+    /// `[min, max]` range. Edge cases, explicitly:
+    /// * empty histogram → 0 (there is no observation to bracket);
+    /// * `q` outside `[0, 1]` (or NaN) → clamped to that range, so
+    ///   `q <= 0` reports the min bucket and `q >= 1` the max;
+    /// * all mass in the open top bucket (`upper = u64::MAX`) → the
+    ///   `[min, max]` clamp keeps the estimate at the observed max
+    ///   instead of the meaningless open bound.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -236,6 +249,15 @@ impl MetricsRegistry {
         g.hists.entry((name, labels)).or_default().observe(v);
     }
 
+    /// Pre-registers the histogram `name{labels}` so it appears in
+    /// snapshots and expositions with zero counts before the first
+    /// observation — a cold scrape then exposes the full stable key
+    /// set instead of an empty page. No-op if it already exists.
+    pub fn ensure_histogram(&self, name: &'static str, labels: String) {
+        let mut g = self.inner.lock().expect("metrics registry poisoned");
+        g.hists.entry((name, labels)).or_default();
+    }
+
     /// Copies out the full registry contents.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let g = self.inner.lock().expect("metrics registry poisoned");
@@ -292,6 +314,62 @@ mod tests {
         assert!(h.quantile(0.99) >= p50);
         assert_eq!(h.quantile(1.0), 1000);
         assert!(Histogram::new().quantile(0.5) == 0);
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases_are_explicit() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn saturated_top_bucket_stays_in_observed_range() {
+        let mut h = Histogram::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        // The sum saturates; the mean and every quantile must still
+        // report the observed value, not an artifact of the overflow
+        // or the open bucket's u64::MAX upper bound.
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.mean(), u64::MAX as f64);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.min(), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_clamps_q_to_unit_range() {
+        let mut h = Histogram::new();
+        for v in [10u64, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(1.5), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn ensure_histogram_pre_registers_zero_series() {
+        let reg = MetricsRegistry::new();
+        let l = labels(&[("verb", "score")]);
+        reg.ensure_histogram("anyseq_serve_request_us", l.clone());
+        let snap = reg.snapshot();
+        let h = &snap.hists[&("anyseq_serve_request_us", l.clone())];
+        assert_eq!(h.count(), 0);
+        // Observing after pre-registration uses the same series.
+        reg.observe("anyseq_serve_request_us", l.clone(), 7);
+        assert_eq!(
+            reg.snapshot().hists[&("anyseq_serve_request_us", l)].count(),
+            1
+        );
     }
 
     #[test]

@@ -34,10 +34,16 @@
 use crate::clock::Clock;
 use crate::proto::{CodePair, Results};
 use anyseq_engine::{ReqKind, SchemeSpec};
-use anyseq_obs::MetricsRegistry;
+use anyseq_obs::{MetricsRegistry, RequestRecord};
 use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
+
+/// What the dispatcher sends back per request: the results slice plus
+/// the request's observability record (None when request tracing is
+/// disabled), carrying the dispatch stamps and kernel share for the
+/// writer to finalize.
+pub type RequestReply = (Results, Option<Box<RequestRecord>>);
 
 /// Gauge name for queued sequence bytes awaiting a batch.
 pub const QUEUE_BYTES_GAUGE: &str = "anyseq_serve_queue_bytes";
@@ -75,7 +81,11 @@ pub struct PendingRequest {
     pub pairs: Vec<CodePair>,
     /// Where the dispatcher sends this request's results. A send to a
     /// disconnected receiver (client went away) is ignored.
-    pub tx: Sender<Results>,
+    pub tx: Sender<RequestReply>,
+    /// The request's lifecycle record, boxed to keep the queue entry
+    /// small; `None` when request tracing is disabled. The batcher
+    /// stamps `ready_ns`/`taken_ns` when the window flushes.
+    pub rec: Option<Box<RequestRecord>>,
 }
 
 /// A flushed window: one engine batch worth of requests.
@@ -138,6 +148,12 @@ struct Group {
     pairs: usize,
     bytes: u64,
     deadline_ns: u64,
+    /// Clock reading when the pair-count or byte trigger first made
+    /// this window flushable (0 = neither has fired yet). Feeds the
+    /// per-request `window_wait` / `queue_wait` split: time before
+    /// this stamp is window coalescing, time after is waiting for the
+    /// dispatcher.
+    ready_ns: u64,
 }
 
 struct State {
@@ -191,15 +207,19 @@ impl MicroBatcher {
     /// Admits a request into its `(spec, mode)` window, or rejects it.
     /// On success the request's results will eventually arrive on `tx`
     /// (the dispatcher drains every admitted request, even during
-    /// shutdown).
+    /// shutdown). `rec` is the request's lifecycle record (or `None`
+    /// with tracing off); it rides the queue and comes back with the
+    /// results, gaining window stamps along the way.
     pub fn submit(
         &self,
         spec: SchemeSpec,
         mode: ReqKind,
         pairs: Vec<CodePair>,
-        tx: Sender<Results>,
+        tx: Sender<RequestReply>,
+        rec: Option<Box<RequestRecord>>,
     ) -> Result<(), SubmitError> {
         let bytes: u64 = pairs.iter().map(|(q, s)| (q.len() + s.len()) as u64).sum();
+        let now = self.clock.now_ns();
         let mut state = self.state.lock().expect("batcher state poisoned");
         if !state.open {
             return Err(SubmitError::Closed);
@@ -214,7 +234,7 @@ impl MicroBatcher {
         state.queued_bytes += bytes;
         state.queued_requests += 1;
         state.peak_queued_bytes = state.peak_queued_bytes.max(state.queued_bytes);
-        let request = PendingRequest { pairs, tx };
+        let request = PendingRequest { pairs, tx, rec };
         let n_pairs = request.pairs.len();
         if let Some(group) = state
             .groups
@@ -224,8 +244,19 @@ impl MicroBatcher {
             group.requests.push(request);
             group.pairs += n_pairs;
             group.bytes += bytes;
+            if group.ready_ns == 0
+                && (group.pairs >= self.cfg.target_pairs || group.bytes >= self.cfg.max_batch_bytes)
+            {
+                group.ready_ns = now;
+            }
         } else {
-            let deadline_ns = self.clock.now_ns().saturating_add(self.cfg.max_delay_ns);
+            let deadline_ns = now.saturating_add(self.cfg.max_delay_ns);
+            let ready_ns = if n_pairs >= self.cfg.target_pairs || bytes >= self.cfg.max_batch_bytes
+            {
+                now
+            } else {
+                0
+            };
             state.groups.push_back(Group {
                 spec,
                 mode,
@@ -233,6 +264,7 @@ impl MicroBatcher {
                 pairs: n_pairs,
                 bytes,
                 deadline_ns,
+                ready_ns,
             });
         }
         drop(state);
@@ -260,10 +292,28 @@ impl MicroBatcher {
                     || now >= g.deadline_ns
             };
             if let Some(idx) = state.groups.iter().position(ready) {
-                let group = state.groups.remove(idx).expect("position exists");
+                let mut group = state.groups.remove(idx).expect("position exists");
                 state.queued_bytes -= group.bytes;
                 state.queued_requests -= group.requests.len() as u64;
                 drop(state);
+                // When the window became flushable: the count/byte
+                // trigger stamp if one fired, else the deadline (the
+                // usual flush), else this very moment (close-flush).
+                let ready_ns = if group.ready_ns != 0 {
+                    group.ready_ns
+                } else if now >= group.deadline_ns {
+                    group.deadline_ns
+                } else {
+                    now
+                };
+                for req in &mut group.requests {
+                    if let Some(rec) = &mut req.rec {
+                        // A request admitted into an already-ready
+                        // window never waited for the trigger.
+                        rec.ready_ns = ready_ns.max(rec.admit_ns);
+                        rec.taken_ns = now;
+                    }
+                }
                 if let Some(reg) = &self.metrics {
                     reg.add_gauge(QUEUE_BYTES_GAUGE, String::new(), -(group.bytes as f64));
                     reg.add_gauge(
@@ -355,7 +405,7 @@ mod tests {
         // These tests are dispatcher-less: nothing ever sends on `tx`,
         // so dropping the receiver immediately is harmless.
         let (tx, _rx) = channel();
-        b.submit(spec, mode, pairs, tx).expect("admitted");
+        b.submit(spec, mode, pairs, tx, None).expect("admitted");
     }
 
     /// Pulls the next batch from another thread so the test can assert
@@ -441,10 +491,10 @@ mod tests {
             clock as Arc<dyn Clock>,
         );
         let (tx, _rx) = channel();
-        b.submit(spec(), ReqKind::Score, vec![pair(30)], tx.clone())
+        b.submit(spec(), ReqKind::Score, vec![pair(30)], tx.clone(), None)
             .expect("60 B fits");
         let err = b
-            .submit(spec(), ReqKind::Score, vec![pair(30)], tx.clone())
+            .submit(spec(), ReqKind::Score, vec![pair(30)], tx.clone(), None)
             .expect_err("120 B total exceeds 100 B");
         assert_eq!(
             err,
@@ -463,7 +513,7 @@ mod tests {
         assert!(b.next_batch().is_some());
         assert!(b.next_batch().is_none());
         assert_eq!(
-            b.submit(spec(), ReqKind::Score, vec![pair(30)], tx),
+            b.submit(spec(), ReqKind::Score, vec![pair(30)], tx, None),
             Err(SubmitError::Closed)
         );
     }
@@ -483,6 +533,46 @@ mod tests {
         assert_eq!(empty.pair_count(), 0);
         assert!(b.next_batch().is_none());
         assert!(b.next_batch().is_none(), "None is sticky");
+    }
+
+    #[test]
+    fn records_get_window_stamps_on_flush() {
+        let clock = Arc::new(FakeClock::new());
+        let b = Arc::new(MicroBatcher::new(cfg(), clock.clone() as Arc<dyn Clock>));
+        let (tx, _rx) = channel();
+        let rec = |admit: u64| {
+            Some(Box::new(RequestRecord {
+                admit_ns: admit,
+                ..RequestRecord::default()
+            }))
+        };
+        // Deadline flush: admitted at t=0, deadline at 1 ms, taken at
+        // 3 ms — ready must be the deadline, not the take time.
+        b.submit(spec(), ReqKind::Score, vec![pair(5)], tx.clone(), rec(0))
+            .unwrap();
+        clock.advance(3_000_000);
+        let batch = b.next_batch().expect("deadline flush");
+        let r = batch.requests[0].rec.as_ref().unwrap();
+        assert_eq!(r.ready_ns, 1_000_000);
+        assert_eq!(r.taken_ns, 3_000_000);
+        // Count-trigger flush: the 4th pair arrives at 4 ms and makes
+        // the window ready immediately; taken two fake ms later.
+        clock.advance(1_000_000);
+        b.submit(
+            spec(),
+            ReqKind::Score,
+            vec![pair(2); 4],
+            tx.clone(),
+            rec(4_000_000),
+        )
+        .unwrap();
+        clock.advance(2_000_000);
+        let batch = b.next_batch().expect("count flush");
+        let r = batch.requests[0].rec.as_ref().unwrap();
+        assert_eq!(r.ready_ns, 4_000_000);
+        assert_eq!(r.taken_ns, 6_000_000);
+        // window_wait = ready - admit = 0; queue_wait starts at ready.
+        assert_eq!(r.window_wait_ns(), 0);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! the one-shot convenience wrapper.
 
 use crate::proto::{
-    decode_message, encode_request, encode_stats, read_frame, write_frame, CodePair, ErrorFrame,
-    Message, Request, Results, MAX_FRAME_BYTES,
+    decode_message, encode_dump, encode_health, encode_request, encode_stats, read_frame,
+    write_frame, CodePair, ErrorFrame, Message, Request, Results, MAX_FRAME_BYTES,
 };
 use anyseq_engine::{ReqKind, SchemeSpec};
 use anyseq_seq::Seq;
@@ -116,10 +116,12 @@ impl ServeClient {
             }),
             Message::Error(err) => Ok(ServerReply::Error(err)),
             Message::StatsText(text) => Ok(ServerReply::Stats(text)),
-            Message::Request(_) | Message::Stats => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "client-side verb received from server",
-            )),
+            Message::Request(_) | Message::Stats | Message::Health | Message::Dump => {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "client-side verb received from server",
+                ))
+            }
         }
     }
 
@@ -153,12 +155,27 @@ impl ServeClient {
     /// Scrapes the daemon's metrics (Prometheus text exposition).
     /// Queued behind any pipelined requests — replies are FIFO.
     pub fn stats(&mut self) -> std::io::Result<String> {
-        write_frame(&mut self.writer, &encode_stats())?;
+        self.text_verb(encode_stats())
+    }
+
+    /// Probes the daemon's health: a JSON document with queue levels,
+    /// window occupancy, and the slow-request log.
+    pub fn health(&mut self) -> std::io::Result<String> {
+        self.text_verb(encode_health())
+    }
+
+    /// Dumps the daemon's flight recorder as Chrome-trace JSON.
+    pub fn dump_flight(&mut self) -> std::io::Result<String> {
+        self.text_verb(encode_dump())
+    }
+
+    fn text_verb(&mut self, payload: Vec<u8>) -> std::io::Result<String> {
+        write_frame(&mut self.writer, &payload)?;
         match self.recv()? {
             ServerReply::Stats(text) => Ok(text),
             other => Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                format!("expected stats text, got {other:?}"),
+                format!("expected a text reply, got {other:?}"),
             )),
         }
     }

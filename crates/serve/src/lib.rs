@@ -55,13 +55,18 @@ mod session;
 pub use batcher::{MicroBatcher, SubmitError, WindowCfg, QUEUE_BYTES_GAUGE, QUEUE_DEPTH_GAUGE};
 pub use client::{ServeClient, ServerReply};
 pub use clock::{Clock, FakeClock, SystemClock};
-pub use proto::{CodePair, ErrCode, ErrorFrame, ProtoError, Request, Response, Results};
+pub use proto::{
+    mint_request_id, CodePair, ErrCode, ErrorFrame, ProtoError, Request, Response, Results,
+};
 pub use server::{
     ServeConfig, Server, ServerHandle, SERVE_BATCHES_TOTAL, SERVE_BATCH_PAIRS_HIST,
     SERVE_BATCH_PAIRS_TOTAL, SERVE_MALFORMED_TOTAL, SERVE_REJECTED_TOTAL, SERVE_REQUESTS_TOTAL,
+    SERVE_REQUEST_US_HIST, SERVE_REQ_P50_US, SERVE_REQ_P95_US, SERVE_REQ_P99_US, SERVE_SLOW_TOTAL,
     SERVE_WINDOW_OCCUPANCY,
 };
 
 // Re-exported so serve users don't need a direct engine dependency for
-// the request vocabulary.
+// the request vocabulary, nor an obs dependency for the request
+// records the slow log / flight recorder accessors return.
 pub use anyseq_engine::{GapSpec, KindSpec, ReqKind, SchemeSpec};
+pub use anyseq_obs::RequestRecord;

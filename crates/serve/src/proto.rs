@@ -16,7 +16,15 @@
 //! ERROR      = 0x03 id:u64 code:u8 msg_len:u32 msg:utf8
 //! STATS      = 0x04                                      (client → server)
 //! STATS_TEXT = 0x05 len:u32 text:utf8                    (server → client)
+//! HEALTH     = 0x06                                      (client → server)
+//! DUMP       = 0x07                                      (client → server)
 //! ```
+//!
+//! `HEALTH` and `DUMP` are both answered with a `STATS_TEXT` frame:
+//! `HEALTH` carries a JSON health document (queue depth, window
+//! occupancy, and the slow-request log — "SLOWLOG"), `DUMP` carries
+//! the flight recorder's Chrome-trace JSON. Reusing the text-reply
+//! verb keeps old clients decoding new servers' replies.
 //!
 //! Decoding is strict: unknown tags, truncated payloads, trailing
 //! bytes, invalid sequence codes and bad UTF-8 all produce a typed
@@ -39,6 +47,19 @@ const VERB_RESPONSE: u8 = 0x02;
 const VERB_ERROR: u8 = 0x03;
 const VERB_STATS: u8 = 0x04;
 const VERB_STATS_TEXT: u8 = 0x05;
+const VERB_HEALTH: u8 = 0x06;
+const VERB_DUMP: u8 = 0x07;
+
+/// Mints a process-unique server-side request id, starting at 1 and
+/// strictly increasing. Minted at frame decode in the session layer,
+/// the id names the request in the slow log, the flight recorder, and
+/// trace lanes — identity the client-chosen [`Request::id`] cannot
+/// provide, since clients pick ids independently.
+pub fn mint_request_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
 
 /// One owned query/subject pair of validated sequence codes.
 pub type CodePair = (Vec<u8>, Vec<u8>);
@@ -161,6 +182,12 @@ pub enum Message {
     Stats,
     /// The Prometheus text exposition answering a scrape.
     StatsText(String),
+    /// A client health probe (queue depth + slow-request log); the
+    /// server answers with a JSON document in a `StatsText` frame.
+    Health,
+    /// A client flight-recorder dump request; the server answers with
+    /// Chrome-trace JSON in a `StatsText` frame.
+    Dump,
 }
 
 /// Why a payload failed to decode.
@@ -326,6 +353,16 @@ pub fn encode_error(err: &ErrorFrame) -> Vec<u8> {
 /// Encodes a metrics-scrape payload (no length prefix).
 pub fn encode_stats() -> Vec<u8> {
     vec![VERB_STATS]
+}
+
+/// Encodes a health-probe payload (no length prefix).
+pub fn encode_health() -> Vec<u8> {
+    vec![VERB_HEALTH]
+}
+
+/// Encodes a flight-recorder dump request payload (no length prefix).
+pub fn encode_dump() -> Vec<u8> {
+    vec![VERB_DUMP]
 }
 
 /// Encodes a metrics exposition payload (no length prefix).
@@ -511,6 +548,8 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, ProtoError> {
             Message::Error(ErrorFrame { id, code, message })
         }
         VERB_STATS => Message::Stats,
+        VERB_HEALTH => Message::Health,
+        VERB_DUMP => Message::Dump,
         VERB_STATS_TEXT => {
             let len = r.u32()? as usize;
             let text = String::from_utf8(r.take(len)?.to_vec()).map_err(|_| ProtoError::BadUtf8)?;
@@ -637,6 +676,13 @@ mod tests {
         };
         assert_eq!(decode_message(&encode_error(&err)), Ok(Message::Error(err)));
         assert_eq!(decode_message(&encode_stats()), Ok(Message::Stats));
+        assert_eq!(decode_message(&encode_health()), Ok(Message::Health));
+        assert_eq!(decode_message(&encode_dump()), Ok(Message::Dump));
+        // Single-byte verbs reject trailing bytes like every frame.
+        assert_eq!(
+            decode_message(&[encode_health()[0], 0]),
+            Err(ProtoError::Trailing(1))
+        );
         assert_eq!(
             decode_message(&encode_stats_text("serve_requests_total 3\n")),
             Ok(Message::StatsText("serve_requests_total 3\n".into()))
@@ -683,6 +729,23 @@ mod tests {
         let n_off = forged.len() - 4;
         forged[n_off..].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(decode_message(&forged), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn minted_request_ids_are_unique_and_increasing() {
+        let a = mint_request_id();
+        let b = mint_request_id();
+        assert!(b > a && a >= 1);
+        let from_threads: Vec<u64> = (0..4)
+            .map(|_| std::thread::spawn(|| (0..100).map(|_| mint_request_id()).collect::<Vec<_>>()))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
+        let mut sorted = from_threads.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), from_threads.len(), "ids must never collide");
     }
 
     #[test]

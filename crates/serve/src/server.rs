@@ -20,8 +20,11 @@ use crate::batcher::{Batch, MicroBatcher, WindowCfg};
 use crate::clock::Clock;
 use crate::proto::{Results, MAX_FRAME_BYTES};
 use crate::session::run_session;
-use anyseq_engine::{BatchCfg, DispatchPolicy, ReqKind, SharedDispatcher};
-use anyseq_obs::{prometheus_text, MetricsRegistry, MetricsSnapshot};
+use anyseq_engine::{cell_share_ns, BatchCfg, DispatchPolicy, ReqKind, SharedDispatcher};
+use anyseq_obs::{
+    flight_trace, labels, prometheus_text, FlightRecorder, MetricsRegistry, MetricsSnapshot,
+    RequestRecord, SlowLog, Stage,
+};
 use anyseq_seq::{BatchView, PairRef};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -45,6 +48,29 @@ pub const SERVE_BATCH_PAIRS_HIST: &str = "anyseq_serve_batch_pairs";
 /// merit (≥4× the single-request size under concurrent load is the
 /// acceptance bar).
 pub const SERVE_WINDOW_OCCUPANCY: &str = "anyseq_serve_window_occupancy";
+/// Counter: completed requests slower than the `--slow-ms` threshold.
+pub const SERVE_SLOW_TOTAL: &str = "anyseq_serve_slow_total";
+/// Histogram: end-to-end request latency in µs, labelled
+/// `{kind, scheme, verb}` (log₂ buckets; merge across labels for
+/// aggregate quantiles).
+pub const SERVE_REQUEST_US_HIST: &str = "anyseq_serve_request_us";
+/// Gauge: p50 request latency in µs, labelled `{verb}`; refreshed from
+/// the merged latency histogram on every `STATS` render.
+pub const SERVE_REQ_P50_US: &str = "anyseq_serve_req_p50_us";
+/// Gauge: p95 request latency in µs, labelled `{verb}`.
+pub const SERVE_REQ_P95_US: &str = "anyseq_serve_req_p95_us";
+/// Gauge: p99 request latency in µs, labelled `{verb}`.
+pub const SERVE_REQ_P99_US: &str = "anyseq_serve_req_p99_us";
+
+/// The two request verbs as exposition label values.
+pub(crate) const VERBS: [&str; 2] = ["score", "align"];
+
+pub(crate) fn verb_name(mode: ReqKind) -> &'static str {
+    match mode {
+        ReqKind::Score => "score",
+        ReqKind::Align => "align",
+    }
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -59,6 +85,19 @@ pub struct ServeConfig {
     pub policy: DispatchPolicy,
     /// Per-frame payload cap for client connections.
     pub max_frame_bytes: usize,
+    /// Slow-request threshold in milliseconds (`--slow-ms`): completed
+    /// requests slower than this end to end enter the slow log and
+    /// bump [`SERVE_SLOW_TOTAL`].
+    pub slow_ms: u64,
+    /// Request-scoped tracing (records, latency histograms, slow log,
+    /// flight recorder). On by default; the throughput bench turns it
+    /// off to measure its overhead.
+    pub request_obs: bool,
+    /// Completed requests the flight recorder retains.
+    pub flight_requests: usize,
+    /// Dispatched batches (with engine spans) the flight recorder
+    /// retains.
+    pub flight_batches: usize,
 }
 
 impl Default for ServeConfig {
@@ -68,8 +107,20 @@ impl Default for ServeConfig {
             threads: 0,
             policy: DispatchPolicy::auto().observe(true).cache_mb(32),
             max_frame_bytes: MAX_FRAME_BYTES,
+            slow_ms: 100,
+            request_obs: true,
+            flight_requests: 256,
+            flight_batches: 64,
         }
     }
+}
+
+/// Request-tracing sinks, present iff `ServeConfig::request_obs`.
+pub(crate) struct RequestObs {
+    /// The always-on ring of recent requests + batches.
+    pub flight: FlightRecorder,
+    /// The bounded over-threshold request log.
+    pub slow: SlowLog,
 }
 
 /// State shared by the accept loop, every session, and the dispatcher.
@@ -82,17 +133,134 @@ pub(crate) struct Shared {
     pub metrics: Arc<MetricsRegistry>,
     /// Per-frame payload cap.
     pub max_frame: usize,
+    /// The daemon clock — every request-lifecycle stamp reads it, so a
+    /// fake clock makes the whole decomposition deterministic.
+    pub clock: Arc<dyn Clock>,
+    /// Request-tracing sinks; `None` disables per-request stamps,
+    /// histograms, slow log, and flight recorder in one check.
+    pub reqobs: Option<RequestObs>,
 }
 
 impl Shared {
-    /// Renders the `STATS` exposition: serving metrics first, then the
-    /// engine registry (when the dispatch observes).
+    /// Renders the `STATS` exposition: serving metrics first (with the
+    /// latency quantile gauges freshly derived), then the engine
+    /// registry (when the dispatch observes).
     pub(crate) fn render_stats(&self) -> String {
+        self.refresh_latency_gauges();
         let mut text = prometheus_text(&self.metrics.snapshot());
         if let Some(reg) = self.engine.dispatch().metrics() {
             text.push_str(&prometheus_text(&reg.snapshot()));
         }
         text
+    }
+
+    /// Recomputes the per-verb p50/p95/p99 gauges from the merged
+    /// request-latency histogram. Quantiles are derived on scrape, not
+    /// on completion — the hot path only pays one histogram observe.
+    pub(crate) fn refresh_latency_gauges(&self) {
+        for verb in VERBS {
+            let filter = format!("verb=\"{verb}\"");
+            let h = self
+                .metrics
+                .merged_histogram(SERVE_REQUEST_US_HIST, &filter);
+            let l = labels(&[("verb", verb)]);
+            for (name, q) in [
+                (SERVE_REQ_P50_US, 0.5),
+                (SERVE_REQ_P95_US, 0.95),
+                (SERVE_REQ_P99_US, 0.99),
+            ] {
+                self.metrics
+                    .set_gauge(name, l.clone(), h.quantile(q) as f64);
+            }
+        }
+    }
+
+    /// Finalizes a completed request record: latency histogram, slow
+    /// log, flight recorder. Called by the session writer after the
+    /// reply frame is on the wire (`done_ns` stamped).
+    pub(crate) fn complete(&self, rec: Box<RequestRecord>) {
+        let Some(obs) = &self.reqobs else { return };
+        let scheme = rec.scheme_hex();
+        let l = labels(&[("kind", rec.kind), ("scheme", &scheme), ("verb", rec.verb)]);
+        self.metrics
+            .observe(SERVE_REQUEST_US_HIST, l, rec.total_ns() / 1_000);
+        if obs.slow.offer(&rec) {
+            self.metrics.inc(SERVE_SLOW_TOTAL, String::new(), 1);
+        }
+        obs.flight.record_request(*rec);
+    }
+
+    /// Renders the `HEALTH` JSON document: queue levels, window
+    /// occupancy, and the slow-request log ("SLOWLOG"), newest last.
+    pub(crate) fn render_health(&self) -> String {
+        use std::fmt::Write as _;
+        let occupancy = self
+            .metrics
+            .snapshot()
+            .gauges
+            .get(&(SERVE_WINDOW_OCCUPANCY, String::new()))
+            .copied()
+            .unwrap_or(0.0);
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"request_obs\":{},\"queued_bytes\":{},\"queued_requests\":{},\
+             \"peak_queued_bytes\":{},\"window_occupancy\":{occupancy}",
+            self.reqobs.is_some(),
+            self.batcher.queued_bytes(),
+            self.batcher.queued_requests(),
+            self.batcher.peak_queued_bytes(),
+        );
+        if let Some(obs) = &self.reqobs {
+            let _ = write!(
+                out,
+                ",\"slow_threshold_ms\":{},\"slow_total\":{},\"slowlog\":[",
+                obs.slow.threshold_ns() / 1_000_000,
+                obs.slow.total(),
+            );
+            for (i, r) in obs.slow.entries().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"id\":{},\"client_id\":{},\"verb\":\"{}\",\"kind\":\"{}\",\
+                     \"scheme\":\"{}\",\"pairs\":{},\"cells\":{},\"batch\":{},\
+                     \"total_us\":{},\"decode_us\":{},\"window_wait_us\":{},\
+                     \"queue_wait_us\":{},\"dispatch_us\":{},\"kernel_share_us\":{},\
+                     \"reply_write_us\":{}}}",
+                    r.id,
+                    r.client_id,
+                    r.verb,
+                    r.kind,
+                    r.scheme_hex(),
+                    r.pairs,
+                    r.cells,
+                    r.batch_seq,
+                    r.total_ns() / 1_000,
+                    r.decode_ns() / 1_000,
+                    r.window_wait_ns() / 1_000,
+                    r.queue_wait_ns() / 1_000,
+                    r.dispatch_ns() / 1_000,
+                    r.kernel_share_ns / 1_000,
+                    r.reply_write_ns() / 1_000,
+                );
+            }
+            out.push(']');
+        } else {
+            out.push_str(",\"slowlog\":[]");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the `DUMP` reply: the flight recorder as Chrome-trace
+    /// JSON (an empty event array when request tracing is off).
+    pub(crate) fn render_flight(&self) -> String {
+        match &self.reqobs {
+            Some(obs) => flight_trace(&obs.flight.snapshot()),
+            None => String::from("[\n]\n"),
+        }
     }
 }
 
@@ -118,30 +286,53 @@ impl Server {
 
         let metrics = Arc::new(MetricsRegistry::new());
         // Pre-seed every serving metric so scrapes (and the report
-        // checker) always see the full key set, zeros included.
+        // checker) always see the full key set, zeros included. A cold
+        // scrape therefore exposes stable zero-valued keys for every
+        // counter, gauge, and histogram the daemon will ever emit
+        // (per-verb latency histograms are seeded with placeholder
+        // kind/scheme labels — real traffic adds its own series).
         for name in [
             SERVE_REQUESTS_TOTAL,
             SERVE_REJECTED_TOTAL,
             SERVE_MALFORMED_TOTAL,
             SERVE_BATCHES_TOTAL,
             SERVE_BATCH_PAIRS_TOTAL,
+            SERVE_SLOW_TOTAL,
         ] {
             metrics.inc(name, String::new(), 0);
         }
         metrics.set_gauge(SERVE_WINDOW_OCCUPANCY, String::new(), 0.0);
         metrics.add_gauge(crate::batcher::QUEUE_BYTES_GAUGE, String::new(), 0.0);
         metrics.add_gauge(crate::batcher::QUEUE_DEPTH_GAUGE, String::new(), 0.0);
+        metrics.ensure_histogram(SERVE_BATCH_PAIRS_HIST, String::new());
+        for verb in VERBS {
+            metrics.ensure_histogram(
+                SERVE_REQUEST_US_HIST,
+                labels(&[("kind", "-"), ("scheme", "-"), ("verb", verb)]),
+            );
+            let l = labels(&[("verb", verb)]);
+            for name in [SERVE_REQ_P50_US, SERVE_REQ_P95_US, SERVE_REQ_P99_US] {
+                metrics.set_gauge(name, l.clone(), 0.0);
+            }
+        }
 
         let threads = if cfg.threads == 0 {
             BatchCfg::default()
         } else {
             BatchCfg::threads(cfg.threads)
         };
+        let reqobs = cfg.request_obs.then(|| RequestObs {
+            flight: FlightRecorder::new(cfg.flight_requests, cfg.flight_batches),
+            slow: SlowLog::new(cfg.slow_ms.saturating_mul(1_000_000), 64),
+        });
         let shared = Arc::new(Shared {
-            batcher: MicroBatcher::new(cfg.window, clock).with_metrics(Arc::clone(&metrics)),
+            batcher: MicroBatcher::new(cfg.window, Arc::clone(&clock))
+                .with_metrics(Arc::clone(&metrics)),
             engine: SharedDispatcher::new(cfg.policy.standard(), threads),
             metrics,
             max_frame: cfg.max_frame_bytes,
+            clock,
+            reqobs,
         });
 
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -178,14 +369,30 @@ fn accept_loop(listener: UnixListener, shared: &Arc<Shared>, shutdown: &AtomicBo
 }
 
 /// The single batch consumer: coalesced window → one engine run →
-/// per-request result slices, in admission order.
+/// per-request result slices, in admission order. With request
+/// tracing on, it also stamps each request's dispatch interval,
+/// apportions the batch's kernel time by cell share, and files the
+/// batch (with its engine spans) in the flight recorder.
 fn dispatcher_loop(shared: &Arc<Shared>) {
     let mut batches = 0u64;
     let mut pairs_total = 0u64;
     while let Some(batch) = shared.batcher.next_batch() {
         let pair_count = batch.pair_count() as u64;
-        let results = run_batch(shared, &batch);
-        distribute(batch, results);
+        let t_start = shared.clock.now_ns();
+        let (results, kernel_ns, spans) = run_batch(shared, &batch);
+        let t_end = shared.clock.now_ns();
+        let batch_seq = shared.reqobs.as_ref().map_or(0, |obs| {
+            let cells: u64 = batch
+                .requests
+                .iter()
+                .filter_map(|r| r.rec.as_ref().map(|rec| rec.cells))
+                .sum();
+            obs.flight
+                .record_batch(verb_name(batch.mode), t_start, pair_count, cells, spans)
+        });
+        // Count the batch *before* handing out its results: a client
+        // that scrapes STATS right after its last reply must already
+        // see this batch in the counters and the occupancy gauge.
         batches += 1;
         pairs_total += pair_count;
         shared.metrics.inc(SERVE_BATCHES_TOTAL, String::new(), 1);
@@ -200,10 +407,11 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
             String::new(),
             pairs_total as f64 / batches as f64,
         );
+        distribute(batch, results, t_start, t_end, kernel_ns, batch_seq);
     }
 }
 
-fn run_batch(shared: &Arc<Shared>, batch: &Batch) -> Results {
+fn run_batch(shared: &Arc<Shared>, batch: &Batch) -> (Results, u64, Vec<anyseq_obs::Span>) {
     // One borrowed view over every request's codes — the engine sees a
     // single coalesced batch; no sequence bytes are copied here.
     let refs: Vec<PairRef<'_>> = batch
@@ -213,14 +421,34 @@ fn run_batch(shared: &Arc<Shared>, batch: &Batch) -> Results {
         .collect();
     let view = BatchView::from_refs(refs);
     match batch.mode {
-        ReqKind::Score => Results::Scores(shared.engine.score_batch(&batch.spec, &view).results),
+        ReqKind::Score => {
+            let mut run = shared.engine.score_batch(&batch.spec, &view);
+            let kernel_ns = run.stats.stage_ns(Stage::Kernel);
+            let spans = std::mem::take(&mut run.stats.spans);
+            (Results::Scores(run.results), kernel_ns, spans)
+        }
         ReqKind::Align => {
-            Results::Alignments(shared.engine.align_batch(&batch.spec, &view).results)
+            let mut run = shared.engine.align_batch(&batch.spec, &view);
+            let kernel_ns = run.stats.stage_ns(Stage::Kernel);
+            let spans = std::mem::take(&mut run.stats.spans);
+            (Results::Alignments(run.results), kernel_ns, spans)
         }
     }
 }
 
-fn distribute(batch: Batch, results: Results) {
+fn distribute(
+    batch: Batch,
+    results: Results,
+    t_start: u64,
+    t_end: u64,
+    kernel_ns: u64,
+    batch_seq: u64,
+) {
+    let batch_cells: u64 = batch
+        .requests
+        .iter()
+        .filter_map(|r| r.rec.as_ref().map(|rec| rec.cells))
+        .sum();
     let mut offset = 0;
     for req in batch.requests {
         let n = req.pairs.len();
@@ -229,9 +457,16 @@ fn distribute(batch: Batch, results: Results) {
             Results::Alignments(v) => Results::Alignments(v[offset..offset + n].to_vec()),
         };
         offset += n;
+        let mut rec = req.rec;
+        if let Some(rec) = &mut rec {
+            rec.dispatch_start_ns = t_start;
+            rec.dispatch_end_ns = t_end;
+            rec.kernel_share_ns = cell_share_ns(kernel_ns, rec.cells, batch_cells);
+            rec.batch_seq = batch_seq;
+        }
         // A disconnected client dropped its receiver; everyone else's
         // results are unaffected.
-        let _ = req.tx.send(chunk);
+        let _ = req.tx.send((chunk, rec));
     }
 }
 
@@ -274,6 +509,34 @@ impl ServerHandle {
     /// The rendered `STATS` exposition (same text a client scrape gets).
     pub fn stats_text(&self) -> String {
         self.shared.render_stats()
+    }
+
+    /// The rendered `HEALTH` JSON (same text a client probe gets).
+    pub fn health_text(&self) -> String {
+        self.shared.render_health()
+    }
+
+    /// The rendered `DUMP` Chrome trace (same text a client gets).
+    pub fn flight_trace_text(&self) -> String {
+        self.shared.render_flight()
+    }
+
+    /// The slow-request log entries, oldest first (empty when request
+    /// tracing is off).
+    pub fn slow_log(&self) -> Vec<RequestRecord> {
+        self.shared
+            .reqobs
+            .as_ref()
+            .map_or_else(Vec::new, |obs| obs.slow.entries())
+    }
+
+    /// The flight recorder's completed-request ring, oldest first
+    /// (empty when request tracing is off).
+    pub fn flight_requests(&self) -> Vec<RequestRecord> {
+        self.shared
+            .reqobs
+            .as_ref()
+            .map_or_else(Vec::new, |obs| obs.flight.snapshot().requests)
     }
 
     /// Blocks until the accept loop exits — i.e. forever, until

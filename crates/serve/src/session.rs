@@ -4,11 +4,20 @@
 //! itself) and one *writer* thread, glued by a FIFO reply queue. The
 //! reader decodes frames and — for admitted requests — enqueues a
 //! pending slot holding the channel the dispatcher will answer on;
-//! instant replies (overload rejections, protocol errors, `STATS`)
-//! enqueue pre-encoded frames. The writer pops the FIFO and blocks on
-//! each pending slot in turn, so **responses always leave the socket
-//! in the order the requests arrived**, no matter how the dispatcher
-//! interleaves batches.
+//! instant replies (overload rejections, protocol errors, `STATS` /
+//! `HEALTH` / `DUMP`) enqueue pre-encoded frames. The writer pops the
+//! FIFO and blocks on each pending slot in turn, so **responses always
+//! leave the socket in the order the requests arrived**, no matter how
+//! the dispatcher interleaves batches.
+//!
+//! This is also where a request's observability record begins and
+//! ends: the reader mints the server-side `RequestId` at frame decode
+//! and stamps `recv`/`admit`; the writer stamps `reply_start`/`done`
+//! around the reply write and hands the finished record to
+//! [`Shared::complete`] (latency histogram → slow log → flight
+//! recorder). The stamps in between — window, queue, dispatch — are
+//! added by the batcher and the dispatcher as the record rides the
+//! queue with its request.
 //!
 //! Fault containment: a client disconnecting mid-flight just ends both
 //! loops — its pending result channels drop, the dispatcher's sends to
@@ -19,12 +28,15 @@
 //! error and the connection stays open; only a frame the stream cannot
 //! recover from (oversized length prefix, mid-frame EOF) closes it.
 
-use crate::batcher::SubmitError;
+use crate::batcher::{RequestReply, SubmitError};
 use crate::proto::{
-    decode_message, encode_error, encode_response, encode_stats_text, read_frame, write_frame,
-    ErrCode, ErrorFrame, Message, Response, Results,
+    decode_message, encode_error, encode_response, encode_stats_text, mint_request_id, read_frame,
+    write_frame, ErrCode, ErrorFrame, Message, Response,
 };
-use crate::server::{Shared, SERVE_MALFORMED_TOTAL, SERVE_REJECTED_TOTAL, SERVE_REQUESTS_TOTAL};
+use crate::server::{
+    verb_name, Shared, SERVE_MALFORMED_TOTAL, SERVE_REJECTED_TOTAL, SERVE_REQUESTS_TOTAL,
+};
+use anyseq_obs::RequestRecord;
 use std::io::BufReader;
 use std::os::unix::net::UnixStream;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -32,10 +44,10 @@ use std::sync::Arc;
 
 /// One slot in the per-connection reply FIFO.
 enum Reply {
-    /// An already-encoded frame payload (errors, stats).
+    /// An already-encoded frame payload (errors, stats, health, dump).
     Ready(Vec<u8>),
     /// A request awaiting its batch: the writer blocks on `rx`.
-    Pending { id: u64, rx: Receiver<Results> },
+    Pending { id: u64, rx: Receiver<RequestReply> },
 }
 
 /// Runs one connection to completion (reader loop; owns a writer
@@ -46,7 +58,10 @@ pub(crate) fn run_session(stream: UnixStream, shared: Arc<Shared>) {
         Err(_) => return,
     };
     let (reply_tx, reply_rx) = channel::<Reply>();
-    let writer = std::thread::spawn(move || writer_loop(write_half, reply_rx));
+    let writer = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || writer_loop(write_half, reply_rx, &shared))
+    };
     reader_loop(stream, &shared, &reply_tx);
     // Closing the FIFO lets the writer drain queued replies and exit;
     // every admitted request is eventually answered by the dispatcher
@@ -65,11 +80,36 @@ fn reader_loop(stream: UnixStream, shared: &Arc<Shared>, reply_tx: &Sender<Reply
             // end the session; in-frame problems are handled below.
             Ok(None) | Err(_) => return,
         };
+        let recv_ns = shared.clock.now_ns();
         let reply = match decode_message(&payload) {
             Ok(Message::Request(req)) => {
                 shared.metrics.inc(SERVE_REQUESTS_TOTAL, String::new(), 1);
+                // The record is born at frame decode: identity, sizes,
+                // and the first two stamps. Everything later is filled
+                // in by the batcher, the dispatcher, and the writer.
+                let rec = shared.reqobs.as_ref().map(|_| {
+                    Box::new(RequestRecord {
+                        id: mint_request_id(),
+                        client_id: req.id,
+                        verb: verb_name(req.mode),
+                        kind: req.spec.kind.name(),
+                        scheme: req.spec.fingerprint(),
+                        pairs: req.pairs.len() as u64,
+                        cells: req
+                            .pairs
+                            .iter()
+                            .map(|(q, s)| q.len() as u64 * s.len() as u64)
+                            .sum(),
+                        recv_ns,
+                        admit_ns: shared.clock.now_ns(),
+                        ..RequestRecord::default()
+                    })
+                });
                 let (tx, rx) = channel();
-                match shared.batcher.submit(req.spec, req.mode, req.pairs, tx) {
+                match shared
+                    .batcher
+                    .submit(req.spec, req.mode, req.pairs, tx, rec)
+                {
                     Ok(()) => Reply::Pending { id: req.id, rx },
                     Err(err @ SubmitError::Overloaded { .. }) => {
                         shared.metrics.inc(SERVE_REJECTED_TOTAL, String::new(), 1);
@@ -87,6 +127,8 @@ fn reader_loop(stream: UnixStream, shared: &Arc<Shared>, reply_tx: &Sender<Reply
                 }
             }
             Ok(Message::Stats) => Reply::Ready(encode_stats_text(&shared.render_stats())),
+            Ok(Message::Health) => Reply::Ready(encode_stats_text(&shared.render_health())),
+            Ok(Message::Dump) => Reply::Ready(encode_stats_text(&shared.render_flight())),
             Ok(_) => {
                 // Response / Error / StatsText are server→client verbs;
                 // a client sending one is protocol misuse, not a
@@ -114,20 +156,28 @@ fn reader_loop(stream: UnixStream, shared: &Arc<Shared>, reply_tx: &Sender<Reply
     }
 }
 
-fn writer_loop(mut stream: UnixStream, rx: Receiver<Reply>) {
+fn writer_loop(mut stream: UnixStream, rx: Receiver<Reply>, shared: &Arc<Shared>) {
     for reply in rx {
-        let payload = match reply {
-            Reply::Ready(p) => p,
+        let (payload, rec) = match reply {
+            Reply::Ready(p) => (p, None),
             Reply::Pending { id, rx } => match rx.recv() {
-                Ok(results) => encode_response(&Response { id, results }),
+                Ok((results, mut rec)) => {
+                    if let Some(rec) = &mut rec {
+                        rec.reply_start_ns = shared.clock.now_ns();
+                    }
+                    (encode_response(&Response { id, results }), rec)
+                }
                 // The dispatcher only drops a result channel if it
                 // died before answering — surface that instead of
                 // silently truncating the response stream.
-                Err(_) => encode_error(&ErrorFrame {
-                    id,
-                    code: ErrCode::Internal,
-                    message: "dispatcher exited before answering".into(),
-                }),
+                Err(_) => (
+                    encode_error(&ErrorFrame {
+                        id,
+                        code: ErrCode::Internal,
+                        message: "dispatcher exited before answering".into(),
+                    }),
+                    None,
+                ),
             },
         };
         if write_frame(&mut stream, &payload).is_err() {
@@ -136,6 +186,10 @@ fn writer_loop(mut stream: UnixStream, rx: Receiver<Reply>) {
             // connection from the dispatcher — its sends fail silently
             // and other clients' results are untouched.
             return;
+        }
+        if let Some(mut rec) = rec {
+            rec.done_ns = shared.clock.now_ns();
+            shared.complete(rec);
         }
     }
 }

@@ -7,8 +7,12 @@ Usage: check_bench_report.py <report.json> <threads> [long_len] [dup_frac] [semi
 `--serve` validates a `serve_throughput` report instead: the serving
 metrics `serve.requests`, `serve.batches` and `serve.window_occupancy`
 must be present and positive, `serve.rejected` present (zero is the
-healthy value), and the client-side throughput keys `serve.wall_s` /
-`serve.pairs_per_s` / `serve.gcups` positive.
+healthy value), the client-side throughput keys `serve.wall_s` /
+`serve.pairs_per_s` / `serve.gcups` positive, the per-verb request
+latency quantiles `serve.req_p{50,95,99}_us` (score) and
+`serve.align_req_p{50,95,99}_us` (align) positive, and the tracing
+keys `serve.slow_total` / `serve.req_obs_overhead_frac` present (zero
+is the healthy value for both).
 
 Fails (exit 1) if the report is missing any required key:
   * `<mode>.<backend>_1t` and `<mode>.<backend>_<threads>t` for every
@@ -93,6 +97,14 @@ def main_serve(path: str) -> int:
         ("serve.pairs_per_s", True),
         ("serve.gcups", True),
     ]
+    # Request-scoped observability: per-verb latency quantiles (the
+    # daemon refreshes the gauges at scrape time), the slow-request
+    # counter, and the measured cost of leaving tracing always-on.
+    for verb in ("req", "align_req"):
+        for q in ("p50", "p95", "p99"):
+            required.append((f"serve.{verb}_{q}_us", True))
+    required.append(("serve.slow_total", False))
+    required.append(("serve.req_obs_overhead_frac", False))
     return check(path, required)
 
 

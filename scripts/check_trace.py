@@ -1,22 +1,30 @@
 #!/usr/bin/env python3
 """Validate a Chrome-trace JSON file produced by `anyseq-obs`.
 
-Usage: check_trace.py <trace.json> [--min-coverage FRAC]
+Usage: check_trace.py <trace.json> [--min-coverage FRAC] [--flight]
 
 Fails (exit 1) unless the trace is a well-formed event array:
   * every event carries name/ph/pid/tid, with ph one of B/E/M and a
     numeric `ts` on B and E,
-  * per tid, timestamps are monotone non-decreasing, every B is closed
-    by an E with the same name, no E arrives without an open B, and
-    spans on one lane never nest or overlap (the per-worker recorder
-    emits strictly sequential stage spans),
+  * per (pid, tid) lane, timestamps are monotone non-decreasing, every
+    B is closed by an E with the same name, no E arrives without an
+    open B, and spans on one lane never nest or overlap (the
+    per-worker recorder emits strictly sequential stage spans),
   * a thread_name metadata event names the coordinator lane (tid 0),
   * with `--min-coverage FRAC`, the union of all spans must cover at
     least that fraction of the wall clock (first B to last E) — holes
     mean a pipeline stage is running untraced.
 
-Guards the `--trace-out` / bench trace artifact (format documented in
-docs/ARCHITECTURE.md) against malformed or incomplete span streams.
+`--flight` validates a serve-daemon flight-recorder dump instead
+(`anyseq serve-ctl --dump` / the `DUMP` verb): two pid groups (engine
+batches + request lanes) share the same structural rules, the
+coordinator-lane requirement is waived (the batch ring may be empty),
+and every request-lifecycle stage name (decode, window_wait,
+queue_wait, dispatch, reply_write) must appear as a completed span.
+
+Guards the `--trace-out` / bench trace artifact and the flight dump
+(formats documented in docs/ARCHITECTURE.md) against malformed or
+incomplete span streams.
 """
 
 import json
@@ -36,6 +44,9 @@ def main() -> int:
             print(__doc__, file=sys.stderr)
             return 2
         del argv[i : i + 2]
+    flight = "--flight" in argv
+    if flight:
+        argv.remove("--flight")
     if len(argv) != 1:
         print(__doc__, file=sys.stderr)
         return 2
@@ -48,10 +59,11 @@ def main() -> int:
         return 1
 
     errors = []
-    open_span = {}  # tid -> (name, ts) of the currently open B
-    last_ts = {}  # tid -> ts of the lane's previous B/E event
+    open_span = {}  # (pid, tid) -> (name, ts) of the currently open B
+    last_ts = {}  # (pid, tid) -> ts of the lane's previous B/E event
     intervals = []  # matched (start, end) pairs across all lanes
     names = set()  # thread_name metadata values
+    span_names = set()  # names of completed spans
     spans = 0
 
     for k, ev in enumerate(events):
@@ -59,7 +71,7 @@ def main() -> int:
         if not isinstance(ev, dict) or any(f not in ev for f in REQUIRED_FIELDS):
             errors.append(f"{where}: missing one of {'/'.join(REQUIRED_FIELDS)}")
             continue
-        ph, tid = ev["ph"], ev["tid"]
+        ph, tid = ev["ph"], (ev["pid"], ev["tid"])
         if ph == "M":
             if ev["name"] == "thread_name":
                 names.add(ev.get("args", {}).get("name"))
@@ -94,11 +106,19 @@ def main() -> int:
                     f"{where}: tid {tid} E {ev['name']!r} closes B {b_name!r}"
                 )
             intervals.append((b_ts, ts))
+            span_names.add(b_name)
             spans += 1
 
     for tid, (name, ts) in sorted(open_span.items()):
         errors.append(f"tid {tid}: B {name!r} at ts {ts} never closed")
-    if "coordinator" not in names:
+    if flight:
+        stages = ("decode", "window_wait", "queue_wait", "dispatch", "reply_write")
+        missing = [s for s in stages if s not in span_names]
+        if missing:
+            errors.append(
+                "flight dump is missing request stage spans: " + ", ".join(missing)
+            )
+    elif "coordinator" not in names:
         errors.append("no thread_name metadata names the coordinator lane")
     if spans == 0:
         errors.append("trace contains no complete spans")
