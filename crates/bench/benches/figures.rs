@@ -24,6 +24,7 @@ fn bench_fig5a_row(c: &mut Criterion) {
         tile: 256,
         min_parallel_area: 0,
         static_schedule: false,
+        shard_cells: 0,
     };
 
     let mut group = c.benchmark_group("fig5a_scores_linear");

@@ -55,6 +55,7 @@ fn bench_simd_lanes(c: &mut Criterion) {
         tile: 512,
         min_parallel_area: 0,
         static_schedule: false,
+        shard_cells: 0,
     };
 
     let mut group = c.benchmark_group("simd_tiled_pass");
@@ -104,6 +105,7 @@ fn bench_schedulers(c: &mut Criterion) {
             tile: 256,
             min_parallel_area: 0,
             static_schedule: false,
+            shard_cells: 0,
         };
         let stat = ParallelCfg {
             static_schedule: true,

@@ -60,6 +60,7 @@ fn main() {
                 tile,
                 min_parallel_area: 0,
                 static_schedule: false,
+                shard_cells: 0,
             };
             let m = measure_gcups(cells, 3, || {
                 std::hint::black_box(
@@ -116,6 +117,7 @@ fn main() {
             tile: 256,
             min_parallel_area: 0,
             static_schedule: false,
+            shard_cells: 0,
         };
         let m = measure_gcups(cells, 3, || {
             std::hint::black_box(

@@ -5,12 +5,23 @@
 //! statistics (utilization, fallbacks, band telemetry, copy counters).
 //!
 //! Run: `cargo run --release -p anyseq-bench --bin batch_throughput \
-//!       [pairs] [threads] [repeats] [long_len] [dup_frac] [semi_len] [local_len]`
+//!       [pairs] [threads] [repeats] [long_len] [dup_frac] [semi_len] [local_len] [huge_len]`
 //!
 //! `long_len > 0` appends a long-genome section: one `long_len` bp
 //! pair (2% divergence) scored and aligned through `Policy::Auto`
 //! (exclusive wavefront bin) — the workload the zero-copy gather was
 //! built for. JSON keys: `long.score_gcups` / `long.align_gcups`.
+//!
+//! `huge_len > 0` appends a chromosome-scale *sharded* section: one
+//! asymmetric pair (`huge_len/16` bp query × `huge_len` bp subject)
+//! run through `--shard-cells`-style sharding on the fixed wavefront —
+//! the pair is cut into subject slabs stitched through serialized
+//! border seams, and the bench asserts the sharded results are
+//! bit-identical to the unsharded run while the resident peak
+//! (`wavefront.peak_shard_mb`) stays within the unsharded border
+//! budget. JSON keys: `huge.{score,align}_gcups`,
+//! `huge.score_gcups_unsharded`, `huge.peak_shard_mb`,
+//! `huge.budget_mb`, `huge.seam_bytes` and `sched.shards`.
 //!
 //! `semi_len > 0` appends a semi-global bin: `semi_len` bp reads
 //! contained in 1.5× windows, scored and aligned through
@@ -86,6 +97,7 @@ fn main() {
     let dup_frac: f64 = args.get(5).and_then(|a| a.parse().ok()).unwrap_or(0.0);
     let semi_len: usize = args.get(6).and_then(|a| a.parse().ok()).unwrap_or(0);
     let local_len: usize = args.get(7).and_then(|a| a.parse().ok()).unwrap_or(0);
+    let huge_len: usize = args.get(8).and_then(|a| a.parse().ok()).unwrap_or(0);
 
     println!("simulating {pairs_n} read pairs...");
     let pairs = read_batch(pairs_n, 7);
@@ -255,6 +267,100 @@ fn main() {
             "long-genome gather copied sequence bytes"
         );
         assert_eq!(align_run.results[0].score, score_run.results[0]);
+    }
+
+    // Optional chromosome-scale sharded bin: one asymmetric pair too
+    // big for a resident border set, cut into subject slabs stitched
+    // through serialized seams. The unsharded run supplies both the
+    // bit-identity reference and the memory budget (its full-grid
+    // border estimate); the sharded run must match the scores exactly
+    // and keep its resident peak under that budget.
+    if huge_len > 0 {
+        let q_len = (huge_len / 16).max(64);
+        println!(
+            "\n== mode: huge sharded ({q_len} bp query x {huge_len} bp subject, \
+             fixed wavefront, seam-stitched slabs) =="
+        );
+        let mut sim = GenomeSim::new(4096);
+        let subject = sim.generate(huge_len);
+        // The query is a mutated prefix window of the subject — a real
+        // containment mapping, so the global DP has signal everywhere.
+        let query = sim.mutate(&subject.subseq(0..q_len.min(subject.len())), 0.03);
+        let huge_pairs = vec![(query, subject)];
+        let huge_view = BatchView::from_pairs(&huge_pairs);
+        let spec = SchemeSpec::global_affine(2, -1, -2, -1);
+        let cells = huge_view.total_cells();
+        // One eighth of the matrix per slab (the policy clamps tiny
+        // budgets up to one 512×512 tile), so the chain genuinely runs
+        // multiple shards even on the CI smoke config.
+        let shard_cells = (cells / 8).max(1);
+        let scheduler = BatchScheduler::new(BatchCfg::threads(threads));
+        let plain = Dispatch::standard(Policy::Fixed(BackendId::Wavefront));
+        let sharded = DispatchPolicy::fixed(BackendId::Wavefront)
+            .shard_cells(shard_cells)
+            .standard();
+
+        let mut base_scores: Vec<i32> = Vec::new();
+        let mut base_stats = None;
+        let um = measure_gcups(cells, repeats, || {
+            let run = scheduler.score_batch(&plain, &spec, &huge_view);
+            base_scores = run.results.clone();
+            base_stats = Some(run.stats);
+        });
+        let base_stats = base_stats.expect("at least one repeat ran");
+        // Budget: the unsharded pass's resident border working set —
+        // the O(n + m) stripe bytes the sharded chain exists to beat.
+        let budget_mb =
+            (base_stats.counters["wavefront.border_bytes"] as f64 / (1u64 << 20) as f64).max(1.0);
+
+        let mut last_stats = None;
+        let sm = measure_gcups(cells, repeats, || {
+            let run = scheduler.score_batch(&sharded, &spec, &huge_view);
+            assert_eq!(
+                run.results, base_scores,
+                "huge: sharded scores diverged from unsharded"
+            );
+            last_stats = Some(run.stats);
+        });
+        let stats = last_stats.expect("at least one repeat ran");
+        let shards = stats.counters.get("sched.shards").copied().unwrap_or(0);
+        let seam_bytes = stats.counters.get("sched.seam_bytes").copied().unwrap_or(0);
+        let peak_mb = stats
+            .counters
+            .get("wavefront.peak_shard_mb")
+            .copied()
+            .unwrap_or(0);
+        assert!(shards >= 2, "huge bin must actually shard (got {shards})");
+        assert!(seam_bytes > 0, "shard hand-offs must serialize seams");
+        assert!(
+            (peak_mb as f64) <= budget_mb,
+            "sharded resident peak {peak_mb} MB exceeds the unsharded budget {budget_mb:.1} MB"
+        );
+
+        let mut aligned_score = 0i32;
+        let am = measure_gcups(cells * TRACEBACK_CELL_FACTOR, repeats, || {
+            let run = scheduler.align_batch(&sharded, &spec, &huge_view);
+            aligned_score = run.results[0].score;
+            assert_eq!(
+                aligned_score, base_scores[0],
+                "huge: sharded align score diverged from unsharded"
+            );
+        });
+        println!(
+            "score: unsharded {:.3} GCUPS, sharded {:.3} GCUPS ({shards} shards, \
+             {seam_bytes} seam bytes); align sharded {:.3} GCUPS",
+            um.gcups, sm.gcups, am.gcups
+        );
+        println!(
+            "resident peak: sharded {peak_mb} MB <= unsharded border budget {budget_mb:.1} MB"
+        );
+        json.insert("huge.score_gcups".into(), sm.gcups);
+        json.insert("huge.score_gcups_unsharded".into(), um.gcups);
+        json.insert("huge.align_gcups".into(), am.gcups);
+        json.insert("huge.peak_shard_mb".into(), peak_mb as f64);
+        json.insert("huge.budget_mb".into(), budget_mb);
+        json.insert("huge.seam_bytes".into(), seam_bytes as f64);
+        json.insert("sched.shards".into(), shards as f64);
     }
 
     // Optional semi-global bin: reads contained in longer windows, the

@@ -77,6 +77,7 @@ fn main() {
             tile,
             min_parallel_area: 0,
             static_schedule: stat,
+            shard_cells: 0,
         };
         let dynm = measure_gcups(cells, repeats, || {
             std::hint::black_box(

@@ -8,14 +8,14 @@
 //!              [--type KIND] [--match N] [--mismatch N]
 //!              [--gap N | --open N --extend N]
 //!              [--backend auto|scalar|simd|wavefront|gpu-sim]
-//!              [--auto-crossover CELLS] [--xdrop X] [--cache-mb N]
-//!              [--threads N] [--alignments] [--seed N] [--quiet]
+//!              [--auto-crossover CELLS] [--xdrop X] [--shard-cells CELLS]
+//!              [--cache-mb N] [--threads N] [--alignments] [--seed N] [--quiet]
 //!              [--metrics [PATH]] [--trace-out PATH] [--stats-json [PATH]]
 //! anyseq simulate --length N [--gc F] [--seed N]    # emit a FASTA genome
 //! anyseq serve --socket PATH [--window-ms N] [--target-pairs N]
 //!              [--batch-mb N] [--queue-mb N] [--max-frame-mb N]
 //!              [--backend NAME] [--auto-crossover CELLS] [--xdrop X]
-//!              [--cache-mb N] [--threads N] [--slow-ms N]
+//!              [--shard-cells CELLS] [--cache-mb N] [--threads N] [--slow-ms N]
 //! anyseq serve-ctl --socket PATH (--stats | --health | --dump)
 //!                  [--out PATH]
 //! ```
@@ -36,6 +36,13 @@
 //! batches, tracebacks or the scalar reference. `--xdrop 0` is
 //! rejected (it would retire every lane immediately; omit the flag for
 //! the exact path).
+//! `--shard-cells CELLS` bounds the exclusive wavefront's resident
+//! working set: a pair whose DP matrix exceeds CELLS is cut into
+//! subject slabs stitched through serialized border seams — scores and
+//! CIGARs stay bit-identical to the unsharded run while peak memory
+//! drops to one slab's tile borders. Values below one 512×512 tile are
+//! clamped up; `--shard-cells 0` is rejected (omit the flag for
+//! unsharded execution).
 //! `--cache-mb N` enables the content-hash result cache: repeated
 //! `(scheme, query, subject)` pairs — PCR duplicates, resequenced
 //! reads — are served from an N-MiB LRU instead of re-running the DP,
@@ -95,14 +102,14 @@ fn usage() -> ! {
          \x20              [--type KIND] [--match N] [--mismatch N]\n\
          \x20              [--gap N | --open N --extend N]\n\
          \x20              [--backend auto|scalar|simd|wavefront|gpu-sim]\n\
-         \x20              [--auto-crossover CELLS] [--xdrop X] [--cache-mb N]\n\
-         \x20              [--threads N] [--alignments] [--seed N] [--quiet]\n\
+         \x20              [--auto-crossover CELLS] [--xdrop X] [--shard-cells CELLS]\n\
+         \x20              [--cache-mb N] [--threads N] [--alignments] [--seed N] [--quiet]\n\
          \x20              [--metrics [PATH]] [--trace-out PATH] [--stats-json [PATH]]\n\
          \x20 anyseq simulate --length N [--gc F] [--seed N]\n\
          \x20 anyseq serve --socket PATH [--window-ms N] [--target-pairs N]\n\
          \x20              [--batch-mb N] [--queue-mb N] [--max-frame-mb N]\n\
          \x20              [--backend NAME] [--auto-crossover CELLS] [--xdrop X]\n\
-         \x20              [--cache-mb N] [--threads N] [--slow-ms N]\n\
+         \x20              [--shard-cells CELLS] [--cache-mb N] [--threads N] [--slow-ms N]\n\
          \x20 anyseq serve-ctl --socket PATH (--stats | --health | --dump)\n\
          \x20              [--out PATH]"
     );
@@ -311,6 +318,19 @@ fn cmd_batch(args: &[String]) {
         }
         policy_cfg = policy_cfg.xdrop(xdrop);
     }
+    if flags.contains_key("shard-cells") {
+        let cells: u64 = numeric_flag(&flags, "shard-cells", 0);
+        // "Off" is expressed by omitting the flag (0 disables sharding
+        // everywhere in the stack); refuse an explicit 0 instead of
+        // silently interpreting it, mirroring --auto-crossover/--xdrop.
+        if cells == 0 {
+            eprintln!(
+                "--shard-cells: must be >= 1 DP cells (omit the flag for unsharded execution)"
+            );
+            usage()
+        }
+        policy_cfg = policy_cfg.shard_cells(cells);
+    }
     policy_cfg = policy_cfg.cache_mb(numeric_flag(&flags, "cache-mb", 0));
     // Any observability sink switches the span/metrics layer on; with
     // none requested the instrumented pipeline stays a no-op.
@@ -331,14 +351,25 @@ fn cmd_batch(args: &[String]) {
             exit(0);
         }
     };
+    // A terminal engine refusal (e.g. `UnitTooLarge` from a backend
+    // with a hard per-unit bound) becomes a clean CLI error, not a
+    // panic: the message already says which knob to turn.
+    let refused = |e: anyseq_engine::EngineError| -> ! {
+        eprintln!("batch failed: {e}");
+        exit(1)
+    };
     let stats = if flags.contains_key("align") || flags.contains_key("alignments") {
-        let run = scheduler.align_batch(&dispatch, &spec, &view);
+        let run = scheduler
+            .try_align_batch(&dispatch, &spec, &view)
+            .unwrap_or_else(|e| refused(e));
         for (k, aln) in run.results.iter().enumerate() {
             emit(format_args!("{k}\t{}\t{}", aln.score, aln.cigar()));
         }
         run.stats
     } else {
-        let run = scheduler.score_batch(&dispatch, &spec, &view);
+        let run = scheduler
+            .try_score_batch(&dispatch, &spec, &view)
+            .unwrap_or_else(|e| refused(e));
         for (k, score) in run.results.iter().enumerate() {
             emit(format_args!("{k}\t{score}"));
         }
@@ -445,6 +476,16 @@ fn cmd_serve(args: &[String]) {
             usage()
         }
         policy_cfg = policy_cfg.xdrop(xdrop);
+    }
+    if flags.contains_key("shard-cells") {
+        let cells: u64 = numeric_flag(&flags, "shard-cells", 0);
+        if cells == 0 {
+            eprintln!(
+                "--shard-cells: must be >= 1 DP cells (omit the flag for unsharded execution)"
+            );
+            usage()
+        }
+        policy_cfg = policy_cfg.shard_cells(cells);
     }
     policy_cfg = policy_cfg.cache_mb(numeric_flag(&flags, "cache-mb", 32));
 

@@ -12,17 +12,22 @@
 //! [`SchemeSpec`] to them), so results stay bit-identical across
 //! backends.
 
-use crate::engine::{Caps, Engine, EngineError, ALL_KINDS, GLOBAL_ONLY, SIMD_KINDS};
+use crate::engine::{
+    Caps, Engine, EngineError, ShardOutcome, ShardTask, ALL_KINDS, GLOBAL_ONLY, SIMD_KINDS,
+};
 use crate::spec::{GapSpec, SchemeSpec};
 use crate::util::parallel_map;
 use crate::{with_global_scheme, with_scheme, with_simd_scheme};
 use anyseq_core::score::Score;
+use anyseq_core::scoring::GapModel;
 use anyseq_core::Alignment;
 use anyseq_gpu_sim::{Device, GpuAligner, KernelShape};
 use anyseq_obs::Stage;
 use anyseq_seq::PairRef;
 use anyseq_simd::{align_batch_simd, score_batch_simd_xdrop, BandCfg, TraceStats};
-use anyseq_wavefront::{borders::BorderStore, ParallelCfg, ParallelExt, TileGrid};
+use anyseq_wavefront::{
+    borders::BorderStore, finalize_score, slab_score_pass, ParallelCfg, ParallelExt, TileGrid,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Pairs handed to one pool chunk when an adapter parallelizes
@@ -47,6 +52,7 @@ impl Engine for ScalarEngine {
             alphabet: "dna4+n",
             max_native_extent: None,
             batch_native: false,
+            max_unit_cells: None,
         }
     }
 
@@ -201,6 +207,7 @@ impl Engine for SimdEngine {
             // `anyseq_simd::max_block_extent`.
             max_native_extent: Some(6000),
             batch_native: true,
+            max_unit_cells: None,
         }
     }
 
@@ -306,25 +313,39 @@ impl Engine for SimdEngine {
 /// batches of few, huge pairs — the scheduler runs it exclusively with
 /// the whole thread budget instead of sharding it into the pool.
 ///
-/// Telemetry: `wavefront.pairs` (pairs executed) and
+/// Telemetry: `wavefront.pairs` (pairs executed),
 /// `wavefront.border_bytes` (boundary-stripe bytes the tiled passes
 /// kept resident, summed over pairs — the O(n + m) working set that
-/// replaces an O(n·m) matrix). Drained by the scheduler after each
-/// unit like the SIMD band counters.
+/// replaces an O(n·m) matrix), and `wavefront.peak_shard_mb` (high
+/// water mark of the resident border + seam working set of sharded
+/// executions, in MiB — the number the shard budget bounds). Drained
+/// by the scheduler after each unit like the SIMD band counters.
 #[derive(Debug)]
 pub struct WavefrontEngine {
     /// Tile edge for the DP grid.
     pub tile: usize,
+    /// Shard budget in DP cells: pairs larger than this run their
+    /// tiled passes (including every Hirschberg half-pass of an
+    /// alignment) as a chain of subject slabs with seam hand-off,
+    /// bounding peak border memory to one slab. 0 disables sharding.
+    pub shard_cells: u64,
+    /// Per-unit DP-cell refusal bound advertised through
+    /// [`Caps::max_unit_cells`]; `None` = unbounded.
+    pub max_unit_cells: Option<u64>,
     pairs: AtomicU64,
     border_bytes: AtomicU64,
+    peak_shard_bytes: AtomicU64,
 }
 
 impl Default for WavefrontEngine {
     fn default() -> WavefrontEngine {
         WavefrontEngine {
             tile: 512,
+            shard_cells: 0,
+            max_unit_cells: None,
             pairs: AtomicU64::new(0),
             border_bytes: AtomicU64::new(0),
+            peak_shard_bytes: AtomicU64::new(0),
         }
     }
 }
@@ -338,17 +359,71 @@ impl WavefrontEngine {
         }
     }
 
+    /// Same engine with a shard budget (0 disables sharding).
+    pub fn with_shard_cells(mut self, cells: u64) -> WavefrontEngine {
+        self.shard_cells = cells;
+        self
+    }
+
+    /// Same engine with a hard per-unit cell bound (refuses instead of
+    /// executing anything bigger — see [`Caps::max_unit_cells`]).
+    pub fn with_max_unit_cells(mut self, cells: u64) -> WavefrontEngine {
+        self.max_unit_cells = Some(cells);
+        self
+    }
+
     fn cfg(&self, threads: usize) -> ParallelCfg {
-        ParallelCfg::threads(threads.max(1)).with_tile(self.tile)
+        ParallelCfg::threads(threads.max(1))
+            .with_tile(self.tile)
+            .with_shard_cells(self.shard_cells)
+    }
+
+    /// Width (in subject columns) of one slab under the shard plan.
+    fn slab_width(&self, q: usize, s: usize) -> usize {
+        ((self.shard_cells / q.max(1) as u64).max(1) as usize).min(s)
+    }
+
+    /// Checks one pair against the advertised per-unit bound: the
+    /// resident unit is the whole matrix, or one slab when the shard
+    /// plan applies.
+    fn check_unit(&self, q: usize, s: usize) -> Result<(), EngineError> {
+        let Some(max) = self.max_unit_cells else {
+            return Ok(());
+        };
+        let cells = q as u64 * s as u64;
+        if cells <= max {
+            return Ok(());
+        }
+        if self.shard_cells > 0 && q > 0 && s > 1 {
+            let slab = q as u64 * self.slab_width(q, s) as u64;
+            if slab <= max {
+                return Ok(());
+            }
+        }
+        Err(EngineError::unit_too_large("wavefront", cells, max))
     }
 
     /// Accounts one executed pair's boundary working set.
     fn record_pair(&self, q: usize, s: usize, affine: bool) {
         self.pairs.fetch_add(1, Ordering::Relaxed);
         if q > 0 && s > 0 {
-            let grid = TileGrid::new(q, s, self.tile);
-            let bytes = BorderStore::estimated_bytes(&grid, affine) as u64;
+            let sharded = self.shard_cells > 0 && q as u64 * s as u64 > self.shard_cells && s > 1;
+            let (grid_s, seam) = if sharded {
+                // Resident at any instant: one slab's borders plus the
+                // incoming and outgoing seam frontiers (H + F rows).
+                (
+                    self.slab_width(q, s),
+                    2 * 2 * q * std::mem::size_of::<Score>(),
+                )
+            } else {
+                (s, 0)
+            };
+            let grid = TileGrid::new(q, grid_s, self.tile);
+            let bytes = (BorderStore::estimated_bytes(&grid, affine) + seam) as u64;
             self.border_bytes.fetch_add(bytes, Ordering::Relaxed);
+            if sharded {
+                self.peak_shard_bytes.fetch_max(bytes, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -362,6 +437,7 @@ impl Engine for WavefrontEngine {
             alphabet: "dna4+n",
             max_native_extent: None,
             batch_native: false,
+            max_unit_cells: self.max_unit_cells,
         }
     }
 
@@ -371,6 +447,9 @@ impl Engine for WavefrontEngine {
         pairs: &[PairRef<'_>],
         threads: usize,
     ) -> Result<Vec<Score>, EngineError> {
+        for p in pairs {
+            self.check_unit(p.q.len(), p.s.len())?;
+        }
         let cfg = self.cfg(threads);
         let affine = matches!(spec.gap, GapSpec::Affine { .. });
         Ok(with_scheme!(spec, |scheme, _K| {
@@ -392,6 +471,9 @@ impl Engine for WavefrontEngine {
         pairs: &[PairRef<'_>],
         threads: usize,
     ) -> Result<Vec<Alignment>, EngineError> {
+        for p in pairs {
+            self.check_unit(p.q.len(), p.s.len())?;
+        }
         let cfg = self.cfg(threads);
         let affine = matches!(spec.gap, GapSpec::Affine { .. });
         Ok(with_scheme!(spec, |scheme, _K| {
@@ -407,8 +489,73 @@ impl Engine for WavefrontEngine {
         }))
     }
 
+    fn score_shard(
+        &self,
+        spec: &SchemeSpec,
+        task: &ShardTask<'_>,
+        threads: usize,
+    ) -> Result<ShardOutcome, EngineError> {
+        let (n, (c0, c1)) = (task.q.len(), task.cols);
+        if n == 0 || c0 >= c1 || c1 > task.s.len() {
+            return Err(EngineError::unsupported(
+                "wavefront",
+                format!("degenerate shard columns {:?}", task.cols),
+            ));
+        }
+        if let Some(max) = self.max_unit_cells {
+            let cells = n as u64 * (c1 - c0) as u64;
+            if cells > max {
+                return Err(EngineError::unit_too_large("wavefront", cells, max));
+            }
+        }
+        // One slab is the unit here; never re-shard inside it.
+        let cfg = ParallelCfg::threads(threads.max(1)).with_tile(self.tile);
+        let affine = matches!(spec.gap, GapSpec::Affine { .. });
+        // Peak accounting: the slab's borders plus both seam frontiers.
+        let grid = TileGrid::new(n, c1 - c0, self.tile);
+        let seam_bytes = 2 * 2 * n * std::mem::size_of::<Score>();
+        let bytes = (BorderStore::estimated_bytes(&grid, affine) + seam_bytes) as u64;
+        self.border_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.peak_shard_bytes.fetch_max(bytes, Ordering::Relaxed);
+        if task.last {
+            self.pairs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(with_scheme!(spec, |scheme, K| {
+            let slab = anyseq_obs::span(Stage::Kernel, || {
+                slab_score_pass::<K, _, _>(
+                    scheme.gap(),
+                    scheme.subst(),
+                    task.q,
+                    task.s,
+                    task.cols,
+                    scheme.gap().open(),
+                    task.seam,
+                    &cfg,
+                )
+            });
+            let mut best = task.best;
+            best.merge(&slab.best);
+            let score = task.last.then(|| {
+                finalize_score::<K, _>(
+                    scheme.gap(),
+                    best,
+                    n,
+                    task.s.len(),
+                    scheme.gap().open(),
+                    *slab.last_h.last().expect("slab last row is never empty"),
+                )
+                .0
+            });
+            ShardOutcome {
+                seam: slab.seam,
+                best,
+                score,
+            }
+        }))
+    }
+
     fn drain_counters(&self) -> Vec<(&'static str, u64)> {
-        [
+        let mut out: Vec<(&'static str, u64)> = [
             ("wavefront.pairs", &self.pairs),
             ("wavefront.border_bytes", &self.border_bytes),
         ]
@@ -417,7 +564,14 @@ impl Engine for WavefrontEngine {
             let v = cell.swap(0, Ordering::Relaxed);
             (v != 0).then_some((name, v))
         })
-        .collect()
+        .collect();
+        let peak = self.peak_shard_bytes.swap(0, Ordering::Relaxed);
+        if peak != 0 {
+            // Reported in MiB (rounded up) — `.peak_` counters merge by
+            // maximum in `BatchStats`, not by sum.
+            out.push(("wavefront.peak_shard_mb", peak.div_ceil(1 << 20).max(1)));
+        }
+        out
     }
 }
 
@@ -463,6 +617,7 @@ impl Engine for GpuSimEngine {
             alphabet: "dna4+n",
             max_native_extent: None,
             batch_native: true,
+            max_unit_cells: None,
         }
     }
 

@@ -80,6 +80,12 @@ pub enum Policy {
 /// [`DispatchPolicy::auto_crossover`] (CLI: `--auto-crossover`).
 pub const AUTO_WAVEFRONT_MIN_CELLS: u64 = 1 << 22;
 
+/// Smallest meaningful shard budget: one default 512×512 wavefront
+/// tile. A smaller budget would cut slabs thinner than a single tile,
+/// all scheduling overhead and no memory win, so
+/// [`DispatchPolicy::shard_cells`] clamps nonzero requests up to this.
+pub const MIN_SHARD_CELLS: u64 = 1 << 18;
+
 /// Builder for a [`Dispatch`]: selection policy plus the tuning knobs
 /// the `Auto` heuristic consults.
 ///
@@ -115,6 +121,12 @@ pub struct DispatchPolicy {
     /// (span tracer + metrics registry); off by default so the
     /// recorder stays a no-op. See [`DispatchPolicy::observe`].
     pub observe: bool,
+    /// Shard budget in DP cells for the exclusive path: pairs larger
+    /// than this are decomposed into subject slabs with seam hand-off,
+    /// bounding peak border memory per pair. 0 (the default) disables
+    /// sharding; nonzero values are clamped to ≥ [`MIN_SHARD_CELLS`].
+    /// See [`DispatchPolicy::shard_cells`].
+    pub shard_cells: u64,
 }
 
 impl Default for DispatchPolicy {
@@ -132,6 +144,7 @@ impl DispatchPolicy {
             cache_mb: 0,
             xdrop: 0,
             observe: false,
+            shard_cells: 0,
         }
     }
 
@@ -185,6 +198,28 @@ impl DispatchPolicy {
         self
     }
 
+    /// Sets the shard budget for chromosome-scale pairs: any pair
+    /// whose DP matrix exceeds `cells` runs as a chain of subject
+    /// slabs stitched through serializable seam frontiers, so peak
+    /// resident border + grid memory stays bounded by one slab no
+    /// matter how long the subject is.
+    ///
+    /// Degenerate values are clamped to [`MIN_SHARD_CELLS`] (one
+    /// default wavefront tile): a budget below one tile would slice
+    /// slabs thinner than the kernel's own granularity — pure
+    /// scheduling overhead with no memory benefit — mirroring the
+    /// [`DispatchPolicy::auto_crossover`] / [`DispatchPolicy::xdrop`]
+    /// clamp semantics. "Off" is expressed by not calling the knob
+    /// (or passing 0); the CLI rejects `--shard-cells 0` outright.
+    pub fn shard_cells(mut self, cells: u64) -> DispatchPolicy {
+        self.shard_cells = if cells == 0 {
+            0
+        } else {
+            cells.max(MIN_SHARD_CELLS)
+        };
+        self
+    }
+
     /// Gives the built dispatch a content-hash [`ResultCache`] bounded
     /// to `mb` MiB (0 disables caching). Cached pairs are recognized
     /// by the scheduler *before* work units form, so repeated reads
@@ -214,17 +249,27 @@ impl DispatchPolicy {
         } else {
             SimdEngine::avx2()
         };
+        // Defensive re-clamp (the field is public, like auto_crossover).
+        let shard_cells = if self.shard_cells == 0 {
+            0
+        } else {
+            self.shard_cells.max(MIN_SHARD_CELLS)
+        };
         Dispatch {
             engines: vec![
                 (BackendId::Scalar, Box::new(ScalarEngine) as Box<dyn Engine>),
                 (BackendId::Simd, Box::new(simd)),
-                (BackendId::Wavefront, Box::new(WavefrontEngine::default())),
+                (
+                    BackendId::Wavefront,
+                    Box::new(WavefrontEngine::default().with_shard_cells(shard_cells)),
+                ),
                 (BackendId::GpuSim, Box::new(GpuSimEngine::titan_v())),
             ],
             policy: self.policy,
             // Defensive re-clamp: the field is public, so a literal
             // construction can still smuggle a 0 in.
             auto_crossover: self.auto_crossover.max(1),
+            shard_cells,
             // Saturate rather than shift: `mb << 20` could wrap to 0
             // on 32-bit targets and silently disable caching.
             cache: (self.cache_mb > 0)
@@ -255,6 +300,8 @@ pub struct Dispatch {
     pub policy: Policy,
     /// `Auto`'s SIMD→wavefront crossover, in per-pair DP cells.
     auto_crossover: u64,
+    /// Shard budget for the exclusive path (0 = sharding off).
+    shard_cells: u64,
     /// Optional content-hash result cache the scheduler consults.
     cache: Option<ResultCache>,
     /// Optional metrics registry; present iff observability is on.
@@ -275,9 +322,15 @@ impl Dispatch {
             engines: vec![(BackendId::Scalar, Box::new(ScalarEngine) as Box<dyn Engine>)],
             policy: Policy::Fixed(BackendId::Scalar),
             auto_crossover: AUTO_WAVEFRONT_MIN_CELLS,
+            shard_cells: 0,
             cache: None,
             metrics: None,
         }
+    }
+
+    /// The configured shard budget in DP cells (0 = sharding off).
+    pub fn shard_cells(&self) -> u64 {
+        self.shard_cells
     }
 
     /// The configured `Auto` SIMD→wavefront crossover (DP cells).
@@ -506,6 +559,7 @@ mod tests {
             cache_mb: 0,
             xdrop: 0,
             observe: false,
+            shard_cells: 0,
         }
         .standard();
         assert_eq!(raw.auto_crossover(), 1);
@@ -537,6 +591,39 @@ mod tests {
         let d = DispatchPolicy::auto().xdrop(20).standard();
         let semi = SchemeSpec::global_linear(2, -1, -1).with_kind(KindSpec::SemiGlobal);
         assert_eq!(d.candidates(&semi, 150 * 150, false)[0], BackendId::Simd);
+    }
+
+    #[test]
+    fn shard_cells_knob_clamps_to_one_tile() {
+        assert_eq!(DispatchPolicy::auto().shard_cells, 0, "off by default");
+        assert_eq!(
+            DispatchPolicy::auto().standard().shard_cells(),
+            0,
+            "off propagates into the dispatch"
+        );
+        // 0 stays off (the CLI rejects it); nonzero clamps up to one
+        // default tile, mirroring the crossover/xdrop clamp semantics.
+        assert_eq!(DispatchPolicy::auto().shard_cells(0).shard_cells, 0);
+        assert_eq!(
+            DispatchPolicy::auto().shard_cells(1).shard_cells,
+            MIN_SHARD_CELLS
+        );
+        assert_eq!(
+            DispatchPolicy::auto().shard_cells(1 << 24).shard_cells,
+            1 << 24
+        );
+        // A literal construction smuggling a sub-tile budget in is
+        // re-clamped when the dispatch is built.
+        let raw = DispatchPolicy {
+            shard_cells: 7,
+            ..DispatchPolicy::auto()
+        }
+        .standard();
+        assert_eq!(raw.shard_cells(), MIN_SHARD_CELLS);
+        // The built dispatch wires the budget into its wavefront
+        // backend so alignment units shard internally too.
+        let d = DispatchPolicy::auto().shard_cells(1 << 20).standard();
+        assert_eq!(d.shard_cells(), 1 << 20);
     }
 
     #[test]

@@ -86,27 +86,32 @@ pub mod util;
 
 pub use backends::{GpuSimEngine, ScalarEngine, SimdEngine, SimdLanes, WavefrontEngine};
 pub use cache::{CacheKey, ReqKind, ResultCache, ShardStats};
-pub use dispatch::{BackendId, Dispatch, DispatchPolicy, Policy};
-pub use engine::{Caps, Engine, EngineError};
+pub use dispatch::{BackendId, Dispatch, DispatchPolicy, Policy, MIN_SHARD_CELLS};
+pub use engine::{Caps, Engine, EngineError, ShardOutcome, ShardTask};
 pub use report::{stats_json, summary_with_utilization};
 pub use scheduler::{
     BatchCfg, BatchRun, BatchScheduler, FALLBACK_KIND_UNSUPPORTED, SCHED_BYTES_COPIED,
+    SCHED_SEAM_BYTES, SCHED_SHARDS,
 };
 pub use shared::SharedDispatcher;
 pub use spec::{GapSpec, KindSpec, SchemeSpec};
 pub use stats::{cell_share_ns, BackendUse, BatchStats};
 
+pub use anyseq_wavefront::ShardSeam;
+
 /// Convenience re-exports for applications.
 pub mod prelude {
     pub use crate::backends::{GpuSimEngine, ScalarEngine, SimdEngine, SimdLanes, WavefrontEngine};
     pub use crate::cache::{CacheKey, ReqKind, ResultCache};
-    pub use crate::dispatch::{BackendId, Dispatch, DispatchPolicy, Policy};
-    pub use crate::engine::{Caps, Engine, EngineError};
+    pub use crate::dispatch::{BackendId, Dispatch, DispatchPolicy, Policy, MIN_SHARD_CELLS};
+    pub use crate::engine::{Caps, Engine, EngineError, ShardOutcome, ShardTask};
     pub use crate::report::{stats_json, summary_with_utilization};
     pub use crate::scheduler::{
         BatchCfg, BatchRun, BatchScheduler, FALLBACK_KIND_UNSUPPORTED, SCHED_BYTES_COPIED,
+        SCHED_SEAM_BYTES, SCHED_SHARDS,
     };
     pub use crate::shared::SharedDispatcher;
     pub use crate::spec::{GapSpec, KindSpec, SchemeSpec};
     pub use crate::stats::{BackendUse, BatchStats};
+    pub use anyseq_wavefront::ShardSeam;
 }

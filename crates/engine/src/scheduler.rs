@@ -56,15 +56,17 @@ use crate::cache::{
     CACHE_INGEST_BYTES, CACHE_MISSES,
 };
 use crate::dispatch::Dispatch;
-use crate::engine::{Engine, EngineError};
+use crate::engine::{Engine, EngineError, ShardTask};
 use crate::spec::SchemeSpec;
 use crate::stats::{self, BatchStats};
 use crate::util::IndexedOut;
+use anyseq_core::relax::BestCell;
 use anyseq_core::score::Score;
 use anyseq_core::Alignment;
 use anyseq_obs as obs;
 use anyseq_obs::Stage;
 use anyseq_seq::{BatchView, PairRef, Seq};
+use anyseq_wavefront::{plan_columns, ShardSeam};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -84,6 +86,20 @@ pub const SCHED_BYTES_COPIED: &str = "sched.bytes_copied";
 /// this counter stays 0 outside `Fixed` policies that force a
 /// mismatched backend.
 pub const FALLBACK_KIND_UNSUPPORTED: &str = "dispatch.fallback_kind_unsupported";
+
+/// Name of the counter recording how many subject slabs the exclusive
+/// phase's shard planner cut oversized pairs into (the planned count in
+/// align mode, where the engine shards internally under Hirschberg;
+/// the executed chain length in score mode). Absent when no pair
+/// exceeded [`DispatchPolicy::shard_cells`](crate::DispatchPolicy::shard_cells).
+pub const SCHED_SHARDS: &str = "sched.shards";
+
+/// Name of the counter recording serialized [`ShardSeam`] bytes handed
+/// between consecutive shards of the score chain. The hand-off goes
+/// through the seam's wire form even in-process — the value is exactly
+/// what a multi-node deployment would put on the network, and the
+/// round-trip keeps the serializer honest on the production path.
+pub const SCHED_SEAM_BYTES: &str = "sched.seam_bytes";
 
 /// Scheduler tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -155,28 +171,99 @@ impl BatchScheduler {
     }
 
     /// Scores every pair of the view through the dispatch policy.
+    ///
+    /// Legacy shim over [`BatchScheduler::try_score_batch`]: panics on
+    /// a terminal refusal ([`EngineError::UnitTooLarge`], or a foreign
+    /// candidate chain that declined everything). The standard
+    /// registry without `max_unit_cells` never refuses, so existing
+    /// callers keep their infallible signature.
     pub fn score_batch(
         &self,
         dispatch: &Dispatch,
         spec: &SchemeSpec,
         view: &BatchView<'_>,
     ) -> BatchRun<Score> {
-        self.run(dispatch, spec, view, false, |engine, unit, threads| {
-            engine.score_batch(spec, unit, threads)
-        })
+        self.try_score_batch(dispatch, spec, view)
+            .unwrap_or_else(|e| panic!("batch scoring failed: {e}"))
     }
 
     /// Aligns (with traceback) every pair of the view through the
     /// dispatch policy.
+    ///
+    /// Legacy shim over [`BatchScheduler::try_align_batch`]; see
+    /// [`BatchScheduler::score_batch`] for the panic contract.
     pub fn align_batch(
         &self,
         dispatch: &Dispatch,
         spec: &SchemeSpec,
         view: &BatchView<'_>,
     ) -> BatchRun<Alignment> {
-        self.run(dispatch, spec, view, true, |engine, unit, threads| {
-            engine.align_batch(spec, unit, threads)
-        })
+        self.try_align_batch(dispatch, spec, view)
+            .unwrap_or_else(|e| panic!("batch alignment failed: {e}"))
+    }
+
+    /// Scores every pair of the view, surfacing terminal refusals.
+    ///
+    /// With [`DispatchPolicy::shard_cells`](crate::DispatchPolicy::shard_cells)
+    /// set, pairs whose DP matrix exceeds the budget run as a pipelined
+    /// chain of subject slabs through [`Engine::score_shard`]: each
+    /// shard imports the previous shard's border frontier (a
+    /// [`ShardSeam`], serialized across the hand-off) and exports the
+    /// next, so only one slab's tile borders are ever resident.
+    /// Results are bit-identical to the unsharded pass.
+    pub fn try_score_batch<'v>(
+        &self,
+        dispatch: &Dispatch,
+        spec: &SchemeSpec,
+        view: &BatchView<'v>,
+    ) -> Result<BatchRun<Score>, EngineError> {
+        self.run(
+            dispatch,
+            spec,
+            view,
+            false,
+            |engine, unit, threads| engine.score_batch(spec, unit, threads),
+            Some(
+                |engine: &dyn Engine,
+                 p: &PairRef<'_>,
+                 plan: &[(usize, usize)],
+                 threads: usize,
+                 stats: &mut BatchStats| {
+                    score_shard_chain(engine, spec, p, plan, threads, stats)
+                },
+            ),
+        )
+    }
+
+    /// Aligns every pair of the view, surfacing terminal refusals.
+    ///
+    /// Oversized pairs stay whole here — stitching per-shard CIGARs is
+    /// the Hirschberg recursion's job, and the wavefront engine's
+    /// internal shard dispatch already bounds every half-pass to one
+    /// slab — but the shard planner still records the planned
+    /// [`SCHED_SHARDS`] count so align-mode telemetry matches.
+    pub fn try_align_batch<'v>(
+        &self,
+        dispatch: &Dispatch,
+        spec: &SchemeSpec,
+        view: &BatchView<'v>,
+    ) -> Result<BatchRun<Alignment>, EngineError> {
+        self.run(
+            dispatch,
+            spec,
+            view,
+            true,
+            |engine, unit, threads| engine.align_batch(spec, unit, threads),
+            None::<
+                fn(
+                    &dyn Engine,
+                    &PairRef<'v>,
+                    &[(usize, usize)],
+                    usize,
+                    &mut BatchStats,
+                ) -> Result<Alignment, EngineError>,
+            >,
+        )
     }
 
     /// Convenience shim over [`BatchScheduler::score_batch`] for owned
@@ -201,17 +288,25 @@ impl BatchScheduler {
         self.align_batch(dispatch, spec, &BatchView::from_pairs(pairs))
     }
 
-    fn run<'v, T, F>(
+    fn run<'v, T, F, SX>(
         &self,
         dispatch: &Dispatch,
         spec: &SchemeSpec,
         view: &BatchView<'v>,
         align: bool,
         exec: F,
-    ) -> BatchRun<T>
+        shard_exec: Option<SX>,
+    ) -> Result<BatchRun<T>, EngineError>
     where
         T: CacheableResult,
         F: Fn(&dyn Engine, &[PairRef<'v>], usize) -> Result<Vec<T>, EngineError> + Sync,
+        SX: Fn(
+            &dyn Engine,
+            &PairRef<'v>,
+            &[(usize, usize)],
+            usize,
+            &mut BatchStats,
+        ) -> Result<T, EngineError>,
     {
         let started = Instant::now();
         // Traceback recomputes ≈2× the cells of a score-only pass; use
@@ -395,7 +490,8 @@ impl BatchScheduler {
         let run_unit = |unit: &Unit,
                         chain: &[crate::dispatch::BackendId],
                         threads: usize,
-                        local: &mut BatchStats| {
+                        local: &mut BatchStats|
+         -> Result<(), EngineError> {
             obs::set_context("sched", unit.bin, unit.id);
             // Gather the unit's pair *references* contiguously
             // just-in-time: 32 bytes of pointers per pair. The sequence
@@ -405,6 +501,7 @@ impl BatchScheduler {
             let unit_pairs: Vec<PairRef<'v>> = obs::span(Stage::Gather, || {
                 unit.indices.iter().map(|&k| view.get(k)).collect()
             });
+            let mut last_refusal = None;
             for (k, id) in chain.iter().enumerate() {
                 let engine = dispatch
                     .engine(*id)
@@ -487,9 +584,9 @@ impl BatchScheduler {
                             unit.cells * cell_factor,
                             t0.elapsed().as_secs_f64() * threads.max(1) as f64,
                         );
-                        return;
+                        return Ok(());
                     }
-                    Err(EngineError::Unsupported { .. }) => {
+                    Err(err @ EngineError::Unsupported { .. }) => {
                         // A declining engine may still have accumulated
                         // internal counters (capability probes, partial
                         // setup). Drain them *now* so they attribute to
@@ -512,11 +609,17 @@ impl BatchScheduler {
                         if kind_refused {
                             local.record_counter(FALLBACK_KIND_UNSUPPORTED, 1);
                         }
+                        last_refusal = Some(err);
                         continue;
                     }
+                    // UnitTooLarge is terminal: falling back would
+                    // execute the very allocation the bound prevents.
+                    Err(err) => return Err(err),
                 }
             }
-            unreachable!("the scalar backend terminates every candidate chain");
+            // The standard registry's scalar backend accepts
+            // everything; only a foreign chain can exhaust itself.
+            Err(last_refusal.expect("empty candidate chain"))
         };
 
         // Pooled phase: shared-counter pull, thread budget 1 per call.
@@ -527,7 +630,7 @@ impl BatchScheduler {
             let run_unit = &run_unit;
             let tracer = &tracer;
             let t_wait = obs::timer();
-            let worker_stats: Vec<BatchStats> = {
+            let worker_stats: Vec<(BatchStats, Option<EngineError>)> = {
                 let next = &next;
                 std::thread::scope(|sc| {
                     let handles: Vec<_> = (0..pool_threads)
@@ -535,6 +638,7 @@ impl BatchScheduler {
                             sc.spawn(move || {
                                 let _g = tracer.as_ref().map(|t| t.worker(w as u32 + 1));
                                 let mut local = BatchStats::default();
+                                let mut failed = None;
                                 loop {
                                     // The wait span opens at the top of
                                     // every pull so worker lanes stay
@@ -549,9 +653,15 @@ impl BatchScheduler {
                                     let (unit, chain) = pooled[k];
                                     obs::set_context("sched", unit.bin, unit.id);
                                     obs::commit(Stage::QueueWait, t_idle);
-                                    run_unit(unit, chain, 1, &mut local);
+                                    if let Err(e) = run_unit(unit, chain, 1, &mut local) {
+                                        // Terminal refusal: stop this
+                                        // worker; the batch errors out
+                                        // after the joins.
+                                        failed = Some(e);
+                                        break;
+                                    }
                                 }
-                                local
+                                (local, failed)
                             })
                         })
                         .collect();
@@ -566,16 +676,128 @@ impl BatchScheduler {
             // unexplained hole in the trace.
             obs::commit(Stage::QueueWait, t_wait);
             let t_merge = obs::timer();
-            for local in &worker_stats {
+            for (local, _) in &worker_stats {
                 batch_stats.merge(local);
             }
             obs::commit(Stage::Merge, t_merge);
+            if let Some(err) = worker_stats.into_iter().find_map(|(_, e)| e) {
+                return Err(err);
+            }
         }
 
         // Exclusive phase: serial over units, full budget inside each.
+        // A shard planner peels chromosome-scale pairs off every unit
+        // first: a pair whose DP matrix exceeds the dispatch's
+        // `shard_cells` budget is cut into subject slabs
+        // (`plan_columns`) and — in score mode — executed as a
+        // pipelined chain through `Engine::score_shard`, each shard
+        // importing the previous shard's serialized seam frontier.
+        // Align-mode pairs stay whole (the engine shards internally
+        // under Hirschberg, which stitches the per-shard CIGARs); only
+        // the planned shard count is recorded for them.
         let mut exclusive_stats = BatchStats::default();
+        let shard_cells = dispatch.shard_cells();
         for (unit, chain) in &exclusive {
-            run_unit(unit, chain, self.cfg.threads, &mut exclusive_stats);
+            let mut rest: Vec<usize> = Vec::with_capacity(unit.indices.len());
+            for &pos in &unit.indices {
+                let p = view.get(pos);
+                let oversized =
+                    shard_cells > 0 && p.cells() > shard_cells && !p.q.is_empty() && p.s.len() > 1;
+                if !oversized {
+                    rest.push(pos);
+                    continue;
+                }
+                let plan = plan_columns(p.q.len(), p.s.len(), shard_cells);
+                exclusive_stats.record_counter(SCHED_SHARDS, plan.len() as u64);
+                let Some(sx) = &shard_exec else {
+                    rest.push(pos);
+                    continue;
+                };
+                let mut ran = false;
+                for (ci, id) in chain.iter().enumerate() {
+                    let engine = dispatch
+                        .engine(*id)
+                        .expect("candidates only returns registered backends");
+                    obs::set_context(engine.caps().name, unit.bin, unit.id);
+                    let t0 = Instant::now();
+                    match sx(engine, &p, &plan, self.cfg.threads, &mut exclusive_stats) {
+                        Ok(value) => {
+                            let cells = p.cells() * cell_factor;
+                            if let Some(cache) = cache {
+                                let ingest = cache.insert(&keys[pos], &p, &value) as u64;
+                                exclusive_stats.record_counter(CACHE_INGEST_BYTES, ingest);
+                                if let Some(dups) = followers.get(&pos) {
+                                    for &dup in dups {
+                                        // SAFETY: follower slots belong
+                                        // to no unit and exactly one
+                                        // leader; written once, here.
+                                        unsafe { writer.write(dup, value.clone()) };
+                                    }
+                                }
+                            }
+                            // SAFETY: `pos` was peeled out of its
+                            // unit's residual index set, so this slot
+                            // is written exactly once, here.
+                            unsafe { writer.write(pos, value) };
+                            if let Some(reg) = registry {
+                                let labels = obs::labels(&[
+                                    ("backend", engine.caps().name),
+                                    ("kind", spec.kind.name()),
+                                    ("bin", &bin_labels[unit.bin as usize]),
+                                ]);
+                                reg.observe("anyseq_unit_pairs", labels.clone(), 1);
+                                reg.observe("anyseq_unit_cells", labels, cells);
+                            }
+                            exclusive_stats.fallbacks += ci as u64;
+                            for (name, value) in engine.drain_counters() {
+                                exclusive_stats.record_counter(name, value);
+                            }
+                            exclusive_stats.record(
+                                engine.caps().name,
+                                1,
+                                cells,
+                                t0.elapsed().as_secs_f64() * self.cfg.threads.max(1) as f64,
+                            );
+                            ran = true;
+                            break;
+                        }
+                        Err(EngineError::Unsupported { .. }) => {
+                            // No sharded path on this backend; counters
+                            // drain now so they attribute here.
+                            for (name, value) in engine.drain_counters() {
+                                exclusive_stats.record_counter(name, value);
+                            }
+                            exclusive_stats.record_counter(id.declined_counter(), 1);
+                            continue;
+                        }
+                        // UnitTooLarge: even one slab busts the
+                        // backend's bound — terminal, like run_unit.
+                        Err(err) => return Err(err),
+                    }
+                }
+                if !ran {
+                    // No shard-capable backend in the chain: the pair
+                    // runs unsharded with its unit (an engine with
+                    // internal shard dispatch still bounds its own
+                    // memory through its pass config).
+                    rest.push(pos);
+                }
+            }
+            if rest.len() == unit.indices.len() {
+                run_unit(unit, chain, self.cfg.threads, &mut exclusive_stats)?;
+            } else if !rest.is_empty() {
+                let per_pair = rest.iter().map(|&k| view.get(k).cells());
+                let cells = per_pair.clone().sum();
+                let max_cells = per_pair.max().unwrap_or(0);
+                let residual = Unit {
+                    indices: rest,
+                    cells,
+                    max_cells,
+                    bin: unit.bin,
+                    id: unit.id,
+                };
+                run_unit(&residual, chain, self.cfg.threads, &mut exclusive_stats)?;
+            }
         }
         let t_merge = obs::timer();
         batch_stats.merge(&exclusive_stats);
@@ -637,6 +859,17 @@ impl BatchScheduler {
                     String::new(),
                     batch_stats.fallbacks,
                 );
+                let counter = |name: &str| batch_stats.counters.get(name).copied().unwrap_or(0);
+                reg.inc(
+                    "anyseq_batch_shards_total",
+                    String::new(),
+                    counter(SCHED_SHARDS),
+                );
+                reg.inc(
+                    "anyseq_batch_seam_bytes_total",
+                    String::new(),
+                    counter(SCHED_SEAM_BYTES),
+                );
                 if let Some(cache) = cache {
                     for (i, shard) in cache.shard_stats().iter().enumerate() {
                         let l = obs::labels(&[("shard", &i.to_string())]);
@@ -653,10 +886,10 @@ impl BatchScheduler {
             }
             batch_stats.spans = spans;
         }
-        BatchRun {
+        Ok(BatchRun {
             results,
             stats: batch_stats,
-        }
+        })
     }
 
     /// Bins the given view positions (the whole view without a cache;
@@ -716,6 +949,49 @@ impl BatchScheduler {
         }
         (units, bin_labels)
     }
+}
+
+/// Runs one oversized pair as a pipelined chain of subject slabs over
+/// `engine`, handing the border frontier forward between shards.
+///
+/// The seam crosses each hand-off in its serialized wire form — the
+/// recorded [`SCHED_SEAM_BYTES`] are exactly what a multi-node
+/// deployment would ship, and the round-trip exercises the
+/// serializer on the production path. Any shard error aborts the chain
+/// (partial work is discarded; the caller decides whether to retry the
+/// pair unsharded on another candidate).
+fn score_shard_chain(
+    engine: &dyn Engine,
+    spec: &SchemeSpec,
+    p: &PairRef<'_>,
+    plan: &[(usize, usize)],
+    threads: usize,
+    stats: &mut BatchStats,
+) -> Result<Score, EngineError> {
+    let mut seam: Option<ShardSeam> = None;
+    let mut best = BestCell::empty();
+    let mut score = None;
+    let last = plan.len() - 1;
+    for (i, &cols) in plan.iter().enumerate() {
+        let task = ShardTask {
+            q: p.q,
+            s: p.s,
+            cols,
+            seam: seam.as_ref(),
+            best,
+            last: i == last,
+        };
+        let out = engine.score_shard(spec, &task, threads)?;
+        best = out.best;
+        score = out.score;
+        if i < last {
+            let bytes = out.seam.to_bytes();
+            stats.record_counter(SCHED_SEAM_BYTES, bytes.len() as u64);
+            seam =
+                Some(ShardSeam::from_bytes(&bytes).expect("a just-serialized seam deserializes"));
+        }
+    }
+    Ok(score.expect("the last shard finalizes the score"))
 }
 
 #[cfg(test)]
@@ -894,6 +1170,116 @@ mod tests {
         // Exclusive wavefront units ride the zero-copy path end to end.
         assert_eq!(run.stats.counters[SCHED_BYTES_COPIED], 0);
         assert!(!run.stats.counters.contains_key("wavefront.bytes_copied"));
+    }
+
+    #[test]
+    fn oversized_pairs_score_through_the_shard_chain() {
+        use crate::dispatch::DispatchPolicy;
+        let mut sim = GenomeSim::new(21);
+        let a = sim.generate(1200);
+        let b = sim.mutate(&a, 0.08);
+        let c = sim.generate(300);
+        let d = sim.mutate(&c, 0.05);
+        // One chromosome-scale pair (sharded) and one under the budget
+        // (runs whole) in the same batch.
+        let pairs = vec![(a, b), (c, d)];
+        let view = BatchView::from_pairs(&pairs);
+        let spec = SchemeSpec::global_affine(2, -1, -2, -1);
+        let sharded = DispatchPolicy::fixed(BackendId::Wavefront)
+            .shard_cells(1 << 18)
+            .standard();
+        let run = scheduler(4).score_batch(&sharded, &spec, &view);
+        for (k, (q, s)) in pairs.iter().enumerate() {
+            assert_eq!(run.results[k], spec.score_scalar(q, s), "pair {k}");
+        }
+        // ~1.4M cells over a 256Ki budget → at least 5 slabs, each
+        // hand-off shipping a serialized seam.
+        assert!(
+            run.stats.counters[SCHED_SHARDS] >= 5,
+            "{:?}",
+            run.stats.counters
+        );
+        assert!(run.stats.counters[SCHED_SEAM_BYTES] > 0);
+        // The resident-footprint gauge rides along from the backend.
+        assert!(run.stats.counters["wavefront.peak_shard_mb"] >= 1);
+        assert!(run
+            .stats
+            .per_backend
+            .iter()
+            .any(|u| u.backend == "wavefront" && u.pairs == 2));
+    }
+
+    #[test]
+    fn sharded_aligns_match_unsharded_and_record_planned_shards() {
+        use crate::dispatch::DispatchPolicy;
+        let mut sim = GenomeSim::new(33);
+        let a = sim.generate(1000);
+        let b = sim.mutate(&a, 0.07);
+        let pairs = vec![(a, b)];
+        let view = BatchView::from_pairs(&pairs);
+        let spec = SchemeSpec::global_affine(2, -1, -2, -1);
+        let plain = DispatchPolicy::fixed(BackendId::Wavefront).standard();
+        let sharded = DispatchPolicy::fixed(BackendId::Wavefront)
+            .shard_cells(1 << 18)
+            .standard();
+        let sched = scheduler(4);
+        let base = sched.align_batch(&plain, &spec, &view);
+        let run = sched.align_batch(&sharded, &spec, &view);
+        // Hirschberg stitches the per-shard half-passes: score AND ops
+        // bit-identical to the unsharded run.
+        assert_eq!(run.results[0].score, base.results[0].score);
+        assert_eq!(run.results[0].ops, base.results[0].ops);
+        // Align mode records the planned shard count (the engine
+        // shards internally under the recursion).
+        assert!(
+            run.stats.counters[SCHED_SHARDS] >= 3,
+            "{:?}",
+            run.stats.counters
+        );
+        assert!(!base.stats.counters.contains_key(SCHED_SHARDS));
+    }
+
+    #[test]
+    fn unit_too_large_is_a_terminal_refusal() {
+        use crate::backends::WavefrontEngine;
+        let mut sim = GenomeSim::new(7);
+        let a = sim.generate(300);
+        let b = sim.mutate(&a, 0.05);
+        let pairs = vec![(a.clone(), b.clone())];
+        let view = BatchView::from_pairs(&pairs);
+        let spec = SchemeSpec::global_affine(2, -1, -2, -1);
+        // A 90k-cell pair against a 10k-cell bound with no shard plan:
+        // the refusal must surface instead of degrading to scalar (the
+        // fallback would execute the very allocation the bound caps).
+        let dispatch = Dispatch::standard(Policy::Fixed(BackendId::Wavefront)).with_engine(
+            BackendId::Wavefront,
+            Box::new(WavefrontEngine::default().with_max_unit_cells(10_000)),
+        );
+        let err = scheduler(2)
+            .try_score_batch(&dispatch, &spec, &view)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::UnitTooLarge {
+                    backend: "wavefront",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // A shard plan under the bound lifts the refusal: the same
+        // pair runs as a slab chain whose resident unit fits.
+        let ok = Dispatch::standard(Policy::Fixed(BackendId::Wavefront)).with_engine(
+            BackendId::Wavefront,
+            Box::new(
+                WavefrontEngine::default()
+                    .with_shard_cells(8_192)
+                    .with_max_unit_cells(10_000),
+            ),
+        );
+        let run = scheduler(2).try_score_batch(&ok, &spec, &view).unwrap();
+        assert_eq!(run.results[0], spec.score_scalar(&a, &b));
     }
 
     #[test]

@@ -138,9 +138,17 @@ impl BatchStats {
         }
     }
 
-    /// Adds a named backend-internal counter (additive).
+    /// Adds a named backend-internal counter. Counters are additive,
+    /// with one exception: names containing `.peak_` are high-water
+    /// marks and combine by maximum — summing peak memory across
+    /// drains or workers would report a working set nothing ever held.
     pub fn record_counter(&mut self, name: &'static str, value: u64) {
-        *self.counters.entry(name).or_insert(0) += value;
+        let slot = self.counters.entry(name).or_insert(0);
+        if name.contains(".peak_") {
+            *slot = (*slot).max(value);
+        } else {
+            *slot += value;
+        }
     }
 
     /// Wall nanoseconds this batch spent in `stage`, read from the
@@ -290,6 +298,21 @@ mod tests {
         assert_eq!(a.units, 5);
         assert_eq!(a.fallbacks, 1);
         assert!((a.wall_seconds - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_counters_merge_by_maximum() {
+        let mut a = BatchStats::default();
+        a.record_counter("wavefront.peak_shard_mb", 40);
+        a.record_counter("wavefront.peak_shard_mb", 25);
+        assert_eq!(a.counters["wavefront.peak_shard_mb"], 40);
+        let mut b = BatchStats::default();
+        b.record_counter("wavefront.peak_shard_mb", 60);
+        b.record_counter("sched.shards", 3);
+        a.record_counter("sched.shards", 2);
+        a.merge(&b);
+        assert_eq!(a.counters["wavefront.peak_shard_mb"], 60);
+        assert_eq!(a.counters["sched.shards"], 5, "plain counters still sum");
     }
 
     #[test]

@@ -315,6 +315,7 @@ mod tests {
             tile,
             min_parallel_area: 0,
             static_schedule: false,
+            shard_cells: 0,
         }
     }
 

@@ -127,6 +127,7 @@ mod tests {
             tile: 96,
             min_parallel_area: 0,
             static_schedule: false,
+            shard_cells: 0,
         }
     }
 

@@ -12,9 +12,9 @@
 //! pairs per tile (negligible against the `O(tile²)` relaxation work).
 
 use crate::grid::TileGrid;
+use crate::shard::ShardSeam;
 use anyseq_core::kind::AlignKind;
-use anyseq_core::pass::{init_left_f, init_left_h, init_top_e, init_top_h};
-use anyseq_core::score::Score;
+use anyseq_core::score::{Score, NEG_INF};
 use anyseq_core::scoring::GapModel;
 use parking_lot::Mutex;
 
@@ -48,22 +48,37 @@ impl BorderStore {
     /// Builds the store with the kind's initialization stripes
     /// (row 0 split across column slots, column 0 across row slots).
     /// `tb` is the Hirschberg top-boundary vertical open (see
-    /// [`init_left_h`]).
+    /// [`anyseq_core::pass::init_left_h`]).
     pub fn init<K: AlignKind, G: GapModel>(grid: &TileGrid, gap: &G, tb: Score) -> BorderStore {
-        let top_h = init_top_h::<K, G>(gap, grid.m);
-        let top_e = init_top_e::<K, G>(gap, grid.m);
-        let left_h = init_left_h::<K, G>(gap, grid.n, tb);
-        let left_f = init_left_f::<G>(grid.n);
+        Self::init_slab::<K, G>(grid, gap, tb, 0, None)
+    }
 
+    /// Builds the store for a *subject slab*: a grid covering absolute
+    /// subject columns `col_offset+1 ..= col_offset+grid.m` of a wider
+    /// pair. Row 0 stripes use the kind's init values at the slab's
+    /// absolute columns; column 0 stripes come from `seam` — the
+    /// frontier exported by the slab to the left — or from the kind's
+    /// standard column-0 init when `seam` is `None`. With
+    /// `col_offset = 0` and no seam this is exactly [`BorderStore::init`].
+    pub fn init_slab<K: AlignKind, G: GapModel>(
+        grid: &TileGrid,
+        gap: &G,
+        tb: Score,
+        col_offset: usize,
+        seam: Option<&ShardSeam>,
+    ) -> BorderStore {
         let col = (0..grid.mt)
             .map(|tj| {
                 let (j0, w) = grid.cols(tj as u32);
+                let a0 = col_offset + j0; // absolute first column of the tile
                 Mutex::new(HStripe {
-                    h: top_h[j0 - 1..j0 + w].to_vec(),
-                    e: if top_e.is_empty() {
-                        Vec::new()
+                    h: (a0 - 1..a0 + w).map(|j| K::h_init(gap, j)).collect(),
+                    e: if G::AFFINE {
+                        (a0..a0 + w)
+                            .map(|j| K::h_init(gap, j) + gap.open())
+                            .collect()
                     } else {
-                        top_e[j0 - 1..j0 - 1 + w].to_vec()
+                        Vec::new()
                     },
                 })
             })
@@ -71,17 +86,51 @@ impl BorderStore {
         let row = (0..grid.nt)
             .map(|ti| {
                 let (i0, h) = grid.rows(ti as u32);
-                Mutex::new(VStripe {
-                    h: left_h[i0 - 1..i0 - 1 + h].to_vec(),
-                    f: if left_f.is_empty() {
-                        Vec::new()
-                    } else {
-                        left_f[i0 - 1..i0 - 1 + h].to_vec()
+                Mutex::new(match seam {
+                    Some(seam) => VStripe {
+                        h: seam.h[i0 - 1..i0 - 1 + h].to_vec(),
+                        f: if seam.f.is_empty() {
+                            Vec::new()
+                        } else {
+                            seam.f[i0 - 1..i0 - 1 + h].to_vec()
+                        },
+                    },
+                    None => VStripe {
+                        h: (i0..i0 + h)
+                            .map(|i| {
+                                if K::FREE_BEGIN {
+                                    0
+                                } else {
+                                    tb + (i as Score) * gap.extend()
+                                }
+                            })
+                            .collect(),
+                        f: if G::AFFINE {
+                            vec![NEG_INF; h]
+                        } else {
+                            Vec::new()
+                        },
                     },
                 })
             })
             .collect();
         BorderStore { col, row }
+    }
+
+    /// Exports the frontier at absolute subject column `col` — after a
+    /// slab pass each row slot holds the right stripe of its row's last
+    /// tile, i.e. `H`/`F` of the slab's final column. Concatenating the
+    /// slots top to bottom rebuilds the full-height [`ShardSeam`] the
+    /// next slab (or the next process) seeds from.
+    pub fn export_seam(&self, grid: &TileGrid, col: usize) -> ShardSeam {
+        let mut h = Vec::with_capacity(grid.n);
+        let mut f = Vec::new();
+        for slot in &self.row {
+            let stripe = slot.lock();
+            h.extend_from_slice(&stripe.h);
+            f.extend_from_slice(&stripe.f);
+        }
+        ShardSeam { col, h, f }
     }
 
     /// Resident stripe bytes right now (score payloads only; the slot

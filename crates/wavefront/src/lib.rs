@@ -29,8 +29,10 @@ pub mod borders;
 pub mod grid;
 pub mod pass;
 pub mod scheduler;
+pub mod shard;
 
 pub use aligner::{score_batch_parallel, ParallelExt, TiledPass};
 pub use grid::{TileGrid, TileId};
-pub use pass::{tiled_score_pass, ParallelCfg};
+pub use pass::{finalize_score, tiled_score_pass, ParallelCfg};
 pub use scheduler::{run_dynamic, run_static};
+pub use shard::{plan_columns, sharded_score_pass, slab_score_pass, ShardSeam, SlabOutput};

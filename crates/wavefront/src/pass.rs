@@ -25,6 +25,11 @@ pub struct ParallelCfg {
     /// Use the static barrier-per-diagonal schedule instead of the
     /// dynamic queue (Fig. 6 comparison; dynamic is the default).
     pub static_schedule: bool,
+    /// Shard budget in DP cells: pairs larger than this run as a serial
+    /// chain of subject slabs with seam hand-off
+    /// ([`crate::sharded_score_pass`]), bounding peak resident border +
+    /// grid memory to one slab. 0 (the default) disables sharding.
+    pub shard_cells: u64,
 }
 
 impl ParallelCfg {
@@ -35,6 +40,7 @@ impl ParallelCfg {
             tile: 512,
             min_parallel_area: 1 << 22,
             static_schedule: false,
+            shard_cells: 0,
         }
     }
 
@@ -57,6 +63,12 @@ impl ParallelCfg {
     /// Switches to the static barrier schedule.
     pub fn with_static_schedule(mut self, yes: bool) -> ParallelCfg {
         self.static_schedule = yes;
+        self
+    }
+
+    /// Sets the shard budget (0 disables sharding).
+    pub fn with_shard_cells(mut self, cells: u64) -> ParallelCfg {
+        self.shard_cells = cells;
         self
     }
 }
@@ -88,6 +100,12 @@ where
 {
     let n = q.len();
     let m = s.len();
+    // Shard oversized pairs regardless of thread count — the memory
+    // bound matters even single-threaded. Because every Hirschberg
+    // half-pass routes through here, alignment shards automatically.
+    if cfg.shard_cells > 0 && n > 0 && m > 1 && (n as u64) * (m as u64) > cfg.shard_cells {
+        return crate::shard::sharded_score_pass::<K, G, S>(gap, subst, q, s, tb, cfg);
+    }
     if n == 0 || m == 0 || n * m < cfg.min_parallel_area || cfg.threads == 1 {
         return score_pass::<K, G, S>(gap, subst, q, s, tb);
     }
@@ -166,15 +184,36 @@ where
 /// with `anyseq_core::pass::score_pass`.
 pub fn finalize<K: AlignKind, G: GapModel>(
     gap: &G,
-    mut best: BestCell,
+    best: BestCell,
     n: usize,
     m: usize,
     tb: Score,
     last_h: &[Score],
     last_e: Vec<Score>,
 ) -> PassOutput {
-    let (score, end) = match K::OPT {
-        OptRegion::Corner => (last_h[m], (n, m)),
+    let (score, end) = finalize_score::<K, G>(gap, best, n, m, tb, last_h[m]);
+    PassOutput {
+        score,
+        end,
+        last_h: last_h.to_vec(),
+        last_e,
+    }
+}
+
+/// Score-only tail of [`finalize`]: applies the kind's optimum
+/// conventions given just the tracked best cell and the final corner
+/// value `h_nm = H(n, m)` — all a sharded score chain retains after
+/// dropping the last rows.
+pub fn finalize_score<K: AlignKind, G: GapModel>(
+    gap: &G,
+    mut best: BestCell,
+    n: usize,
+    m: usize,
+    tb: Score,
+    h_nm: Score,
+) -> (Score, (usize, usize)) {
+    match K::OPT {
+        OptRegion::Corner => (h_nm, (n, m)),
         OptRegion::Border | OptRegion::Anywhere => {
             if matches!(K::OPT, OptRegion::Anywhere) && !K::NU_ZERO {
                 best.update(0, 0, 0);
@@ -195,12 +234,6 @@ pub fn finalize<K: AlignKind, G: GapModel>(
                 (best.score, (best.i, best.j))
             }
         }
-    };
-    PassOutput {
-        score,
-        end,
-        last_h: last_h.to_vec(),
-        last_e,
     }
 }
 
@@ -217,6 +250,7 @@ mod tests {
             tile,
             min_parallel_area: 0,
             static_schedule: false,
+            shard_cells: 0,
         }
     }
 

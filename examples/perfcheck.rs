@@ -28,12 +28,14 @@ fn main() {
         tile: 512,
         min_parallel_area: 0,
         static_schedule: false,
+        shard_cells: 0,
     };
     let cfg8 = ParallelCfg {
         threads: 8,
         tile: 512,
         min_parallel_area: 0,
         static_schedule: false,
+        shard_cells: 0,
     };
 
     macro_rules! t {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate a batch_throughput (or serve_throughput) JSON report.
 
-Usage: check_bench_report.py <report.json> <threads> [long_len] [dup_frac] [semi_len] [local_len]
+Usage: check_bench_report.py <report.json> <threads> [long_len] [dup_frac] [semi_len] [local_len] [huge_len]
        check_bench_report.py --serve <report.json>
 
 `--serve` validates a `serve_throughput` report instead: the serving
@@ -32,6 +32,13 @@ Fails (exit 1) if the report is missing any required key:
     workload-dependent, so zero is allowed),
   * the Local bin keys when `local_len` > 0: `local.{score,align}_gcups`,
     `local.score_gcups_scalar` and `local.score_speedup` positive,
+  * the sharded chromosome-scale bin keys when `huge_len` > 0:
+    `huge.{score,align}_gcups`, `huge.score_gcups_unsharded`,
+    `huge.peak_shard_mb`, `huge.budget_mb`, `huge.seam_bytes` and
+    `sched.shards` all positive — and additionally
+    `huge.peak_shard_mb <= huge.budget_mb` (a sharded run whose
+    resident peak exceeds the unsharded border budget defeats the
+    point of sharding),
   * the duplicated-read / result-cache keys when `dup_frac` > 0:
     `dup.hit_rate`, `dup.{score,align}_gcups` (+ `_nocache` baselines
     and `dup.{score,align}_speedup`) and the cache counters
@@ -111,7 +118,7 @@ def main_serve(path: str) -> int:
 def main() -> int:
     if len(sys.argv) == 3 and sys.argv[1] == "--serve":
         return main_serve(sys.argv[2])
-    if len(sys.argv) not in (3, 4, 5, 6, 7):
+    if len(sys.argv) not in (3, 4, 5, 6, 7, 8):
         print(__doc__, file=sys.stderr)
         return 2
     path, threads = sys.argv[1], int(sys.argv[2])
@@ -119,6 +126,7 @@ def main() -> int:
     dup_frac = float(sys.argv[4]) if len(sys.argv) >= 5 else 0.0
     semi_len = int(sys.argv[5]) if len(sys.argv) >= 6 else 0
     local_len = int(sys.argv[6]) if len(sys.argv) >= 7 else 0
+    huge_len = int(sys.argv[7]) if len(sys.argv) >= 8 else 0
 
     required = []
     for mode in MODES:
@@ -165,6 +173,20 @@ def main() -> int:
             "local.score_speedup",
         ):
             required.append((key, True))
+    if huge_len > 0:
+        # The sharded chromosome-scale bin: throughput for both runs,
+        # the shard/seam counters proving the chain actually stitched,
+        # and the memory-bound pair checked below.
+        for key in (
+            "huge.score_gcups",
+            "huge.align_gcups",
+            "huge.score_gcups_unsharded",
+            "huge.peak_shard_mb",
+            "huge.budget_mb",
+            "huge.seam_bytes",
+            "sched.shards",
+        ):
+            required.append((key, True))
     if dup_frac > 0:
         # A duplicated-read smoke run must actually hit the cache.
         required.append(("dup.hit_rate", True))
@@ -177,7 +199,19 @@ def main() -> int:
             required.append((f"dup.{mode}_gcups_nocache", True))
             required.append((f"dup.{mode}_speedup", True))
 
-    return check(path, required)
+    rc = check(path, required)
+    if rc == 0 and huge_len > 0:
+        with open(path) as fh:
+            report = json.load(fh)
+        peak, budget = report["huge.peak_shard_mb"], report["huge.budget_mb"]
+        if peak > budget:
+            print(
+                f"{path}: huge.peak_shard_mb {peak} exceeds huge.budget_mb {budget}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{path}: sharded peak {peak} MB within unsharded budget {budget:.1f} MB")
+    return rc
 
 
 if __name__ == "__main__":

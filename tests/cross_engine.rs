@@ -36,6 +36,7 @@ fn every_backend_agrees_on_global_scores() {
                 tile: 128,
                 min_parallel_area: 0,
                 static_schedule: false,
+                shard_cells: 0,
             };
             assert_eq!(
                 tiled_score_pass::<Global, _, _>(
@@ -582,6 +583,64 @@ proptest! {
                 "gather counter must be present for {:?}", backend
             );
         }
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_identical_to_unsharded(
+        len in 1200usize..2000,
+        div in prop_oneof![Just(0.03), Just(0.12)],
+        seed in 0u64..1000,
+        shards in 1u64..8,
+        affine_gaps in prop_oneof![Just(false), Just(true)],
+        semi in prop_oneof![Just(false), Just(true)],
+    ) {
+        // The sharded exclusive pipeline is a pure memory refactor:
+        // cutting a pair into subject slabs stitched through
+        // serialized border seams must leave scores AND CIGARs
+        // bit-identical to the unsharded run, across gap models and
+        // alignment kinds, for any shard count.
+        let (q, s) = genome_pair(len, div, seed ^ 0x54a2d);
+        let cells = (q.len() as u64) * (s.len() as u64);
+        let shard_cells = (cells / shards).max(1);
+        let kind = if semi { KindSpec::SemiGlobal } else { KindSpec::Global };
+        let spec = if affine_gaps {
+            SchemeSpec::global_affine(2, -1, -2, -1).with_kind(kind)
+        } else {
+            SchemeSpec::global_linear(2, -1, -1).with_kind(kind)
+        };
+        let pairs = vec![(q, s)];
+        let sched = scheduler_for(4, 16);
+        let plain = Dispatch::standard(Policy::Fixed(BackendId::Wavefront));
+        let sharded = anyseq_engine::DispatchPolicy::fixed(BackendId::Wavefront)
+            .shard_cells(shard_cells)
+            .standard();
+
+        let base = sched.score_pairs(&plain, &spec, &pairs);
+        let cut = sched.score_pairs(&sharded, &spec, &pairs);
+        prop_assert_eq!(&cut.results, &base.results, "scores shards={}", shards);
+        if shards >= 2 {
+            // The budget genuinely bites (even after the one-tile
+            // clamp), so the score run must go through the seam chain.
+            prop_assert!(
+                cut.stats.counters.get(anyseq_engine::SCHED_SHARDS).copied().unwrap_or(0) >= 2,
+                "shards={} counters={:?}", shards, cut.stats.counters
+            );
+            prop_assert!(
+                cut.stats.counters.get(anyseq_engine::SCHED_SEAM_BYTES).copied().unwrap_or(0) > 0,
+                "shards={} counters={:?}", shards, cut.stats.counters
+            );
+        }
+
+        let aln_base = sched.align_pairs(&plain, &spec, &pairs);
+        let aln_cut = sched.align_pairs(&sharded, &spec, &pairs);
+        prop_assert_eq!(
+            aln_cut.results[0].score, aln_base.results[0].score,
+            "align score shards={}", shards
+        );
+        prop_assert_eq!(
+            &aln_cut.results[0].ops, &aln_base.results[0].ops,
+            "CIGAR shards={}", shards
+        );
     }
 }
 

@@ -34,6 +34,7 @@ impl Engine for ProbingDecliner {
             alphabet: "dna4+n",
             max_native_extent: None,
             batch_native: true,
+            max_unit_cells: None,
         }
     }
 

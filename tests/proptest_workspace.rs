@@ -31,7 +31,7 @@ proptest! {
         let scheme = global(affine(simple(2, -1), open, ext));
         let expected = scheme.score(&qs, &ss);
 
-        let cfg = ParallelCfg { threads, tile, min_parallel_area: 0, static_schedule: false };
+        let cfg = ParallelCfg { threads, tile, min_parallel_area: 0, static_schedule: false, shard_cells: 0 };
         prop_assert_eq!(
             tiled_score_pass::<Global, _, _>(
                 scheme.gap(), scheme.subst(), qs.codes(), ss.codes(), open, &cfg).score,
@@ -59,7 +59,7 @@ proptest! {
         let ss = Seq::from_codes(s).unwrap();
         let scheme = global(affine(simple(2, -1), open, ext));
         let expected = scheme.score(&qs, &ss);
-        let cfg = ParallelCfg { threads: 3, tile: 32, min_parallel_area: 0, static_schedule: false };
+        let cfg = ParallelCfg { threads: 3, tile: 32, min_parallel_area: 0, static_schedule: false, shard_cells: 0 };
         let aln = scheme.align_parallel(&qs, &ss, &cfg);
         prop_assert_eq!(aln.score, expected);
         if let Err(e) = aln.validate::<Global, _, _>(&qs, &ss, scheme.gap(), scheme.subst()) {
